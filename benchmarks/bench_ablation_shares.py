@@ -1,0 +1,103 @@
+"""Ablation -- the paper's max-load share objective vs Afrati-Ullman's.
+
+Section 3.1: "Afrati and Ullman compute the shares by optimizing the
+total load [...] Our approach is to optimize the maximum load per
+relation."  This bench quantifies the design choice: on equal-size
+relations the two objectives coincide, but with unequal sizes the
+total-load optimum can be far off the max-load optimum -- which is the
+quantity the MPC model (and Theorem 3.5's lower bound) cares about.
+
+A second ablation measures the cost of share *integerization*: real
+clusters need integer shares, and rounding ``p^{e_i}`` can cost a
+constant factor over the fractional LP prediction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.families import (
+    chain_query,
+    simple_join_query,
+    spk_query,
+    triangle_query,
+)
+from repro.core.shares import (
+    afrati_ullman_share_exponents,
+    integerize_shares,
+    share_exponents,
+)
+from repro.core.stats import Statistics
+from repro.hypercube.analysis import predicted_load_bits
+
+
+def test_objective_ablation(report_table):
+    p = 64
+    cases = [
+        (triangle_query(), {"S1": 2**17, "S2": 2**17, "S3": 2**17}),
+        (triangle_query(), {"S1": 2**10, "S2": 2**17, "S3": 2**17}),
+        (chain_query(3), {"S1": 2**10, "S2": 2**18, "S3": 2**18}),
+        (simple_join_query(), {"S1": 2**12, "S2": 2**18}),
+        (chain_query(4), {"S1": 2**18, "S2": 2**12, "S3": 2**18, "S4": 2**12}),
+        (spk_query(2), {"R1": 2**18, "S1": 2**12, "R2": 2**18, "S2": 2**12}),
+    ]
+    lines = [
+        f"{'query':>6} {'sizes':>10} {'AU max-load':>12} "
+        f"{'BKS max-load':>13} {'AU/BKS':>7}"
+    ]
+    ratios = []
+    for query, sizes in cases:
+        stats = Statistics(query, sizes, 2**20)
+        au = afrati_ullman_share_exponents(query, stats, p)
+        bks = share_exponents(query, stats, p)
+        ratio = au.load_bits / bks.load_bits
+        ratios.append(ratio)
+        # The paper's objective is optimal for max load by Thm 3.15:
+        # AU can only be equal or worse.
+        assert ratio >= 1.0 - 1e-6
+        kind = "equal" if len(set(sizes.values())) == 1 else "skewed"
+        lines.append(
+            f"{query.name:>6} {kind:>10} {au.load_bits:>12.0f} "
+            f"{bks.load_bits:>13.0f} {ratio:>7.2f}"
+        )
+    # Equal sizes: objectives coincide; unequal: AU strictly worse
+    # somewhere (the 8x L3 case).
+    assert ratios[0] == pytest.approx(1.0, rel=1e-3)
+    assert max(ratios) > 3.0
+    report_table(
+        "Ablation: max-load (paper) vs total-load (Afrati-Ullman) shares",
+        lines,
+    )
+
+
+def test_integerization_ablation(report_table):
+    # Fractional LP load vs the load of realized integer shares.
+    query = triangle_query()
+    stats = Statistics.uniform(query, 2**18, domain_size=2**20)
+    lines = [
+        f"{'p':>6} {'fractional L':>13} {'integerized L':>14} {'ratio':>6}"
+    ]
+    worst = 0.0
+    for p in (8, 27, 64, 100, 500, 1000):
+        sol = share_exponents(query, stats, p)
+        shares = integerize_shares(sol.exponents, p)
+        realized = predicted_load_bits(query, stats, shares)
+        ratio = realized / sol.load_bits
+        worst = max(worst, ratio)
+        assert ratio >= 1.0 - 1e-9  # integerization can't beat the LP
+        lines.append(
+            f"{p:>6} {sol.load_bits:>13.0f} {realized:>14.0f} {ratio:>6.2f}"
+        )
+    assert worst <= 4.0  # rounding costs a small constant
+    lines.append(f"worst integerization penalty: {worst:.2f}x")
+    report_table(
+        "Ablation: share integerization penalty (triangle)", lines
+    )
+
+
+def test_benchmark_afrati_ullman(benchmark):
+    query = chain_query(3)
+    stats = Statistics(query, {"S1": 2**10, "S2": 2**18, "S3": 2**18}, 2**20)
+    benchmark(afrati_ullman_share_exponents, query, stats, 64)

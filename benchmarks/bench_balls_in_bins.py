@@ -1,0 +1,89 @@
+"""E14 -- Appendix A: weighted balls-in-bins and HyperCube partitions.
+
+* Theorem A.1/A.2: empirical P(max bin >= (1+delta) m/K) never exceeds
+  the closed-form tail bounds (and the KL bound dominates the h-bound).
+* Theorem A.5 (no promise): skewed single-column relations land on a
+  grid slice -- max load ~ m / min_i p_i.
+* Theorem A.6 (with promise): bounded-degree relations spread at
+  ~ m/p across the full grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import matching_relation
+from repro.hashing.balls import (
+    adversarial_weights,
+    max_load_exceed_probability,
+    simulate_grid_partition,
+    simulate_weighted_balls,
+    weighted_balls_tail_bound,
+    weighted_balls_tail_bound_kl,
+)
+
+
+def test_tail_bounds_hold_empirically(report_table):
+    m, k, beta = 8_000, 8, 0.02
+    weights = adversarial_weights(m, k, beta, seed=83)
+    result = simulate_weighted_balls(weights, k, trials=60, seed=83)
+    lines = [
+        f"{'delta':>6} {'empirical P':>11} {'Thm A.1 bound':>13} "
+        f"{'Thm A.2 (KL)':>13}"
+    ]
+    for delta in (0.1, 0.2, 0.4, 0.8):
+        empirical = max_load_exceed_probability(result, delta)
+        bound_h = min(1.0, weighted_balls_tail_bound(k, beta, delta))
+        bound_kl = min(1.0, weighted_balls_tail_bound_kl(k, beta, delta))
+        assert bound_kl <= bound_h + 1e-12
+        assert empirical <= bound_h + 0.05
+        lines.append(
+            f"{delta:>6.1f} {empirical:>11.3f} {bound_h:>13.4f} "
+            f"{bound_kl:>13.4f}"
+        )
+    report_table(
+        f"Appendix A: weighted balls in bins (m={m}, K={k}, beta={beta})",
+        lines,
+    )
+
+
+def test_grid_partition_with_promise(report_table):
+    # Theorem A.6: a matching relation (degrees 1) on a 4x4 grid
+    # concentrates near m/16.
+    rel = matching_relation("R", 2, 1600, 10_000, seed=89)
+    result = simulate_grid_partition(
+        list(rel.tuples), [4, 4], trials=20, seed=89
+    )
+    mean = result.mean_load
+    peak = max(result.max_loads)
+    assert peak <= 2.0 * mean
+    report_table(
+        "Theorem A.6: grid partition with the degree promise",
+        [
+            f"m = 1600 over a 4x4 grid: mean bin = {mean:.0f} tuples",
+            f"worst max bin over 20 trials = {peak:.0f} "
+            f"({peak / mean:.2f}x the mean)",
+        ],
+    )
+
+
+def test_grid_partition_without_promise(report_table):
+    # Theorem A.5 tightness: all tuples share the first coordinate, so
+    # only one grid row is used: max >= m / p_2.
+    tuples = [(7, i) for i in range(1600)]
+    result = simulate_grid_partition(tuples, [4, 4], trials=10, seed=97)
+    floor_load = 1600 / 4
+    assert min(result.max_loads) >= floor_load
+    report_table(
+        "Theorem A.5: grid partition without the promise (skewed column)",
+        [
+            "all tuples share attribute 1: only a 1x4 slice is hit",
+            f"max bin >= m/p_2 = {floor_load:.0f} tuples in every trial "
+            f"(observed min {min(result.max_loads):.0f})",
+        ],
+    )
+
+
+def test_benchmark_balls_simulation(benchmark):
+    weights = adversarial_weights(4000, 8, 0.05, seed=1)
+    benchmark(simulate_weighted_balls, weights, 8, 10, 1)

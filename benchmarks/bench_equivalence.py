@@ -1,0 +1,82 @@
+"""E5 -- Theorem 3.15: L_lower == L_upper everywhere.
+
+The paper's tightness theorem: the LP (10) HyperCube load equals the
+packing-polytope lower bound for every query and every statistics
+vector.  Swept over a query x sizes x p grid plus randomized statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bounds.one_round import equivalence_gap, lower_bound, upper_bound
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    cycle_query,
+    simple_join_query,
+    spk_query,
+    star_query,
+    triangle_query,
+)
+from repro.core.stats import Statistics
+
+QUERIES = [
+    triangle_query(),
+    chain_query(3),
+    chain_query(5),
+    star_query(3),
+    cycle_query(4),
+    cycle_query(5),
+    binom_query(4, 2),
+    spk_query(2),
+    simple_join_query(),
+]
+
+
+def test_equivalence_grid(report_table):
+    lines = [f"{'query':>6} {'p':>6} {'L_lower':>12} {'L_upper':>12} {'gap':>8}"]
+    worst = 0.0
+    for query in QUERIES:
+        for p in (4, 64, 1024):
+            stats = Statistics.uniform(query, 2**18, domain_size=2**20)
+            lo = lower_bound(query, stats, p)
+            hi = upper_bound(query, stats, p)
+            gap = abs(hi / lo - 1.0)
+            worst = max(worst, gap)
+            assert gap < 1e-6, (query.name, p)
+            if p == 64:
+                lines.append(
+                    f"{query.name:>6} {p:>6} {lo:>12.1f} {hi:>12.1f} "
+                    f"{hi / lo:>8.6f}"
+                )
+    lines.append(f"worst relative gap over the whole grid: {worst:.2e}")
+    report_table("Theorem 3.15: L_lower = L_upper (equal sizes)", lines)
+
+
+def test_equivalence_random_statistics(report_table):
+    rng = random.Random(99)
+    lines = []
+    worst = 0.0
+    for trial in range(40):
+        query = rng.choice(QUERIES)
+        p = rng.choice([4, 16, 256])
+        sizes = {
+            r: rng.randint(2**10, 2**22) for r in query.relation_names
+        }
+        stats = Statistics(query, sizes, domain_size=2**24)
+        gap = abs(equivalence_gap(query, stats, p) - 1.0)
+        worst = max(worst, gap)
+        assert gap < 1e-5, (query.name, sizes, p)
+    lines.append(
+        f"40 random (query, sizes, p) draws: worst gap {worst:.2e}"
+    )
+    report_table("Theorem 3.15: randomized statistics", lines)
+
+
+def test_benchmark_lower_bound(benchmark):
+    query = binom_query(4, 2)
+    stats = Statistics.uniform(query, 2**20)
+    benchmark(lower_bound, query, stats, 256)

@@ -1,0 +1,115 @@
+"""E12 -- Section 5.2/5.3: round lower bounds from (eps, r)-plans.
+
+Regenerates Corollary 5.15 (chains), Corollary 5.17 (tree-like),
+Lemma 5.18 (cycles), validates the Lemma 5.6/5.7 plan constructions
+against Definition 5.5, and evaluates the Theorem 5.11 reported-
+fraction bound at the critical load.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.families import chain_query
+from repro.multiround.gamma import chain_rounds_upper_bound, rounds_upper_bound
+from repro.multiround.good_sets import (
+    chain_epsilon_r_plan,
+    cycle_epsilon_r_plan,
+    validate_plan,
+)
+from repro.multiround.lowerbounds import (
+    beta_constant,
+    chain_round_lower_bound,
+    connected_components_round_lower_bound,
+    cycle_round_lower_bound,
+    load_constant_for_failure,
+    reported_fraction_bound,
+    tau_star_of_plan,
+    tree_like_round_lower_bound,
+)
+
+
+def test_chain_bounds_table(report_table):
+    lines = [f"{'k':>4} {'eps':>5} {'lower':>6} {'upper':>6} {'plan r':>7}"]
+    for k in (8, 16, 32, 64):
+        for eps in (0.0, 0.5):
+            lower = chain_round_lower_bound(k, eps)
+            upper = chain_rounds_upper_bound(k, eps)
+            plan = chain_epsilon_r_plan(k, eps)
+            validate_plan(plan)
+            assert lower == upper  # tight for chains
+            assert plan.round_lower_bound == lower
+            lines.append(
+                f"{k:>4} {eps:>5.2f} {lower:>6} {upper:>6} {plan.r:>7}"
+            )
+    report_table(
+        "Corollary 5.15: chain round bounds (tight, plan-certified)", lines
+    )
+
+
+def test_cycle_bounds_table(report_table):
+    lines = [f"{'k':>4} {'lower (5.18)':>12} {'upper (5.4)':>11} {'gap':>4}"]
+    from repro.core.families import cycle_query
+
+    for k in (5, 6, 8, 12, 16):
+        lower = cycle_round_lower_bound(k, 0.0)
+        upper = rounds_upper_bound(cycle_query(k), 0.0)
+        assert 0 <= upper - lower <= 1  # the paper's <= 1 gap
+        if k > 3:
+            plan = cycle_epsilon_r_plan(k, 0.0)
+            validate_plan(plan)
+            assert plan.round_lower_bound <= upper
+        lines.append(f"{k:>4} {lower:>12} {upper:>11} {upper - lower:>4}")
+    report_table("Lemma 5.18 vs Lemma 5.4: cycle round bounds", lines)
+
+
+def test_tree_like_bounds(report_table):
+    lines = [f"{'query':>6} {'diam':>5} {'lower (5.17)':>12} {'upper':>6}"]
+    for k in (4, 8, 16):
+        q = chain_query(k)
+        lower = tree_like_round_lower_bound(q, 0.0)
+        upper = chain_rounds_upper_bound(k, 0.0)
+        assert 0 <= upper - lower <= 1
+        lines.append(f"{q.name:>6} {q.diameter:>5} {lower:>12} {upper:>6}")
+    report_table("Corollary 5.17: tree-like round bounds (gap <= 1)", lines)
+
+
+def test_theorem_5_11_constants(report_table):
+    lines = [
+        f"{'k':>4} {'r':>3} {'tau*(M)':>8} {'beta':>8} "
+        f"{'critical c':>11}   (eps=0, p=2^10)"
+    ]
+    p = 2**10
+    for k in (8, 16, 32):
+        plan = chain_epsilon_r_plan(k, 0.0)
+        tau_m = tau_star_of_plan(plan)
+        beta = beta_constant(plan)
+        c = load_constant_for_failure(plan, p)
+        # At load c*M/p the fraction is below 1/9 (failure regime).
+        m_bits = 2**24
+        fraction = reported_fraction_bound(plan, 0.99 * c * m_bits / p, m_bits, p)
+        assert fraction < 1 / 9
+        lines.append(
+            f"{k:>4} {plan.r:>3} {tau_m:>8.2f} {beta:>8.3f} {c:>11.4g}"
+        )
+    report_table("Theorem 5.11: beta(q, M), tau*(M), critical load", lines)
+
+
+def test_connected_components_formula(report_table):
+    lines = [f"{'log2 p':>7} {'round lower bound':>18}"]
+    values = []
+    for e in (16, 64, 256, 1024, 4096):
+        v = connected_components_round_lower_bound(2**e, 0.0)
+        values.append(v)
+        lines.append(f"{e:>7} {v:>18}")
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+    lines.append("growth is linear in log p: the Omega(log p) of Thm 5.20")
+    report_table("Theorem 5.20: CC round lower bound vs p", lines)
+
+
+def test_benchmark_plan_validation(benchmark):
+    plan = chain_epsilon_r_plan(32, 0.0)
+    benchmark(validate_plan, plan)

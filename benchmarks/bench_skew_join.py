@@ -1,0 +1,81 @@
+"""E8 -- Example 4.1 and Section 4.1: skew kills the vanilla hash join.
+
+The simple join S1(x,z), S2(y,z) hashed on z has load O(M/p) without
+skew but Theta(M) when every tuple shares one z value.  The
+skew-oblivious LP (18) shares (p^{1/3} on each variable) cap the damage
+at M/p^{1/3}.  We sweep the planted-hitter fraction and tabulate all
+three: vanilla hash join, skew-oblivious HC, and the Corollary 4.3
+prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import simple_join_query
+from repro.data.generators import planted_heavy_hitter_database
+from repro.hypercube.algorithm import run_hypercube
+from repro.hypercube.analysis import predicted_load_bits_skewed
+from repro.join.multiway import evaluate
+from repro.skew.oblivious import run_skew_oblivious_hypercube
+
+
+def test_skew_sweep(report_table):
+    query = simple_join_query()
+    m, p = 540, 27
+    lines = [
+        f"{'hitter %':>8} {'hash join L':>12} {'oblivious L':>12} "
+        f"{'ratio':>6}   (m={m}, p={p})"
+    ]
+    ratios = []
+    for fraction in (0.0, 0.25, 0.5, 1.0):
+        db = planted_heavy_hitter_database(
+            query, m, 2**14, "z", fraction, 7, seed=37
+        )
+        truth = evaluate(query, db)
+        vanilla = run_hypercube(query, db, p, exponents={"z": 1.0}, seed=37)
+        oblivious = run_skew_oblivious_hypercube(query, db, p, seed=37)
+        assert vanilla.answers == truth
+        assert oblivious.answers == truth
+        ratio = vanilla.max_load_bits / oblivious.max_load_bits
+        ratios.append(ratio)
+        lines.append(
+            f"{fraction:>8.0%} {vanilla.max_load_bits:>12.0f} "
+            f"{oblivious.max_load_bits:>12.0f} {ratio:>6.2f}"
+        )
+    # Without skew the hash join wins; with full skew the oblivious
+    # shares win by ~ p^{1/3}-ish.
+    assert ratios[0] < 1.0
+    assert ratios[-1] > 2.0
+    report_table(
+        "Example 4.1: hash join vs skew-oblivious HC under planted skew",
+        lines,
+    )
+
+
+def test_corollary_4_3_prediction(report_table):
+    # The oblivious algorithm's measured load under *full* skew matches
+    # the Corollary 4.3 prediction max_j M_j / min-share.
+    query = simple_join_query()
+    m, p = 540, 27
+    db = planted_heavy_hitter_database(query, m, 2**14, "z", 1.0, 7, seed=41)
+    stats = db.statistics(query)
+    result = run_skew_oblivious_hypercube(query, db, p, seed=41)
+    predicted = predicted_load_bits_skewed(query, stats, result.shares)
+    ratio = result.max_load_bits / predicted
+    assert 0.3 <= ratio <= 3.0
+    report_table(
+        "Corollary 4.3: oblivious-HC load prediction (full skew)",
+        [
+            f"shares: {result.shares}",
+            f"measured L = {result.max_load_bits:.0f} bits",
+            f"predicted max_j M_j/min-share = {predicted:.0f} bits",
+            f"ratio = {ratio:.2f}",
+        ],
+    )
+
+
+def test_benchmark_oblivious_join(benchmark):
+    query = simple_join_query()
+    db = planted_heavy_hitter_database(query, 400, 2**13, "z", 1.0, 3, seed=1)
+    benchmark(run_skew_oblivious_hypercube, query, db, 27, 1)

@@ -1,0 +1,79 @@
+"""E1 -- Table 2: share exponents, tau*, and space-exponent lower bounds.
+
+Paper values (equal relation sizes):
+
+    C_k : shares 1/k each,        tau* = k/2,        eps >= 1 - 2/k
+    T_k : share 1 on z, 0 on x_j, tau* = 1,          eps >= 0
+    L_k : tau* = ceil(k/2),                          eps >= 1 - 1/ceil(k/2)
+    B_km: shares 1/k each,        tau* = k/m,        eps >= 1 - m/k
+
+We regenerate every row from the LPs and time the share-LP solve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import binom_query, chain_query, cycle_query, star_query
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.shares import (
+    equal_size_share_exponents,
+    share_exponents,
+    space_exponent_bound,
+)
+from repro.core.stats import Statistics
+
+
+def paper_rows():
+    rows = []
+    for k in (3, 4, 5, 6):
+        rows.append((cycle_query(k), {"all": 1 / k}, k / 2, 1 - 2 / k))
+    for k in (2, 3, 4):
+        rows.append((star_query(k), {"z": 1.0, "legs": 0.0}, 1.0, 0.0))
+    for k in (2, 3, 4, 5):
+        rows.append((chain_query(k), None, -(-k // 2), 1 - 1 / -(-k // 2)))
+    for k, m in ((4, 2), (4, 3), (5, 2)):
+        rows.append((binom_query(k, m), {"all": 1 / k}, k / m, 1 - m / k))
+    return rows
+
+
+def test_table2_values(report_table):
+    lines = [
+        f"{'query':>6} {'tau* paper':>10} {'tau* LP':>8} "
+        f"{'eps paper':>10} {'eps LP':>8} {'shares':>28}"
+    ]
+    for query, share_spec, tau_paper, eps_paper in paper_rows():
+        tau = fractional_vertex_cover_number(query)
+        eps = space_exponent_bound(query)
+        exps = equal_size_share_exponents(query)
+        assert tau == pytest.approx(tau_paper), query.name
+        assert eps == pytest.approx(eps_paper), query.name
+        if share_spec and "all" in share_spec:
+            assert all(
+                v == pytest.approx(share_spec["all"]) for v in exps.values()
+            ), query.name
+        if share_spec and "z" in share_spec:
+            assert exps["z"] == pytest.approx(share_spec["z"])
+        shares_text = ",".join(f"{v:.3f}" for v in exps.values())
+        lines.append(
+            f"{query.name:>6} {tau_paper:>10.2f} {tau:>8.2f} "
+            f"{eps_paper:>10.3f} {eps:>8.3f} {shares_text:>28}"
+        )
+    report_table("Table 2: share exponents, tau*, space exponents", lines)
+
+
+def test_lp_matches_closed_form_on_unequal_sizes():
+    # The LP also covers the regime Table 2 doesn't: unequal sizes.
+    q = cycle_query(4)
+    stats = Statistics(
+        q, {"S1": 2**12, "S2": 2**14, "S3": 2**16, "S4": 2**18}, 2**20
+    )
+    sol = share_exponents(q, stats, 64)
+    assert sol.load_bits > 0
+    assert sum(sol.exponents.values()) <= 1 + 1e-9
+
+
+def test_benchmark_share_lp(benchmark):
+    q = binom_query(5, 2)
+    stats = Statistics.uniform(q, 2**20)
+    benchmark(share_exponents, q, stats, 1024)

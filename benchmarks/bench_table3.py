@@ -1,0 +1,93 @@
+"""E2 -- Table 3: the rounds/space tradeoff.
+
+Paper rows:
+
+    C_k : one-round eps = 1 - 2/k,       ceil(log k) rounds for O(M/p),
+          r ~ log k / log(2/(1-eps))
+    L_k : one-round eps = 1 - 1/ceil(k/2), ceil(log k) rounds,
+          same r = f(eps)
+    T_k : eps = 0, 1 round
+    SP_k: eps = 1 - 1/k, 2 rounds
+
+Regenerated from tau* and the Gamma-class machinery.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.families import chain_query, cycle_query, spk_query, star_query
+from repro.multiround.gamma import (
+    chain_rounds_upper_bound,
+    k_epsilon,
+    rounds_upper_bound,
+    space_exponent_for_one_round,
+)
+from repro.multiround.lowerbounds import chain_round_lower_bound
+
+
+def test_table3_one_round_space_exponents(report_table):
+    lines = [f"{'query':>6} {'paper eps':>10} {'computed':>9}"]
+    cases = [
+        (cycle_query(6), 1 - 2 / 6),
+        (cycle_query(8), 1 - 2 / 8),
+        (chain_query(6), 1 - 1 / 3),
+        (chain_query(8), 1 - 1 / 4),
+        (star_query(4), 0.0),
+        (spk_query(3), 1 - 1 / 3),
+    ]
+    for query, expected in cases:
+        eps = space_exponent_for_one_round(query)
+        assert eps == pytest.approx(expected), query.name
+        lines.append(f"{query.name:>6} {expected:>10.3f} {eps:>9.3f}")
+    report_table("Table 3 column 1: one-round space exponent", lines)
+
+
+def test_table3_rounds_for_linear_load(report_table):
+    # Rounds to achieve load O(M/p), i.e. eps = 0.
+    lines = [f"{'query':>6} {'paper rounds':>12} {'computed':>9}"]
+    for k in (4, 8, 16):
+        expected = math.ceil(math.log2(k))
+        got = chain_rounds_upper_bound(k, 0.0)
+        assert got == expected
+        lines.append(f"{'L' + str(k):>6} {expected:>12} {got:>9}")
+    for k in (4, 8, 16):
+        # C_k at eps=0: the constructive two-arc plan (Lemma 5.4's
+        # proof idea) reaches ceil(log2 k) rounds for k a power of two.
+        from repro.multiround.plans import cycle_plan
+
+        expected = math.ceil(math.log2(k))
+        got = cycle_plan(k, 0.0).depth
+        assert got == expected
+        lines.append(f"{'C' + str(k):>6} {expected:>12} {got:>9}")
+    got = rounds_upper_bound(star_query(4), 0.0)
+    assert got == 1
+    lines.append(f"{'T4':>6} {1:>12} {got:>9}")
+    got = rounds_upper_bound(spk_query(3), 0.0)
+    assert got == 2
+    lines.append(f"{'SP3':>6} {2:>12} {got:>9}")
+    report_table("Table 3 column 2: rounds to reach load O(M/p)", lines)
+
+
+def test_table3_rounds_space_tradeoff(report_table):
+    # r ~ log k / log(2/(1-eps)) = log k / log(k_eps) up to the floor in
+    # k_eps; exact at eps = 0 and eps = 1/2.
+    lines = [f"{'query':>6} {'eps':>5} {'paper ~r':>9} {'computed':>9}"]
+    for k in (16, 64):
+        for eps in (0.0, 0.5):
+            approx = math.log(k) / math.log(2 / (1 - eps))
+            got = chain_round_lower_bound(k, eps)
+            assert got == math.ceil(
+                math.log(k, k_epsilon(eps)) - 1e-12
+            )
+            lines.append(
+                f"{'L' + str(k):>6} {eps:>5.2f} {approx:>9.2f} {got:>9}"
+            )
+    report_table("Table 3 column 3: rounds/space tradeoff r = f(eps)", lines)
+
+
+def test_benchmark_round_bound(benchmark):
+    q = cycle_query(8)
+    benchmark(rounds_upper_bound, q, 0.25)

@@ -1,0 +1,120 @@
+"""E3 -- the paper's in-text worked examples, regenerated.
+
+* Example 2.3: the tight optimal packing (1, 0, 1) of L3, tau* = 2.
+* Section 2.2: chi arithmetic for L5/{S2,S4} and K4/M.
+* Example 3.17: the five vertices of pk(C3), their loads L(u, M, p),
+  and the broadcast-to-HyperCube crossover at p = M/M1.
+* Example 5.19: round bounds for C5 (open gap) and C6 (tight at 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds.one_round import load_formula, optimal_packing_vertex
+from repro.core.families import chain_query, cycle_query, k4_query, triangle_query
+from repro.core.packing import (
+    fractional_vertex_cover_number,
+    is_edge_packing,
+    is_tight,
+    packing_polytope_vertices,
+)
+from repro.core.stats import Statistics
+from repro.multiround.gamma import rounds_upper_bound
+from repro.multiround.lowerbounds import cycle_round_lower_bound
+
+
+def test_example_2_3(report_table):
+    q = chain_query(3)
+    u = {"S1": 1.0, "S2": 0.0, "S3": 1.0}
+    assert is_edge_packing(q, u) and is_tight(q, u)
+    tau = fractional_vertex_cover_number(q)
+    assert tau == pytest.approx(2.0)
+    report_table(
+        "Example 2.3: L3 packings",
+        [
+            "u = (1, 0, 1) is a tight edge packing: confirmed",
+            f"tau*(L3) paper = 2, computed = {tau:g}",
+        ],
+    )
+
+
+def test_characteristic_arithmetic(report_table):
+    l5 = chain_query(5)
+    contracted = l5.contract(["S2", "S4"])
+    k4 = k4_query()
+    m = k4.subquery(["S1", "S2", "S3"])
+    k4c = k4.contract(["S1", "S2", "S3"])
+    rows = [
+        f"chi(L5) paper = 0, computed = {l5.characteristic}",
+        f"chi(L5/{{S2,S4}}) paper = 0, computed = {contracted.characteristic}",
+        f"chi(K4) paper = 3, computed = {k4.characteristic}",
+        f"chi(M) paper = 1, computed = {m.characteristic}",
+        f"chi(K4/M) paper = 2, computed = {k4c.characteristic}",
+    ]
+    assert l5.characteristic == 0
+    assert contracted.characteristic == 0
+    assert k4.characteristic == 3
+    assert m.characteristic == 1
+    assert k4c.characteristic == 2
+    report_table("Section 2.2: characteristic arithmetic", rows)
+
+
+def test_example_3_17_vertex_table(report_table):
+    q = triangle_query()
+    m1, m = 1_000, 100_000
+    stats = Statistics(q, {"S1": m1, "S2": m, "S3": m}, domain_size=2**20)
+    bits = stats.bits_vector()
+    p = 1_000
+    lines = [f"{'u':>18} {'L(u, M, p)':>14}   (p = {p})"]
+    expected = {
+        (0.5, 0.5, 0.5): (bits["S1"] * bits["S2"] * bits["S3"]) ** (1 / 3)
+        / p ** (2 / 3),
+        (1.0, 0.0, 0.0): bits["S1"] / p,
+        (0.0, 1.0, 0.0): bits["S2"] / p,
+        (0.0, 0.0, 1.0): bits["S3"] / p,
+        (0.0, 0.0, 0.0): 0.0,
+    }
+    vertices = packing_polytope_vertices(q)
+    assert len(vertices) == 5
+    for u in vertices:
+        key = tuple(round(u[r], 6) for r in q.relation_names)
+        value = load_formula(u, bits, p)
+        assert value == pytest.approx(expected[key], abs=1e-6)
+        lines.append(f"{str(key):>18} {value:>14.1f}")
+    report_table("Example 3.17: the five vertices of pk(C3)", lines)
+
+
+def test_example_3_17_crossover(report_table):
+    q = triangle_query()
+    m1, m = 1_000, 100_000
+    stats = Statistics(q, {"S1": m1, "S2": m, "S3": m}, domain_size=2**20)
+    crossover = m / m1  # p = M/M1 = 100
+    lines = [f"{'p':>8} {'optimal packing':>22} {'speedup exponent':>17}"]
+    for p, expect_broadcast in ((10, True), (50, True), (500, False), (5000, False)):
+        u, _ = optimal_packing_vertex(q, stats, p)
+        broadcast = u["S1"] == pytest.approx(0.0) and max(u.values()) == pytest.approx(1.0)
+        assert broadcast == expect_broadcast, (p, u)
+        exponent = 1.0 / sum(u.values())
+        label = "broadcast S1 (0,1,0)-like" if broadcast else "HyperCube (1/2,1/2,1/2)"
+        lines.append(f"{p:>8} {label:>22} {exponent:>17.3f}")
+    lines.append(f"paper crossover at p = M/M1 = {crossover:.0f}")
+    report_table("Example 3.17: broadcast/HyperCube crossover", lines)
+
+
+def test_example_5_19(report_table):
+    rows = []
+    for k, lower, upper in ((5, 2, 3), (6, 3, 3)):
+        got_lower = cycle_round_lower_bound(k, 0.0)
+        got_upper = rounds_upper_bound(cycle_query(k), 0.0)
+        assert got_lower == lower and got_upper == upper
+        gap = "tight" if lower == upper else "open gap"
+        rows.append(
+            f"C{k}: lower = {got_lower}, upper = {got_upper} ({gap})"
+        )
+    report_table("Example 5.19: C5 / C6 round bounds at eps = 0", rows)
+
+
+def test_benchmark_polytope_enumeration(benchmark):
+    q = k4_query()
+    benchmark(packing_polytope_vertices, q)

@@ -1,0 +1,50 @@
+"""Shared infrastructure for the benchmark/reproduction harness.
+
+Every bench regenerates one table, figure-shaped tradeoff, or worked
+example from the paper and registers a "paper vs measured" table via
+the ``report_table`` fixture.  Tables are printed in the terminal
+summary (after the pytest-benchmark timing block), so they appear in
+``bench_output.txt`` without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, list[str]]] = []
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep reproduction-table tests alive under ``--benchmark-only``.
+
+    pytest-benchmark skips tests that do not request the ``benchmark``
+    fixture; the table tests are the point of this harness, so they get
+    the fixture injected (unused) and run in both modes.
+    """
+    for item in items:
+        names = getattr(item, "fixturenames", None)
+        if names is not None and "benchmark" not in names:
+            names.append("benchmark")
+
+
+@pytest.fixture
+def report_table():
+    """Register a titled table to print in the terminal summary."""
+
+    def record(title: str, rows: list[str]) -> None:
+        _REPORTS.append((title, list(rows)))
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper reproduction tables")
+    for title, rows in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"--- {title} ---")
+        for row in rows:
+            tr.write_line(row)
+    tr.write_line("")

@@ -1,0 +1,83 @@
+"""repro -- Communication Cost in Parallel Query Processing, reproduced.
+
+A faithful, executable reproduction of Beame, Koutris, Suciu,
+*Communication Cost in Parallel Query Processing* (EDBT 2015 / arXiv
+1602.06236): the Massively Parallel Communication (MPC) model, the
+HyperCube algorithm with LP-optimal shares, skew-aware star/triangle
+algorithms, multi-round query plans, and every load / round / replication
+bound the paper proves.
+
+Quickstart::
+
+    from repro import triangle_query, matching_database, run_hypercube
+    from repro.join import evaluate
+
+    q = triangle_query()
+    db = matching_database(q, m=1000, n=10_000, seed=0)
+    result = run_hypercube(q, db, p=64)
+    assert result.answers == evaluate(q, db)
+    print(result.shares)          # {'x1': 4, 'x2': 4, 'x3': 4}
+    print(result.max_load_bits)   # ~ M / p^{2/3}
+
+Package map (see DESIGN.md for the paper-section correspondence):
+
+* :mod:`repro.core` -- queries, packings/covers, share LPs, Friedgut/AGM
+* :mod:`repro.data` -- relations and synthetic data generators
+* :mod:`repro.hashing` -- PRF hash families, balls-in-bins (Appendix A)
+* :mod:`repro.mpc` -- the round-based simulator with bit-level loads
+* :mod:`repro.join` -- generic multiway join (local computation phases)
+* :mod:`repro.hypercube` -- the one-round HyperCube algorithm + baselines
+* :mod:`repro.skew` -- heavy hitters, star/triangle algorithms, Thm 4.4
+* :mod:`repro.multiround` -- plans, (eps, r)-plans, connected components
+* :mod:`repro.bounds` -- one-round lower bounds, replication, entropy
+"""
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Statistics,
+    binom_query,
+    chain_query,
+    cycle_query,
+    k4_query,
+    simple_join_query,
+    spk_query,
+    star_query,
+    triangle_query,
+)
+from repro.data import (
+    Database,
+    Relation,
+    matching_database,
+    uniform_database,
+    zipf_database,
+)
+from repro.hypercube import run_hypercube
+from repro.mpc import MPCSimulation
+from repro.bounds import lower_bound, upper_bound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Statistics",
+    "binom_query",
+    "chain_query",
+    "cycle_query",
+    "k4_query",
+    "simple_join_query",
+    "spk_query",
+    "star_query",
+    "triangle_query",
+    "Database",
+    "Relation",
+    "matching_database",
+    "uniform_database",
+    "zipf_database",
+    "run_hypercube",
+    "MPCSimulation",
+    "lower_bound",
+    "upper_bound",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""``python -m repro``: a 30-second tour of the reproduction.
+
+Prints the paper's headline numbers live: Table 2 rows, the tight
+one-round bound for the triangle query, a real HyperCube run, and the
+multi-round tradeoff for L16.  For the full harness run
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from repro import matching_database, triangle_query
+from repro.bounds import lower_bound, upper_bound
+from repro.core.families import binom_query, chain_query, cycle_query, star_query
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.shares import space_exponent_bound
+from repro.hypercube import run_hypercube
+from repro.join import evaluate
+from repro.multiround.gamma import chain_rounds_upper_bound
+from repro.multiround.lowerbounds import chain_round_lower_bound
+
+
+def main() -> None:
+    print("repro: Beame-Koutris-Suciu, Communication Cost in Parallel")
+    print("Query Processing (EDBT 2015) -- reproduction smoke tour\n")
+
+    print("Table 2 (tau*, one-round space exponent):")
+    for query in (cycle_query(3), cycle_query(6), star_query(3),
+                  chain_query(5), binom_query(4, 2)):
+        tau = fractional_vertex_cover_number(query)
+        eps = space_exponent_bound(query)
+        print(f"  {query.name:>5}: tau* = {tau:4.2f}, eps = {eps:5.3f}")
+
+    q = triangle_query()
+    p, m = 64, 1000
+    db = matching_database(q, m=m, n=2**14, seed=0)
+    stats = db.statistics(q)
+    print(f"\nTriangle query, p={p}, m={m} (skew-free):")
+    print(f"  L_lower = {lower_bound(q, stats, p):.0f} bits "
+          f"= L_upper = {upper_bound(q, stats, p):.0f} bits (Thm 3.15)")
+    result = run_hypercube(q, db, p, seed=0)
+    assert result.answers == evaluate(q, db)
+    print(f"  HyperCube shares {result.shares}: measured "
+          f"L = {result.max_load_bits:.0f} bits, "
+          f"{len(result.answers)} answers (= sequential join)")
+
+    print("\nMulti-round tradeoff for L16 (Cor 5.15, tight):")
+    for eps in (0.0, 0.5):
+        lo = chain_round_lower_bound(16, eps)
+        hi = chain_rounds_upper_bound(16, eps)
+        print(f"  eps = {eps}: {lo} rounds (lower = upper = {hi})")
+    print("\nRun `pytest benchmarks/ --benchmark-only` for all 16 "
+          "reproduction tables.")
+
+
+if __name__ == "__main__":
+    main()

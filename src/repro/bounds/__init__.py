@@ -1,0 +1,59 @@
+"""Lower-bound calculators (paper Sections 3.2-3.4, Appendix B).
+
+Lower bounds cannot be "run"; they are formulas.  This subpackage
+implements each of them exactly:
+
+* the one-round load lower bound ``L(u, M, p)`` (Eq. 11) maximized over
+  the packing polytope (Theorem 3.5), and its equality with the
+  HyperCube upper bound (Theorem 3.15);
+* the answer-fraction bound of Theorem 3.5 (how few answers a
+  load-``L`` algorithm can report);
+* the replication-rate lower bound (Corollary 3.19);
+* entropy of multi-dimensional matchings (Eq. 12, Proposition 3.14);
+* the probability lemmas of Appendix B (Paley-Zygmund style bounds used
+  by Theorem 3.7's randomized-algorithm argument).
+"""
+
+from repro.bounds.one_round import (
+    answer_fraction_bound,
+    equivalence_gap,
+    load_formula,
+    lower_bound,
+    optimal_packing_vertex,
+    speedup_exponent_at,
+    upper_bound,
+)
+from repro.bounds.replication import (
+    replication_rate_equal_sizes,
+    replication_rate_lower_bound,
+)
+from repro.bounds.entropy import (
+    binary_entropy,
+    log2_binomial,
+    log2_factorial,
+    matching_entropy_bits,
+)
+from repro.bounds.probability import (
+    failure_probability_bound,
+    output_concentration_bound,
+    randomized_failure_bound,
+)
+
+__all__ = [
+    "answer_fraction_bound",
+    "equivalence_gap",
+    "load_formula",
+    "lower_bound",
+    "optimal_packing_vertex",
+    "speedup_exponent_at",
+    "upper_bound",
+    "replication_rate_equal_sizes",
+    "replication_rate_lower_bound",
+    "binary_entropy",
+    "log2_binomial",
+    "log2_factorial",
+    "matching_entropy_bits",
+    "failure_probability_bound",
+    "output_concentration_bound",
+    "randomized_failure_bound",
+]

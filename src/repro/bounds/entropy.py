@@ -1,0 +1,57 @@
+"""Entropy of multi-dimensional matchings (Eq. 12, Proposition 3.14).
+
+The one-round lower bound charges an algorithm for the bits needed to
+*describe* a matching relation.  There are ``binom(n, m)^a (m!)^{a-1}``
+matchings of arity ``a`` and size ``m`` over ``[n]``, so the entropy is
+
+.. math::
+    \\mathcal{M}_j = a_j \\log \\binom{n}{m_j} + (a_j - 1) \\log (m_j!)
+
+Proposition 3.14 relates it to the raw size ``M_j = a_j m_j log n``:
+``M_j >= M_j / 2`` when ``n >= m_j^2`` and ``>= M_j / 4`` when
+``n = m_j`` and ``a_j >= 2``.  All logs here are base 2 (bits).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2_factorial(m: int) -> float:
+    """``log2(m!)`` via ``lgamma`` (exact enough for all experiment sizes)."""
+    if m < 0:
+        raise ValueError("m must be >= 0")
+    return math.lgamma(m + 1) / math.log(2.0)
+
+
+def log2_binomial(n: int, m: int) -> float:
+    """``log2 binom(n, m)``; 0 when the coefficient is 1 or undefined inputs."""
+    if m < 0 or n < 0 or m > n:
+        raise ValueError("need 0 <= m <= n")
+    return log2_factorial(n) - log2_factorial(m) - log2_factorial(n - m)
+
+
+def binary_entropy(x: float) -> float:
+    """``H(x) = -x log2 x - (1-x) log2 (1-x)`` on [0, 1]."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("binary entropy needs x in [0, 1]")
+    out = 0.0
+    if 0.0 < x < 1.0:
+        out = -x * math.log2(x) - (1 - x) * math.log2(1 - x)
+    return out
+
+
+def matching_entropy_bits(n: int, m: int, arity: int) -> float:
+    """Eq. (12): the entropy of a uniform ``arity``-dim matching, in bits."""
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    if m > n:
+        raise ValueError("matchings need m <= n")
+    return arity * log2_binomial(n, m) + (arity - 1) * log2_factorial(m)
+
+
+def raw_size_bits(n: int, m: int, arity: int) -> float:
+    """``M_j = a_j m_j log2 n`` -- the relation's raw encoding size."""
+    if n < 2:
+        return float(arity * m)  # degenerate domain: 1 bit per value
+    return arity * m * math.log2(n)

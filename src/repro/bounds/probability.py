@@ -1,0 +1,77 @@
+"""Appendix B probability bounds (Lemmas B.1, B.2; Theorem 3.7).
+
+These convert "the algorithm reports few answers in expectation" into
+"the algorithm *fails* with constant probability", via a Paley-Zygmund
+anti-concentration bound for the output count of a connected query over
+random matchings.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.query import ConjunctiveQuery
+
+
+def output_concentration_bound(mu: float, alpha: float) -> float:
+    """Lemma B.1: ``P(|q(I)| > alpha*mu) >= (1-alpha)^2 mu/(mu+1)``."""
+    if mu < 0:
+        raise ValueError("mu must be >= 0")
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0, 1)")
+    return (1.0 - alpha) ** 2 * mu / (mu + 1.0)
+
+
+def failure_probability_bound(f: float) -> float:
+    """Lemma B.2 / Lemma 3.8: ``P(fail | C_{1/3}) >= 1 - 9f``.
+
+    ``f`` is the fraction of the expected output the algorithm reports;
+    the bound is vacuous (0) once ``f >= 1/9``.
+    """
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    return max(0.0, 1.0 - 9.0 * f)
+
+
+def randomized_failure_bound(query: ConjunctiveQuery, delta: float) -> float:
+    """Theorem 3.7: failure probability ``1 - 9 (4 delta)^{1/tau*}``.
+
+    Any one-round randomized algorithm with load ``<= delta * L_lower``
+    fails on some instance with at least this probability; positive for
+    ``delta < 1/(4 * 9^{tau*})``.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    tau = fractional_vertex_cover_number(query)
+    return max(0.0, 1.0 - 9.0 * (4.0 * delta) ** (1.0 / tau))
+
+
+def delta_threshold(query: ConjunctiveQuery) -> float:
+    """The ``delta`` below which Theorem 3.7 yields a positive bound."""
+    tau = fractional_vertex_cover_number(query)
+    return 1.0 / (4.0 * 9.0**tau)
+
+
+def expected_answers_cap(
+    f_per_packing: float, expected_output: float
+) -> float:
+    """Convenience: ``f * E[|q(I)|]``, the Theorem 3.5 answer cap."""
+    if f_per_packing < 0 or expected_output < 0:
+        raise ValueError("arguments must be >= 0")
+    return f_per_packing * expected_output
+
+
+def required_trials(target_probability: float, per_trial: float) -> int:
+    """Trials needed so a per-trial event of prob ``p`` occurs w.p. >= target.
+
+    Used by experiments that amplify constant-probability failure
+    events: ``1 - (1-p)^t >= target``.
+    """
+    if not 0 < per_trial <= 1 or not 0 < target_probability < 1:
+        raise ValueError("probabilities must be in (0, 1]")
+    if per_trial == 1.0:
+        return 1
+    return math.ceil(
+        math.log(1 - target_probability) / math.log(1 - per_trial)
+    )

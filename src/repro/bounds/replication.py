@@ -1,0 +1,66 @@
+"""Replication-rate lower bounds (Corollary 3.19, Example 3.20).
+
+The replication rate of an algorithm is ``r = sum_s L_s / |I|``: the
+average number of times each input bit is communicated.  Corollary 3.19
+turns the answer-counting argument of Theorem 3.5 into
+
+.. math::
+    r \\ge \\frac{c L}{\\sum_j M_j} \\max_u \\prod_j (M_j / L)^{u_j},
+    \\qquad c = \\Big(\\frac{\\sum_j u_j}{4}\\Big)^{\\sum_j u_j},
+
+for any fractional edge packing ``u`` with ``L <= M_j`` for all ``j``.
+With equal sizes ``M`` this is ``Omega((M/L)^{tau* - 1})`` -- the paper's
+Example 3.20 gives ``Omega(sqrt(M/L))`` for the triangle query.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.one_round import _vertices
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.query import ConjunctiveQuery
+from repro.core.stats import Statistics
+
+
+def replication_rate_lower_bound(
+    query: ConjunctiveQuery, stats: Statistics, load_bits: float
+) -> float:
+    """Corollary 3.19's bound, maximized over the packing vertices.
+
+    Requires ``load_bits <= M_j`` for every relation (relations smaller
+    than the load can be shipped for free -- the corollary's proviso).
+    """
+    if load_bits <= 0:
+        raise ValueError("load must be positive")
+    bits = stats.bits_vector()
+    if any(load_bits > m for m in bits.values()):
+        raise ValueError(
+            "corollary applies only when L <= M_j for every relation"
+        )
+    total_bits = sum(bits.values())
+    best = 0.0
+    for u in _vertices(query):
+        weight_sum = sum(u.values())
+        if weight_sum <= 0:
+            continue
+        c = (weight_sum / 4.0) ** weight_sum
+        product = 1.0
+        for relation, weight in u.items():
+            if weight > 0:
+                product *= (bits[relation] / load_bits) ** weight
+        best = max(best, c * load_bits / total_bits * product)
+    return best
+
+
+def replication_rate_equal_sizes(
+    query: ConjunctiveQuery, relation_bits: float, load_bits: float
+) -> float:
+    """The shape ``(M/L)^{tau* - 1}`` (constants dropped).
+
+    For the triangle query this is ``sqrt(M/L)`` (Example 3.20); the
+    ideal ``r = o(1)`` is possible only when ``tau* = 1``, i.e. some
+    variable occurs in every atom.
+    """
+    if load_bits <= 0 or relation_bits <= 0:
+        raise ValueError("sizes must be positive")
+    tau = fractional_vertex_cover_number(query)
+    return (relation_bits / load_bits) ** (tau - 1.0)

@@ -1,0 +1,86 @@
+"""A small typed wrapper around ``scipy.optimize.linprog``.
+
+All linear programs in the paper (edge packings, vertex covers, the
+share-exponent programs (10) and (18)) are tiny -- tens of variables --
+so we always use the exact-ish HiGHS solver and post-process solutions
+into plain Python floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+#: Tolerance used when checking feasibility / tightness of LP constraints.
+TOLERANCE = 1e-9
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when an LP that should always be feasible is not."""
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """An optimal LP solution: variable values and objective value."""
+
+    x: tuple[float, ...]
+    value: float
+
+    def __iter__(self):
+        return iter(self.x)
+
+
+def solve_lp(
+    cost: Sequence[float],
+    a_ub: Sequence[Sequence[float]] | None = None,
+    b_ub: Sequence[float] | None = None,
+    a_eq: Sequence[Sequence[float]] | None = None,
+    b_eq: Sequence[float] | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | None = None,
+    maximize: bool = False,
+) -> LPSolution:
+    """Solve ``min/max cost . x`` subject to ``A_ub x <= b_ub, A_eq x = b_eq``.
+
+    ``bounds`` defaults to ``x >= 0``.  Raises
+    :class:`InfeasibleError` if the program is infeasible or unbounded.
+    """
+    c = np.asarray(cost, dtype=float)
+    if maximize:
+        c = -c
+    result = linprog(
+        c,
+        A_ub=None if a_ub is None else np.asarray(a_ub, dtype=float),
+        b_ub=None if b_ub is None else np.asarray(b_ub, dtype=float),
+        A_eq=None if a_eq is None else np.asarray(a_eq, dtype=float),
+        b_eq=None if b_eq is None else np.asarray(b_eq, dtype=float),
+        bounds=bounds if bounds is not None else [(0, None)] * len(c),
+        method="highs",
+    )
+    if not result.success:
+        raise InfeasibleError(f"LP failed: {result.message}")
+    value = float(result.fun)
+    if maximize:
+        value = -value
+    return LPSolution(tuple(float(v) for v in result.x), value)
+
+
+def snap(value: float, max_denominator: int = 64) -> float:
+    """Snap a float to a nearby small rational if one is very close.
+
+    LP vertices of the paper's packing polytopes have small rational
+    coordinates (``0, 1/3, 1/2, 2/3, 1`` and the like); snapping removes
+    solver noise so worked examples print exactly as in the paper.
+    """
+    frac = Fraction(value).limit_denominator(max_denominator)
+    if abs(float(frac) - value) <= 1e-7:
+        return float(frac)
+    return value
+
+
+def snap_vector(values: Sequence[float], max_denominator: int = 64) -> tuple[float, ...]:
+    """Snap every entry of a vector (see :func:`snap`)."""
+    return tuple(snap(v, max_denominator) for v in values)

@@ -1,0 +1,110 @@
+"""Cardinality statistics ``m`` / bit-size statistics ``M`` (Section 3).
+
+The paper measures relations both in tuples (``m_j = |S_j|``) and in
+bits (``M_j = a_j * m_j * log n``, where ``n`` is the domain size).
+:class:`Statistics` bundles the two together with the query they
+describe, so bound calculators and share LPs can ask for either view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.query import ConjunctiveQuery
+
+
+def bits_per_value(domain_size: int) -> int:
+    """Bits needed to encode one value of the domain ``[n]``.
+
+    The paper writes ``log n``; we use ``ceil(log2 n)`` (min 1 bit) so
+    the simulator's accounting is in whole bits.
+    """
+    if domain_size < 1:
+        raise ValueError("domain size must be >= 1")
+    return max(1, math.ceil(math.log2(domain_size))) if domain_size > 1 else 1
+
+
+@dataclass(frozen=True)
+class Statistics:
+    """Per-relation cardinalities and the shared domain size.
+
+    Parameters
+    ----------
+    query:
+        The query whose relations the statistics describe.
+    cardinalities:
+        ``m_j`` for every relation of the query (tuples, not bits).
+    domain_size:
+        The domain ``[n]`` from which attribute values are drawn.
+    """
+
+    query: ConjunctiveQuery
+    cardinalities: Mapping[str, int]
+    domain_size: int
+
+    _bits_value: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        missing = set(self.query.relation_names) - set(self.cardinalities)
+        if missing:
+            raise ValueError(f"missing cardinalities for {sorted(missing)}")
+        for rel, m in self.cardinalities.items():
+            if m < 0:
+                raise ValueError(f"negative cardinality for {rel}")
+        if self.domain_size < 1:
+            raise ValueError("domain size must be >= 1")
+        object.__setattr__(self, "_bits_value", bits_per_value(self.domain_size))
+
+    @classmethod
+    def uniform(
+        cls, query: ConjunctiveQuery, m: int, domain_size: int | None = None
+    ) -> "Statistics":
+        """Equal cardinality ``m`` for every relation.
+
+        Defaults the domain to ``m`` (the paper's equal-size lower
+        bounds choose ``n = m`` for arity >= 2).
+        """
+        n = m if domain_size is None else domain_size
+        return cls(query, {r: m for r in query.relation_names}, n)
+
+    def tuples(self, relation: str) -> int:
+        """``m_j``: number of tuples of ``relation``."""
+        return int(self.cardinalities[relation])
+
+    def bits(self, relation: str) -> float:
+        """``M_j = a_j m_j log n``: size of ``relation`` in bits."""
+        arity = self.query.arity(relation)
+        return arity * self.tuples(relation) * self._bits_value
+
+    def bits_per_tuple(self, relation: str) -> int:
+        return self.query.arity(relation) * self._bits_value
+
+    @property
+    def value_bits(self) -> int:
+        """Bits per single attribute value (``log n``)."""
+        return self._bits_value
+
+    @property
+    def total_bits(self) -> float:
+        """``|I| = sum_j M_j``: the input size in bits."""
+        return sum(self.bits(r) for r in self.query.relation_names)
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(self.tuples(r) for r in self.query.relation_names)
+
+    def bits_vector(self) -> dict[str, float]:
+        return {r: self.bits(r) for r in self.query.relation_names}
+
+    def tuples_vector(self) -> dict[str, int]:
+        return {r: self.tuples(r) for r in self.query.relation_names}
+
+    def scale(self, factor: float) -> "Statistics":
+        """Statistics with every cardinality scaled by ``factor``."""
+        return Statistics(
+            self.query,
+            {r: int(round(m * factor)) for r, m in self.cardinalities.items()},
+            self.domain_size,
+        )

@@ -1,0 +1,44 @@
+"""Relations, database instances, and synthetic data generators.
+
+The paper's bounds quantify over specific input distributions: *matching
+databases* (every value has degree exactly one; Section 3.2's lower
+bound probability space), databases with bounded degrees (the HyperCube
+analysis of Corollary 3.3), and skewed databases with *heavy hitters*
+(Section 4).  This subpackage provides set-semantics relations over
+integer domains ``[n]`` together with seeded generators for each of
+those distributions, plus the layered graph family of Theorem 5.20.
+"""
+
+from repro.data.relation import Relation
+from repro.data.database import Database
+from repro.data.generators import (
+    degree_sequence_relation,
+    layered_path_database,
+    layered_path_graph,
+    matching_database,
+    matching_relation,
+    planted_heavy_hitter_database,
+    random_graph_edges,
+    triangle_database_from_edges,
+    uniform_database,
+    uniform_relation,
+    zipf_database,
+    zipf_relation,
+)
+
+__all__ = [
+    "Relation",
+    "Database",
+    "degree_sequence_relation",
+    "layered_path_database",
+    "layered_path_graph",
+    "matching_database",
+    "matching_relation",
+    "planted_heavy_hitter_database",
+    "random_graph_edges",
+    "triangle_database_from_edges",
+    "uniform_database",
+    "uniform_relation",
+    "zipf_database",
+    "zipf_relation",
+]

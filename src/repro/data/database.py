@@ -1,0 +1,120 @@
+"""Database instances: a relation per atom plus the shared domain.
+
+A :class:`Database` binds relation instances to the relation symbols of
+a query and carries the domain size ``n`` used for bit accounting
+(``M_j = a_j m_j log n``).  It can derive the :class:`Statistics` object
+the share LPs and bound calculators consume, and validate itself against
+a query (matching arities, all relations present).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.stats import Statistics
+from repro.data.relation import Relation
+
+
+class Database:
+    """An immutable map from relation names to :class:`Relation`."""
+
+    __slots__ = ("domain_size", "_relations")
+
+    def __init__(self, relations: Iterable[Relation], domain_size: int):
+        if domain_size < 1:
+            raise ValueError("domain size must be >= 1")
+        rels = {}
+        for rel in relations:
+            if rel.name in rels:
+                raise ValueError(f"duplicate relation {rel.name!r}")
+            rels[rel.name] = rel
+        self._relations: dict[str, Relation] = rels
+        self.domain_size = domain_size
+        for rel in rels.values():
+            for t in rel:
+                for v in t:
+                    if not 0 <= v < domain_size:
+                        raise ValueError(
+                            f"value {v} in {rel.name} outside domain "
+                            f"[0, {domain_size})"
+                        )
+
+    # ------------------------------------------------------------- container
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise KeyError(f"no relation {name!r} in database")
+        return self._relations[name]
+
+    # ------------------------------------------------------------- derived
+
+    def statistics(self, query: ConjunctiveQuery) -> Statistics:
+        """Cardinality statistics of this instance for ``query``."""
+        self.validate_for(query)
+        cards = {r: len(self._relations[r]) for r in query.relation_names}
+        return Statistics(query, cards, self.domain_size)
+
+    def validate_for(self, query: ConjunctiveQuery) -> None:
+        """Check the instance matches the query's schema."""
+        for atom in query.atoms:
+            if atom.relation not in self._relations:
+                raise KeyError(
+                    f"query needs relation {atom.relation!r}, not in database"
+                )
+            rel = self._relations[atom.relation]
+            if rel.arity != atom.arity:
+                raise ValueError(
+                    f"arity mismatch for {atom.relation!r}: "
+                    f"atom has {atom.arity}, relation has {rel.arity}"
+                )
+
+    def is_matching_database(self) -> bool:
+        """Section 3's matching-database condition on every relation."""
+        return all(rel.is_matching() for rel in self)
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self)
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A copy with one relation added or replaced."""
+        rels = dict(self._relations)
+        rels[relation.name] = relation
+        return Database(rels.values(), self.domain_size)
+
+    def restrict(self, names: Iterable[str]) -> "Database":
+        """A copy containing only the named relations."""
+        wanted = set(names)
+        missing = wanted - set(self._relations)
+        if missing:
+            raise KeyError(f"unknown relations {sorted(missing)}")
+        return Database(
+            (self._relations[n] for n in self._relations if n in wanted),
+            self.domain_size,
+        )
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Database":
+        """A copy with relations renamed through ``mapping``."""
+        return Database(
+            (
+                rel.renamed(mapping.get(rel.name, rel.name))
+                for rel in self._relations.values()
+            ),
+            self.domain_size,
+        )

@@ -1,0 +1,225 @@
+"""Set-semantics relations over integer domains.
+
+A :class:`Relation` is an immutable set of equal-arity integer tuples.
+It exposes exactly the operations the paper's algorithms and analyses
+need:
+
+* degrees ``d_J(R) = |sigma_{J}(R)|`` for a tuple ``J`` over a subset of
+  positions (Section 3.1's analysis of the HyperCube algorithm),
+* heavy-hitter extraction for a frequency threshold (Section 4),
+* projections / selections, and the semijoin ``A |>< B`` and antijoin
+  ``A |> B`` used by the multi-round machinery (Section 5.2).
+
+Values are plain Python ints drawn from ``[0, n)``.  Relations are
+hashable and comparable, which makes test assertions cheap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+
+class Relation:
+    """An immutable, set-semantics relation of fixed arity."""
+
+    __slots__ = ("name", "arity", "_tuples", "_hash")
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[tuple[int, ...]]):
+        if arity < 1:
+            raise ValueError("relation arity must be >= 1")
+        frozen = frozenset(tuple(t) for t in tuples)
+        for t in frozen:
+            if len(t) != arity:
+                raise ValueError(
+                    f"tuple {t} has arity {len(t)}, expected {arity} in {name}"
+                )
+        self.name = name
+        self.arity = arity
+        self._tuples = frozen
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------- container
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: tuple[int, ...]) -> bool:
+        return tuple(item) in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.arity == other.arity
+            and self._tuples == other._tuples
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.name, self.arity, self._tuples))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+    @property
+    def tuples(self) -> frozenset[tuple[int, ...]]:
+        return self._tuples
+
+    def sorted_tuples(self) -> list[tuple[int, ...]]:
+        """Deterministically ordered tuples (for stable iteration)."""
+        return sorted(self._tuples)
+
+    # ------------------------------------------------------------ statistics
+
+    def column(self, position: int) -> set[int]:
+        """The active domain of one attribute position."""
+        self._check_position(position)
+        return {t[position] for t in self._tuples}
+
+    def active_domain(self) -> set[int]:
+        """All values appearing anywhere in the relation."""
+        return {v for t in self._tuples for v in t}
+
+    def degree(self, positions: Sequence[int], values: Sequence[int]) -> int:
+        """``d_J(R)``: tuples agreeing with ``values`` on ``positions``."""
+        positions = tuple(positions)
+        values = tuple(values)
+        for p in positions:
+            self._check_position(p)
+        return sum(
+            1
+            for t in self._tuples
+            if all(t[p] == v for p, v in zip(positions, values))
+        )
+
+    def degrees(self, positions: Sequence[int]) -> Counter:
+        """Histogram of ``d_J`` for every ``J`` over ``positions``."""
+        positions = tuple(positions)
+        for p in positions:
+            self._check_position(p)
+        return Counter(tuple(t[p] for p in positions) for t in self._tuples)
+
+    def max_degree(self, positions: Sequence[int]) -> int:
+        """The largest degree over ``positions`` (0 for empty relations)."""
+        hist = self.degrees(positions)
+        return max(hist.values(), default=0)
+
+    def heavy_hitters(
+        self, position: int, threshold: float
+    ) -> dict[int, int]:
+        """Values whose frequency at ``position`` is >= ``threshold``.
+
+        Section 4: a value is a heavy hitter when its frequency exceeds
+        a threshold such as ``m_j / p``.  Returns ``value -> frequency``.
+        """
+        return {
+            key[0]: count
+            for key, count in self.degrees((position,)).items()
+            if count >= threshold
+        }
+
+    # ------------------------------------------------------------- operators
+
+    def project(self, positions: Sequence[int], name: str | None = None) -> "Relation":
+        """Set-semantics projection onto the given positions."""
+        positions = tuple(positions)
+        for p in positions:
+            self._check_position(p)
+        out = {tuple(t[p] for p in positions) for t in self._tuples}
+        return Relation(name or self.name, len(positions), out)
+
+    def select(
+        self, positions: Sequence[int], values: Sequence[int], name: str | None = None
+    ) -> "Relation":
+        """``sigma_{positions = values}(R)``."""
+        positions = tuple(positions)
+        values = tuple(values)
+        out = {
+            t
+            for t in self._tuples
+            if all(t[p] == v for p, v in zip(positions, values))
+        }
+        return Relation(name or self.name, self.arity, out)
+
+    def filter(
+        self, predicate: Callable[[tuple[int, ...]], bool], name: str | None = None
+    ) -> "Relation":
+        return Relation(
+            name or self.name, self.arity, (t for t in self._tuples if predicate(t))
+        )
+
+    def semijoin(
+        self,
+        other: "Relation",
+        self_positions: Sequence[int],
+        other_positions: Sequence[int],
+    ) -> "Relation":
+        """``self |>< other``: tuples of ``self`` with a match in ``other``."""
+        keys = other.project(other_positions).tuples
+        self_positions = tuple(self_positions)
+        return self.filter(
+            lambda t: tuple(t[p] for p in self_positions) in keys
+        )
+
+    def antijoin(
+        self,
+        other: "Relation",
+        self_positions: Sequence[int],
+        other_positions: Sequence[int],
+    ) -> "Relation":
+        """``self |> other``: tuples of ``self`` with no match in ``other``."""
+        keys = other.project(other_positions).tuples
+        self_positions = tuple(self_positions)
+        return self.filter(
+            lambda t: tuple(t[p] for p in self_positions) not in keys
+        )
+
+    def union(self, other: "Relation") -> "Relation":
+        if other.arity != self.arity:
+            raise ValueError("union needs equal arities")
+        return Relation(self.name, self.arity, self._tuples | other._tuples)
+
+    def difference(self, other: "Relation") -> "Relation":
+        if other.arity != self.arity:
+            raise ValueError("difference needs equal arities")
+        return Relation(self.name, self.arity, self._tuples - other._tuples)
+
+    def renamed(self, name: str) -> "Relation":
+        return Relation(name, self.arity, self._tuples)
+
+    # ------------------------------------------------------------- invariants
+
+    def is_matching(self) -> bool:
+        """True when every value has degree exactly 1 in every column.
+
+        This is the paper's *matching database* condition (Section 3):
+        each column of the relation is an injection.
+        """
+        return all(
+            self.max_degree((p,)) <= 1 for p in range(self.arity)
+        )
+
+    def index(self, positions: Sequence[int]) -> dict[tuple[int, ...], list[tuple[int, ...]]]:
+        """Hash index: key over ``positions`` -> matching tuples."""
+        positions = tuple(positions)
+        out: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+        for t in self._tuples:
+            out.setdefault(tuple(t[p] for p in positions), []).append(t)
+        return out
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self.arity:
+            raise IndexError(
+                f"position {position} out of range for arity {self.arity}"
+            )
+
+
+def relation_from_pairs(name: str, pairs: Iterable[tuple[int, int]]) -> Relation:
+    """Convenience constructor for binary relations."""
+    return Relation(name, 2, pairs)

@@ -1,0 +1,37 @@
+"""Hashing substrate: PRF hash families and balls-in-bins analysis.
+
+The paper's algorithms assume "independent and perfectly random hash
+functions" (Lemma 3.2) drawn from a strongly universal family
+(Appendix A).  We simulate such functions with a keyed BLAKE2b PRF: for
+a fixed seed the function is deterministic (experiments replay exactly)
+while behaving statistically like a uniform random function.
+
+:mod:`repro.hashing.balls` implements the weighted balls-in-bins tail
+bounds of Appendix A (Theorems A.1 and A.2) and simulators that check
+them empirically, including the HyperCube grid partition of Theorems
+A.5/A.6.
+"""
+
+from repro.hashing.family import HashFamily, HashFunction, GridPartitioner
+from repro.hashing.balls import (
+    bennett_h,
+    kl_bernoulli,
+    max_load_exceed_probability,
+    simulate_grid_partition,
+    simulate_weighted_balls,
+    weighted_balls_tail_bound,
+    weighted_balls_tail_bound_kl,
+)
+
+__all__ = [
+    "HashFamily",
+    "HashFunction",
+    "GridPartitioner",
+    "bennett_h",
+    "kl_bernoulli",
+    "max_load_exceed_probability",
+    "simulate_grid_partition",
+    "simulate_weighted_balls",
+    "weighted_balls_tail_bound",
+    "weighted_balls_tail_bound_kl",
+]

@@ -1,0 +1,131 @@
+"""Seeded PRF hash functions standing in for perfectly random hashing.
+
+A :class:`HashFunction` maps integers to ``[0, buckets)`` via a keyed
+BLAKE2b digest.  Distinct ``(seed, salt)`` pairs give (for all
+statistical purposes) independent functions, matching the paper's
+assumption of independent perfectly random hash functions ``h_i``.
+
+:class:`GridPartitioner` composes one hash function per dimension into
+the HyperCube destination map: a tuple ``(a_1, ..., a_r)`` lands in bin
+``(h_1(a_1), ..., h_r(a_r))`` of the share grid ``[p_1] x ... x [p_r]``
+(Lemma 3.2 / Eq. 9).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+
+class HashFunction:
+    """A deterministic pseudo-random function ``int -> [0, buckets)``."""
+
+    __slots__ = ("seed", "salt", "buckets", "_key", "_cache")
+
+    def __init__(self, seed: int, salt: int, buckets: int):
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.seed = seed
+        self.salt = salt
+        self.buckets = buckets
+        self._key = struct.pack(">qq", seed & 0x7FFFFFFFFFFFFFFF, salt)
+        self._cache: dict[int, int] = {}
+
+    def __call__(self, value: int) -> int:
+        cached = self._cache.get(value)
+        if cached is not None:
+            return cached
+        length = max(1, (value.bit_length() + 8) // 8)
+        digest = hashlib.blake2b(
+            value.to_bytes(length, "big", signed=True),
+            key=self._key,
+            digest_size=8,
+        ).digest()
+        out = int.from_bytes(digest, "big") % self.buckets
+        if len(self._cache) < 1_000_000:
+            self._cache[value] = out
+        return out
+
+    def __repr__(self) -> str:
+        return f"HashFunction(seed={self.seed}, salt={self.salt}, buckets={self.buckets})"
+
+
+class HashFamily:
+    """A seeded factory of independent hash functions.
+
+    ``family.function(salt, buckets)`` returns the same function for the
+    same arguments, and statistically independent functions for
+    different salts -- the shared-randomness model of Section 2.1
+    ("random bits are available to all servers").
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def function(self, salt: int, buckets: int) -> HashFunction:
+        return HashFunction(self.seed, salt, buckets)
+
+    def functions(self, count: int, buckets: Sequence[int]) -> list[HashFunction]:
+        """``count`` independent functions with per-index bucket counts."""
+        if len(buckets) != count:
+            raise ValueError("need one bucket count per function")
+        return [self.function(i, b) for i, b in enumerate(buckets)]
+
+
+class GridPartitioner:
+    """HyperCube partitioning of tuples onto a share grid.
+
+    Dimension ``i`` has ``shares[i]`` buckets and its own independent
+    hash function.  ``bin_of`` maps a full tuple to its grid cell;
+    ``destinations`` maps a *partial* tuple (some dimensions unknown) to
+    all cells it must reach -- Eq. (9)'s destination subcube ``D(t)``.
+    """
+
+    def __init__(self, shares: Sequence[int], family: HashFamily | None = None):
+        if any(s < 1 for s in shares):
+            raise ValueError("shares must be >= 1")
+        self.shares = tuple(int(s) for s in shares)
+        family = family or HashFamily(0)
+        self.functions = family.functions(len(self.shares), self.shares)
+
+    @property
+    def num_bins(self) -> int:
+        out = 1
+        for s in self.shares:
+            out *= s
+        return out
+
+    def bin_of(self, values: Sequence[int]) -> tuple[int, ...]:
+        if len(values) != len(self.shares):
+            raise ValueError("tuple arity does not match grid dimension")
+        return tuple(h(v) for h, v in zip(self.functions, values))
+
+    def destinations(
+        self, values: Sequence[int | None]
+    ) -> list[tuple[int, ...]]:
+        """All grid cells consistent with the known coordinates.
+
+        ``None`` marks an unconstrained dimension; the result enumerates
+        the destination subcube, of size ``prod of shares over unknown
+        dimensions`` (the replication factor of the tuple).
+        """
+        if len(values) != len(self.shares):
+            raise ValueError("tuple arity does not match grid dimension")
+        cells: list[tuple[int, ...]] = [()]
+        for dim, value in enumerate(values):
+            if value is None:
+                cells = [c + (b,) for c in cells for b in range(self.shares[dim])]
+            else:
+                h = self.functions[dim](value)
+                cells = [c + (h,) for c in cells]
+        return cells
+
+    def linear_index(self, cell: Sequence[int]) -> int:
+        """Row-major linearization of a grid cell to a server id."""
+        out = 0
+        for share, coordinate in zip(self.shares, cell):
+            if not 0 <= coordinate < share:
+                raise ValueError(f"cell {tuple(cell)} outside grid {self.shares}")
+            out = out * share + coordinate
+        return out

@@ -1,0 +1,155 @@
+"""One-round HyperCube execution on the MPC simulator.
+
+The driver: compute optimal share exponents via LP (10) (unless shares
+are given), integerize them, route every base tuple to its destination
+subcube (Eq. 9), run the local multiway join on each server, and return
+the union of local answers together with the full load report.
+
+The correctness argument is the paper's: for every potential answer
+tuple ``(a_1, ..., a_k)`` the server ``(h_1(a_1), ..., h_k(a_k))``
+receives every base tuple consistent with it, so the union of local
+join results is exactly ``q(I)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Mapping, Sequence
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.shares import integerize_shares, share_exponents
+from repro.core.stats import Statistics
+from repro.data.database import Database
+from repro.hashing.family import GridPartitioner, HashFamily
+from repro.join.multiway import evaluate_on_fragments
+from repro.mpc.report import LoadReport
+from repro.mpc.simulator import MPCSimulation
+
+
+@dataclass
+class HyperCubeResult:
+    """Everything produced by one HyperCube run."""
+
+    query: ConjunctiveQuery
+    answers: set[tuple[int, ...]]
+    shares: dict[str, int]
+    report: LoadReport
+    simulation: MPCSimulation
+
+    @property
+    def max_load_bits(self) -> float:
+        return self.report.max_load_bits
+
+    @property
+    def max_load_tuples(self) -> int:
+        return self.report.max_load_tuples
+
+    def replication_rate(self, stats: Statistics) -> float:
+        return self.report.replication_rate(stats.total_bits)
+
+
+def resolve_shares(
+    query: ConjunctiveQuery,
+    stats: Statistics,
+    p: int,
+    shares: Mapping[str, int] | None = None,
+    exponents: Mapping[str, float] | None = None,
+) -> dict[str, int]:
+    """Determine integer shares: explicit > exponents > LP (10)."""
+    if shares is not None:
+        out = {v: int(shares.get(v, 1)) for v in query.variables}
+        if any(s < 1 for s in out.values()):
+            raise ValueError("shares must be >= 1")
+        product = 1
+        for s in out.values():
+            product *= s
+        if product > p:
+            raise ValueError(
+                f"share product {product} exceeds the number of servers {p}"
+            )
+        return out
+    if exponents is None:
+        exponents = share_exponents(query, stats, p).exponents
+    full = {v: float(exponents.get(v, 0.0)) for v in query.variables}
+    return integerize_shares(full, p)
+
+
+def route_relation(
+    partitioner: GridPartitioner,
+    dimension_variables: Sequence[str],
+    atom_variables: Sequence[str],
+    tuples,
+):
+    """Yield ``(server, tuple)`` pairs for one relation's tuples.
+
+    ``dimension_variables`` fixes the grid axes (the query variables in
+    head order); a tuple binds the axes named by ``atom_variables`` and
+    is replicated along all others (Eq. 9's destination subcube).
+    Tuples that bind a repeated variable inconsistently match no answer
+    and are routed by their first occurrence only.
+    """
+    axis_of = {v: i for i, v in enumerate(dimension_variables)}
+    for t in tuples:
+        coordinates: list[int | None] = [None] * len(dimension_variables)
+        for variable, value in zip(atom_variables, t):
+            axis = axis_of[variable]
+            if coordinates[axis] is None:
+                coordinates[axis] = value
+        for cell in partitioner.destinations(coordinates):
+            yield partitioner.linear_index(cell), t
+
+
+def run_hypercube(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    shares: Mapping[str, int] | None = None,
+    exponents: Mapping[str, float] | None = None,
+    seed: int = 0,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
+    skip_local_join: bool = False,
+) -> HyperCubeResult:
+    """Run the one-round HyperCube algorithm on ``p`` servers.
+
+    Parameters mirror the paper's knobs: ``shares``/``exponents``
+    override the LP-optimal share allocation; ``capacity_bits`` imposes
+    the hard load cap ``L`` (with ``on_overflow="drop"`` implementing
+    the load-limited algorithms of the Theorem 3.5 experiments);
+    ``skip_local_join`` skips the computation phase when only the
+    communication loads are of interest.
+    """
+    database.validate_for(query)
+    stats = database.statistics(query)
+    resolved = resolve_shares(query, stats, p, shares, exponents)
+    dimension_variables = query.variables
+    partitioner = GridPartitioner(
+        [resolved[v] for v in dimension_variables], HashFamily(seed)
+    )
+
+    sim = MPCSimulation(
+        p,
+        value_bits=stats.value_bits,
+        capacity_bits=capacity_bits,
+        on_overflow=on_overflow,
+    )
+    sim.begin_round()
+    for atom in query.atoms:
+        relation = database[atom.relation]
+        batches: dict[int, list[tuple[int, ...]]] = {}
+        for server, t in route_relation(
+            partitioner, dimension_variables, atom.variables, relation
+        ):
+            batches.setdefault(server, []).append(t)
+        for server, batch in batches.items():
+            sim.send(server, atom.relation, batch)
+    sim.end_round()
+
+    answers: set[tuple[int, ...]] = set()
+    if not skip_local_join:
+        for server in range(partitioner.num_bins):
+            local = evaluate_on_fragments(query, sim.state(server))
+            if local:
+                sim.output(server, local)
+        answers = sim.outputs()
+    return HyperCubeResult(query, answers, resolved, sim.report, sim)

@@ -1,0 +1,73 @@
+"""Predicted HyperCube loads (Corollaries 3.3 and 4.3).
+
+For integer shares ``p_i`` the paper predicts per-server loads
+
+* without skew (Corollary 3.3, needs the degree promise
+  ``d_J(S_j) <= beta^{|U|} m_j / prod_{i in U} p_i``):
+  ``O(max_j M_j / prod_{i in S_j} p_i)``;
+* with arbitrary skew (Corollary 4.3):
+  ``O(max_j M_j / min_{i in S_j} p_i)``.
+
+These are the quantities the load-vs-p benches compare measured maxima
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.stats import Statistics
+
+
+def _share_product(atom_variables: frozenset[str], shares: Mapping[str, int]) -> int:
+    product = 1
+    for v in atom_variables:
+        product *= shares.get(v, 1)
+    return product
+
+
+def predicted_load_tuples(
+    query: ConjunctiveQuery, stats: Statistics, shares: Mapping[str, int]
+) -> float:
+    """Corollary 3.3's per-relation tuple load ``max_j m_j / prod p_i``."""
+    return max(
+        stats.tuples(atom.relation) / _share_product(atom.variable_set, shares)
+        for atom in query.atoms
+    )
+
+
+def predicted_load_bits(
+    query: ConjunctiveQuery, stats: Statistics, shares: Mapping[str, int]
+) -> float:
+    """Corollary 3.3 in bits: ``max_j M_j / prod_{i in S_j} p_i``."""
+    return max(
+        stats.bits(atom.relation) / _share_product(atom.variable_set, shares)
+        for atom in query.atoms
+    )
+
+
+def predicted_load_bits_skewed(
+    query: ConjunctiveQuery, stats: Statistics, shares: Mapping[str, int]
+) -> float:
+    """Corollary 4.3 in bits: ``max_j M_j / min_{i in S_j} p_i``."""
+    return max(
+        stats.bits(atom.relation)
+        / min(shares.get(v, 1) for v in atom.variable_set)
+        for atom in query.atoms
+    )
+
+
+def total_replication(
+    query: ConjunctiveQuery, stats: Statistics, shares: Mapping[str, int]
+) -> float:
+    """Expected total communicated bits: each ``S_j`` tuple is sent to
+    ``prod_{i not in S_j} p_i`` servers."""
+    all_product = 1
+    for v in query.variables:
+        all_product *= shares.get(v, 1)
+    total = 0.0
+    for atom in query.atoms:
+        replication = all_product / _share_product(atom.variable_set, shares)
+        total += stats.bits(atom.relation) * replication
+    return total

@@ -1,0 +1,96 @@
+"""Load accounting for MPC executions.
+
+The MPC model's cost metrics (Section 2.1): the number of rounds ``r``
+and the maximum load ``L = max over servers and rounds of bits received
+in one round``.  Section 3.4 additionally defines the *replication
+rate* ``r = sum_s L_s / |I|`` -- how many times each input bit is
+communicated on average.  :class:`LoadReport` collects all of these
+from a finished simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundLoad:
+    """Bits and tuples received by every server during one round."""
+
+    bits: dict[int, float] = field(default_factory=dict)
+    tuples: dict[int, int] = field(default_factory=dict)
+    dropped_bits: dict[int, float] = field(default_factory=dict)
+
+    def add(self, server: int, bits: float, tuples: int) -> None:
+        self.bits[server] = self.bits.get(server, 0.0) + bits
+        self.tuples[server] = self.tuples.get(server, 0) + tuples
+
+    def drop(self, server: int, bits: float) -> None:
+        self.dropped_bits[server] = self.dropped_bits.get(server, 0.0) + bits
+
+    @property
+    def max_bits(self) -> float:
+        return max(self.bits.values(), default=0.0)
+
+    @property
+    def max_tuples(self) -> int:
+        return max(self.tuples.values(), default=0)
+
+    @property
+    def total_bits(self) -> float:
+        return sum(self.bits.values())
+
+
+@dataclass
+class LoadReport:
+    """Per-round load history of a complete MPC execution."""
+
+    p: int
+    rounds: list[RoundLoad] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def max_load_bits(self) -> float:
+        """``L``: the paper's maximum load, in bits."""
+        return max((r.max_bits for r in self.rounds), default=0.0)
+
+    @property
+    def max_load_tuples(self) -> int:
+        """Maximum tuples received by any server in any round."""
+        return max((r.max_tuples for r in self.rounds), default=0)
+
+    @property
+    def total_bits(self) -> float:
+        """All bits communicated over the whole execution."""
+        return sum(r.total_bits for r in self.rounds)
+
+    def server_total_bits(self, server: int) -> float:
+        """``L_s`` summed over rounds for one server."""
+        return sum(r.bits.get(server, 0.0) for r in self.rounds)
+
+    def round_max_bits(self, round_index: int) -> float:
+        return self.rounds[round_index].max_bits
+
+    def replication_rate(self, input_bits: float) -> float:
+        """Section 3.4: ``r = sum_s L_s / |I|``."""
+        if input_bits <= 0:
+            raise ValueError("input size must be positive")
+        return self.total_bits / input_bits
+
+    @property
+    def dropped_bits(self) -> float:
+        """Bits discarded by capacity truncation (0 in normal runs)."""
+        return sum(sum(r.dropped_bits.values()) for r in self.rounds)
+
+    def summary(self) -> str:
+        lines = [f"MPC execution: p={self.p}, rounds={self.num_rounds}"]
+        for i, r in enumerate(self.rounds, 1):
+            lines.append(
+                f"  round {i}: max load {r.max_bits:.0f} bits"
+                f" ({r.max_tuples} tuples), total {r.total_bits:.0f} bits"
+            )
+        lines.append(f"  L = {self.max_load_bits:.0f} bits")
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The round-based MPC simulator.
+
+An :class:`MPCSimulation` is driven imperatively by algorithm code:
+
+.. code-block:: python
+
+    sim = MPCSimulation(p=8, value_bits=20)
+    sim.begin_round()
+    sim.send(dest=3, tag="S1", tuples=[(1, 2), (5, 6)])
+    sim.end_round()                   # barrier: deliver + account loads
+    fragment = sim.state(3)["S1"]     # local computation phase
+    sim.output(3, answers)
+
+Bits are accounted on *receipt*, exactly as the model defines load
+(Section 2.1: "the load is the amount of data received by a server
+during a particular round").  A tuple of arity ``a`` costs
+``a * value_bits`` bits unless the sender overrides ``bits_per_tuple``.
+
+Setting ``capacity_bits`` models a hard per-round load cap ``L``:
+``on_overflow="fail"`` aborts the execution (the paper's randomized
+algorithms "abort the computation if the amount of data received during
+a round would exceed the maximum load L"), while ``on_overflow="drop"``
+silently discards the excess -- the device used to *run* load-capped
+algorithms for the Theorem 3.5 answer-fraction experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from repro.mpc.report import LoadReport, RoundLoad
+
+
+class LoadExceededError(RuntimeError):
+    """A server's per-round received bits exceeded ``capacity_bits``."""
+
+    def __init__(self, server: int, round_index: int, bits: float, capacity: float):
+        super().__init__(
+            f"server {server} received {bits:.0f} bits in round "
+            f"{round_index}, exceeding the capacity {capacity:.0f}"
+        )
+        self.server = server
+        self.round_index = round_index
+        self.bits = bits
+        self.capacity = capacity
+
+
+@dataclass
+class ServerState:
+    """What one server has stored so far: tag -> set of tuples."""
+
+    server_id: int
+    fragments: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+
+    def add(self, tag: str, tuples: Iterable[tuple[int, ...]]) -> None:
+        self.fragments.setdefault(tag, set()).update(tuples)
+
+    def get(self, tag: str) -> set[tuple[int, ...]]:
+        return self.fragments.get(tag, set())
+
+    def tags(self) -> tuple[str, ...]:
+        return tuple(self.fragments)
+
+    def clear(self, tag: str | None = None) -> None:
+        """Forget stored data (free local storage between plan stages)."""
+        if tag is None:
+            self.fragments.clear()
+        else:
+            self.fragments.pop(tag, None)
+
+
+class MPCSimulation:
+    """A ``p``-server MPC execution with bit-level load accounting."""
+
+    def __init__(
+        self,
+        p: int,
+        value_bits: int,
+        capacity_bits: float | None = None,
+        on_overflow: Literal["fail", "drop"] = "fail",
+    ):
+        if p < 1:
+            raise ValueError("need at least one server")
+        if value_bits < 1:
+            raise ValueError("value_bits must be >= 1")
+        if on_overflow not in ("fail", "drop"):
+            raise ValueError("on_overflow must be 'fail' or 'drop'")
+        self.p = p
+        self.value_bits = value_bits
+        self.capacity_bits = capacity_bits
+        self.on_overflow = on_overflow
+        self._servers = [ServerState(s) for s in range(p)]
+        self._report = LoadReport(p)
+        self._in_round = False
+        self._pending: list[tuple[int, str, tuple[tuple[int, ...], ...], float]] = []
+        self._outputs: list[set[tuple[int, ...]]] = [set() for _ in range(p)]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def begin_round(self) -> None:
+        if self._in_round:
+            raise RuntimeError("already inside a round; call end_round first")
+        self._in_round = True
+        self._pending = []
+
+    def end_round(self) -> RoundLoad:
+        """The synchronization barrier: deliver sends, account loads."""
+        if not self._in_round:
+            raise RuntimeError("no round in progress; call begin_round first")
+        round_load = RoundLoad()
+        received_bits = [0.0] * self.p
+        for dest, tag, tuples, bits_per_tuple in self._pending:
+            accepted: list[tuple[int, ...]] = []
+            for t in tuples:
+                cost = bits_per_tuple
+                if (
+                    self.capacity_bits is not None
+                    and received_bits[dest] + cost > self.capacity_bits
+                ):
+                    if self.on_overflow == "fail":
+                        raise LoadExceededError(
+                            dest,
+                            self._report.num_rounds + 1,
+                            received_bits[dest] + cost,
+                            self.capacity_bits,
+                        )
+                    round_load.drop(dest, cost)
+                    continue
+                received_bits[dest] += cost
+                accepted.append(t)
+            if accepted:
+                self._servers[dest].add(tag, accepted)
+                round_load.add(
+                    dest, len(accepted) * bits_per_tuple, len(accepted)
+                )
+        self._report.rounds.append(round_load)
+        self._in_round = False
+        self._pending = []
+        return round_load
+
+    # ----------------------------------------------------------- primitives
+
+    def send(
+        self,
+        dest: int,
+        tag: str,
+        tuples: Iterable[tuple[int, ...]],
+        bits_per_tuple: float | None = None,
+    ) -> None:
+        """Queue tuples for delivery to ``dest`` at the round barrier."""
+        if not self._in_round:
+            raise RuntimeError("send outside a round; call begin_round first")
+        if not 0 <= dest < self.p:
+            raise ValueError(f"destination {dest} outside [0, {self.p})")
+        batch = tuple(tuple(t) for t in tuples)
+        if not batch:
+            return
+        if bits_per_tuple is None:
+            bits_per_tuple = len(batch[0]) * self.value_bits
+        self._pending.append((dest, tag, batch, float(bits_per_tuple)))
+
+    def broadcast(
+        self,
+        tag: str,
+        tuples: Iterable[tuple[int, ...]],
+        bits_per_tuple: float | None = None,
+    ) -> None:
+        """Send the same tuples to every server."""
+        batch = tuple(tuple(t) for t in tuples)
+        for dest in range(self.p):
+            self.send(dest, tag, batch, bits_per_tuple)
+
+    # --------------------------------------------------------------- access
+
+    def state(self, server: int) -> dict[str, set[tuple[int, ...]]]:
+        """The server's stored fragments (local computation phase)."""
+        return self._servers[server].fragments
+
+    def server(self, server: int) -> ServerState:
+        return self._servers[server]
+
+    def clear_all(self, tag: str | None = None) -> None:
+        """Drop stored fragments on every server (between plan stages)."""
+        for s in self._servers:
+            s.clear(tag)
+
+    def output(self, server: int, tuples: Iterable[tuple[int, ...]]) -> None:
+        """Record locally-produced answers (stays at the server)."""
+        self._outputs[server].update(tuple(t) for t in tuples)
+
+    def outputs(self) -> set[tuple[int, ...]]:
+        """The union of all servers' outputs -- the algorithm's answer."""
+        out: set[tuple[int, ...]] = set()
+        for chunk in self._outputs:
+            out |= chunk
+        return out
+
+    def outputs_of(self, server: int) -> set[tuple[int, ...]]:
+        return set(self._outputs[server])
+
+    def output_counts(self) -> list[int]:
+        return [len(chunk) for chunk in self._outputs]
+
+    @property
+    def report(self) -> LoadReport:
+        return self._report
+
+    @property
+    def rounds_executed(self) -> int:
+        return self._report.num_rounds

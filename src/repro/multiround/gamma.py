@@ -1,0 +1,87 @@
+"""The classes ``Gamma^r_eps`` and round-count upper bounds (Section 5.1).
+
+``Gamma^1_eps`` is the set of queries one-round computable at load
+``O(M/p^{1-eps})``: those with ``tau*(q) <= 1/(1-eps)``.  ``Gamma^r_eps``
+closes this under depth-``r`` view substitution.  Lemma 5.4 gives the
+constructive upper bound on the rounds needed for any connected query:
+
+.. math::
+    r(q) = \\lceil \\log_{k_\\varepsilon}(rad(q)) \\rceil + 1
+    \\ \\text{(tree-like)}, \\quad
+    \\lfloor \\log_{k_\\varepsilon}(rad(q)) \\rfloor + 2
+    \\ \\text{(otherwise)},
+
+with ``k_eps = 2 * floor(1/(1-eps))`` the longest chain in
+``Gamma^1_eps``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.query import ConjunctiveQuery
+
+
+def k_epsilon(eps: float) -> int:
+    """``k_eps = 2 * floor(1/(1-eps))``: longest chain in ``Gamma^1_eps``."""
+    _check_eps(eps)
+    return 2 * math.floor(1.0 / (1.0 - eps) + 1e-9)
+
+
+def m_epsilon(eps: float) -> int:
+    """``m_eps = floor(2/(1-eps))``: longest cycle base case (Lemma 5.7)."""
+    _check_eps(eps)
+    return math.floor(2.0 / (1.0 - eps) + 1e-9)
+
+
+def in_gamma_1(query: ConjunctiveQuery, eps: float) -> bool:
+    """Is ``q`` one-round computable at load ``O(M/p^{1-eps})``?
+
+    Definition of ``Gamma^1_eps``: ``tau*(q) <= 1/(1-eps)``.
+    """
+    _check_eps(eps)
+    return fractional_vertex_cover_number(query) <= 1.0 / (1.0 - eps) + 1e-9
+
+
+def space_exponent_for_one_round(query: ConjunctiveQuery) -> float:
+    """The smallest ``eps`` with ``q in Gamma^1_eps``: ``1 - 1/tau*``."""
+    tau = fractional_vertex_cover_number(query)
+    return max(0.0, 1.0 - 1.0 / tau)
+
+
+def chain_rounds_upper_bound(k: int, eps: float) -> int:
+    """Section 5.1's chain-specific bound ``ceil(log_{k_eps} k)``.
+
+    The bushy ``k_eps``-ary plan computes ``L_k`` in exactly this many
+    rounds (Example 5.2: two rounds for ``L_16`` at ``eps = 1/2``);
+    tighter than Lemma 5.4's radius-based formula for ``k_eps > 2``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ke = k_epsilon(eps)
+    if k <= ke:
+        return 1
+    return math.ceil(math.log(k, ke) - 1e-12)
+
+
+def rounds_upper_bound(query: ConjunctiveQuery, eps: float) -> int:
+    """Lemma 5.4's round count ``r(q)`` for a connected query.
+
+    Queries already in ``Gamma^1_eps`` need exactly 1 round.
+    """
+    _check_eps(eps)
+    if not query.is_connected:
+        raise ValueError("Lemma 5.4 applies to connected queries")
+    if in_gamma_1(query, eps):
+        return 1
+    k = k_epsilon(eps)
+    radius = query.radius
+    if query.is_tree_like:
+        return max(1, math.ceil(math.log(radius, k))) + 1 if radius > 1 else 2
+    return math.floor(math.log(max(radius, 1), k)) + 2
+
+
+def _check_eps(eps: float) -> None:
+    if not 0.0 <= eps < 1.0:
+        raise ValueError("space exponent eps must be in [0, 1)")

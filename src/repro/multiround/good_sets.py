@@ -1,0 +1,191 @@
+"""Epsilon-good sets and (eps, r)-plans (Definition 5.5, Lemmas 5.6/5.7).
+
+The multi-round lower bound machinery revolves around choosing a set of
+*surviving* atoms ``M`` and contracting everything else.  Following the
+paper's proofs (the definition's text overloads ``M`` for both the set
+and its complement; the proofs of Lemmas 5.6/5.7 fix the semantics):
+
+* ``q -> q|M`` keeps the atoms of ``M`` and contracts the rest
+  (so ``L_5 -> L_3`` by keeping every second atom, the paper's
+  ``L5/{S2,S4}`` example);
+* ``M`` is *eps-good* when (1) every connected subquery of the current
+  query lying in ``Gamma^1_eps`` contains at most one atom of ``M``,
+  and (2) the contracted-away complement has characteristic 0 (hence
+  ``chi`` is preserved, Lemma 2.1);
+* an ``(eps, r)``-plan is a strictly decreasing chain
+  ``atoms(q) = M_0 > M_1 > ... > M_r`` of stage-wise eps-good sets with
+  the final contracted query still outside ``Gamma^1_eps``.
+
+Theorem 5.8 turns such a plan into a round lower bound: no tuple-based
+MPC algorithm with load ``O(M/p^{1-eps})`` finishes in ``r + 1`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.families import chain_query, cycle_query
+from repro.core.query import ConjunctiveQuery
+from repro.multiround.gamma import in_gamma_1, k_epsilon, m_epsilon
+
+
+def contract_to_survivors(
+    query: ConjunctiveQuery, survivors: Iterable[str]
+) -> ConjunctiveQuery:
+    """Keep the ``survivors`` atoms, contract all the others."""
+    keep = set(survivors)
+    unknown = keep - set(query.relation_names)
+    if unknown:
+        raise KeyError(f"unknown relations {sorted(unknown)}")
+    complement = [r for r in query.relation_names if r not in keep]
+    return query.contract(complement)
+
+
+def is_epsilon_good(
+    query: ConjunctiveQuery, survivors: Iterable[str], eps: float
+) -> bool:
+    """Definition 5.5's two conditions for a survivor set ``M``.
+
+    (1) every connected subquery of ``query`` in ``Gamma^1_eps`` has at
+    most one atom in ``M``; (2) the complement has characteristic 0.
+    ``M`` must be a non-empty strict subset of the atoms.
+    """
+    keep = set(survivors)
+    names = set(query.relation_names)
+    if not keep or keep == names or not keep <= names:
+        return False
+    complement = query.subquery(names - keep)
+    if complement.characteristic != 0:
+        return False
+    for sub in query.connected_subqueries(min_atoms=2):
+        hit = sum(1 for r in sub.relation_names if r in keep)
+        if hit >= 2 and in_gamma_1(sub, eps):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class EpsilonRPlan:
+    """An ``(eps, r)``-plan: nested survivor sets ``M_1 > ... > M_r``."""
+
+    query: ConjunctiveQuery
+    eps: float
+    survivor_sets: tuple[frozenset[str], ...]
+
+    @property
+    def r(self) -> int:
+        return len(self.survivor_sets)
+
+    @property
+    def round_lower_bound(self) -> int:
+        """Theorem 5.8: ``r + 1`` rounds fail, so at least ``r + 2`` are
+        needed at load ``O(M/p^{1-eps})``."""
+        return self.r + 2
+
+    def stage_queries(self) -> tuple[ConjunctiveQuery, ...]:
+        """``q|M_0 = q, q|M_1, ..., q|M_r``."""
+        out = [self.query]
+        for survivors in self.survivor_sets:
+            out.append(contract_to_survivors(self.query, survivors))
+        return tuple(out)
+
+
+def validate_plan(plan: EpsilonRPlan) -> None:
+    """Raise ``ValueError`` unless the plan satisfies Definition 5.5."""
+    names = set(plan.query.relation_names)
+    previous = frozenset(names)
+    stage_query = plan.query
+    for index, survivors in enumerate(plan.survivor_sets, 1):
+        if not survivors < previous:
+            raise ValueError(
+                f"stage {index}: {sorted(survivors)} is not a strict subset "
+                f"of {sorted(previous)}"
+            )
+        if not is_epsilon_good(stage_query, survivors, plan.eps):
+            raise ValueError(
+                f"stage {index}: {sorted(survivors)} is not eps-good"
+            )
+        stage_query = contract_to_survivors(plan.query, survivors)
+        previous = survivors
+    if in_gamma_1(stage_query, plan.eps):
+        raise ValueError(
+            "final contracted query is one-round computable; the plan "
+            "certifies nothing"
+        )
+
+
+def _spaced(names: Sequence[str], gap: int, cyclic: bool) -> list[str]:
+    """Every ``gap``-th name; cyclic selections keep the wrap-gap >= gap."""
+    n = len(names)
+    if cyclic:
+        count = n // gap
+    else:
+        count = -(-n // gap)  # ceil
+    return [names[t * gap] for t in range(count)]
+
+
+def chain_epsilon_r_plan(k: int, eps: float = 0.0) -> EpsilonRPlan:
+    """Lemma 5.6's plan for ``L_k``: keep every ``k_eps``-th atom per stage.
+
+    Requires ``k > k_eps`` (otherwise ``L_k`` is one-round computable
+    and admits no plan).  The resulting ``r`` is
+    ``ceil(log_{k_eps} k) - 2``.
+    """
+    query = chain_query(k)
+    return _iterated_plan(query, eps, cyclic=False)
+
+
+def cycle_epsilon_r_plan(k: int, eps: float = 0.0) -> EpsilonRPlan:
+    """Lemma 5.7's plan for ``C_k``: survivors ``k_eps`` apart on the cycle.
+
+    Requires ``k > m_eps = floor(2/(1-eps))``.
+    """
+    query = cycle_query(k)
+    if k <= m_epsilon(eps):
+        raise ValueError(
+            f"C{k} is one-round computable at eps={eps}; no plan exists"
+        )
+    return _iterated_plan(query, eps, cyclic=True)
+
+
+def _iterated_plan(
+    query: ConjunctiveQuery, eps: float, cyclic: bool
+) -> EpsilonRPlan:
+    if in_gamma_1(query, eps):
+        raise ValueError(
+            f"{query.name or 'query'} is one-round computable at eps={eps}; "
+            "no (eps, r)-plan exists"
+        )
+    gap = k_epsilon(eps)
+    current = list(query.relation_names)
+    stages: list[frozenset[str]] = []
+    while True:
+        candidate = _spaced(current, gap, cyclic)
+        if not candidate or len(candidate) >= len(current):
+            break
+        contracted = contract_to_survivors(query, candidate)
+        if in_gamma_1(contracted, eps):
+            break
+        stages.append(frozenset(candidate))
+        current = candidate
+    return EpsilonRPlan(query, eps, tuple(stages))
+
+
+def minimal_hard_subqueries(
+    query: ConjunctiveQuery, eps: float
+) -> tuple[ConjunctiveQuery, ...]:
+    """``S_eps(q)``: minimal connected subqueries not in ``Gamma^1_eps``.
+
+    Minimality is by atom-set inclusion; these are the operators whose
+    one-round hardness drives the Theorem 5.11 constant ``beta(q, M)``.
+    """
+    hard: list[tuple[frozenset[str], ConjunctiveQuery]] = []
+    for sub in query.connected_subqueries():
+        if not in_gamma_1(sub, eps):
+            hard.append((frozenset(sub.relation_names), sub))
+    minimal = []
+    for names, sub in hard:
+        if not any(other < names for other, _ in hard):
+            minimal.append(sub)
+    return tuple(minimal)

@@ -1,0 +1,151 @@
+"""Multi-round round-count lower bounds (Section 5.2-5.3).
+
+Given an ``(eps, r)``-plan, Theorem 5.11 bounds the expected number of
+answers any tuple-based MPC algorithm using ``r + 1`` rounds at load
+``L`` can report:
+
+.. math::
+    \\beta(q, \\mathcal{M}) \\cdot
+    \\Big(\\frac{(r+1) L}{M}\\Big)^{\\tau^*(\\mathcal{M})} \\, p
+    \\cdot E[|q(I)|]
+
+so load ``L <= c M / p^{1-eps}`` with small ``c`` forces failure
+(Theorem 5.8).  The corollaries instantiate the plans of Lemmas 5.6 and
+5.7:
+
+* ``L_k`` needs at least ``ceil(log_{k_eps} k)`` rounds (Cor. 5.15);
+* tree-like ``q`` needs at least ``ceil(log_{k_eps} diam(q))``
+  (Cor. 5.17);
+* ``C_k`` needs at least ``floor(log_{k_eps}(k/(m_eps+1))) + 2``
+  (Lemma 5.18);
+* connected components on ``m``-edge graphs need ``Omega(log p)``
+  rounds at load ``O(m/p^{1-eps})`` (Theorem 5.20).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.packing import fractional_vertex_cover_number
+from repro.core.query import ConjunctiveQuery
+from repro.multiround.gamma import k_epsilon, m_epsilon
+from repro.multiround.good_sets import (
+    EpsilonRPlan,
+    contract_to_survivors,
+    minimal_hard_subqueries,
+)
+
+
+def chain_round_lower_bound(k: int, eps: float = 0.0) -> int:
+    """Corollary 5.15: rounds needed for ``L_k`` at load ``O(M/p^{1-eps})``.
+
+    Tight: the Lemma 5.4 plan achieves exactly this many rounds.
+    """
+    ke = k_epsilon(eps)
+    if k <= ke:
+        return 1
+    return math.ceil(math.log(k, ke))
+
+
+def tree_like_round_lower_bound(query: ConjunctiveQuery, eps: float = 0.0) -> int:
+    """Corollary 5.17: ``ceil(log_{k_eps} diam(q))`` for tree-like ``q``."""
+    if not query.is_tree_like:
+        raise ValueError("Corollary 5.17 applies to tree-like queries")
+    diameter = query.diameter
+    ke = k_epsilon(eps)
+    if diameter <= ke:
+        return 1
+    return math.ceil(math.log(diameter, ke))
+
+
+def cycle_round_lower_bound(k: int, eps: float = 0.0) -> int:
+    """Lemma 5.18: ``floor(log_{k_eps}(k/(m_eps+1))) + 2`` for ``C_k``."""
+    me = m_epsilon(eps)
+    if k <= me:
+        return 1
+    ke = k_epsilon(eps)
+    return math.floor(math.log(k / (me + 1), ke)) + 2
+
+
+def connected_components_round_lower_bound(p: int, eps: float = 0.0) -> int:
+    """Theorem 5.20's ``Omega(log p)`` round count for CC.
+
+    The proof takes ``eps = 1 - 1/t``, ``delta = 1/(2t(t+2))``, builds a
+    layered graph realizing ``L_k`` with ``k = floor(p^delta)``, and
+    applies Corollary 5.15: at least ``ceil(log_{k_eps} k) - 2`` rounds.
+    """
+    if p < 2:
+        raise ValueError("p must be >= 2")
+    t = max(2, math.ceil(1.0 / (1.0 - eps)))
+    delta = 1.0 / (2 * t * (t + 2))
+    ke = k_epsilon(1.0 - 1.0 / t)
+    log_k = delta * math.log(p)  # ln of p^delta (overflow-safe)
+    if log_k < 50:
+        k = max(2, math.floor(math.exp(log_k)))
+        log_k = math.log(k)
+    return max(0, math.ceil(log_k / math.log(ke)) - 2)
+
+
+def tau_star_of_plan(plan: EpsilonRPlan) -> float:
+    """Definition 5.9's ``tau*(M)``.
+
+    The minimum of ``tau*(q|M_r)`` and ``tau*(q')`` over connected
+    subqueries ``q'`` of each stage query that are not in
+    ``Gamma^1_eps`` (the minimum is attained on the minimal ones since
+    ``tau*`` is monotone under subqueries).
+    """
+    stages = plan.stage_queries()
+    best = fractional_vertex_cover_number(stages[-1])
+    for stage_query in stages[:-1]:
+        for sub in minimal_hard_subqueries(stage_query, plan.eps):
+            best = min(best, fractional_vertex_cover_number(sub))
+    return best
+
+
+def beta_constant(plan: EpsilonRPlan) -> float:
+    """Theorem 5.11's constant ``beta(q, M)``."""
+    tau_m = tau_star_of_plan(plan)
+    stages = plan.stage_queries()
+    total = (1.0 / fractional_vertex_cover_number(stages[-1])) ** tau_m
+    for stage_query in stages[:-1]:
+        for sub in minimal_hard_subqueries(stage_query, plan.eps):
+            total += (1.0 / fractional_vertex_cover_number(sub)) ** tau_m
+    return total
+
+
+def reported_fraction_bound(
+    plan: EpsilonRPlan,
+    load_bits: float,
+    relation_bits: float,
+    p: int,
+) -> float:
+    """Theorem 5.11: max fraction of ``E[|q(I)|]`` reported in ``r+1``
+    rounds at load ``load_bits`` (relations of equal size
+    ``relation_bits``).  Clipped to 1."""
+    if relation_bits <= 0:
+        raise ValueError("relation size must be positive")
+    if load_bits <= 0:
+        return 0.0
+    r = plan.r
+    tau_m = tau_star_of_plan(plan)
+    fraction = (
+        beta_constant(plan)
+        * ((r + 1) * load_bits / relation_bits) ** tau_m
+        * p
+    )
+    return min(1.0, fraction)
+
+
+def load_constant_for_failure(plan: EpsilonRPlan, p: int) -> float:
+    """The largest ``c`` such that load ``c*M/p^{1-eps}`` provably fails.
+
+    Derived from Theorem 5.11 by requiring the reported fraction to
+    stay below 1/9 (Lemma 3.8's constant): any tuple-based algorithm
+    with ``r + 1`` rounds then fails with probability ``Omega(1)``.
+    """
+    r = plan.r
+    tau_m = tau_star_of_plan(plan)
+    beta = beta_constant(plan)
+    # fraction = beta * ((r+1) c / p^{1-eps})^{tau_m} * p < 1/9
+    inner = (1.0 / (9.0 * beta * p)) ** (1.0 / tau_m)
+    return inner * p ** (1.0 - plan.eps) / (r + 1)

@@ -1,0 +1,255 @@
+"""Query plans for multi-round MPC execution (Section 5.1).
+
+A :class:`Plan` is a tree whose leaves are base relations and whose
+internal nodes are one-round operators: each node joins its children's
+schemas with a single HyperCube step.  All nodes at the same depth run
+in the same communication round (Proposition 5.1's parallel view
+computation), so a plan of depth ``r`` runs in ``r`` rounds.
+
+Builders:
+
+* :func:`chain_plan` -- the bushy ``k_eps``-ary tree for ``L_k``
+  (Example 5.2: ``L_16`` with ``eps = 1/2`` is two rounds of 4-way
+  joins at load ``O(M/sqrt(p))``).
+* :func:`cycle_plan` -- Lemma 5.4 for ``C_k``: two arcs of length
+  ``~k/2`` built as chains, closed in one final round.
+* :func:`star_plan` -- ``T_k`` is one round.
+* :func:`spk_plan` -- Example 5.3: pair joins, then a star join on
+  ``z`` (two rounds at load ``O(M/p)``).
+* :func:`generic_plan` -- any connected query via a balanced
+  ``fanout``-ary bushy tree over connected atom groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.families import chain_query, cycle_query, spk_query, star_query
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.multiround.gamma import k_epsilon
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator: join the children (views or base atoms) in a round.
+
+    ``children`` hold either :class:`PlanNode` (views computed in the
+    previous round) or :class:`Atom` (base relations).  ``operator`` is
+    the one-round conjunctive query over the children's schemas; its
+    head is the node's ``schema``.
+    """
+
+    name: str
+    children: tuple["PlanNode | Atom", ...]
+
+    @property
+    def operator(self) -> ConjunctiveQuery:
+        atoms = []
+        for child in self.children:
+            if isinstance(child, Atom):
+                atoms.append(child)
+            else:
+                atoms.append(Atom(child.name, child.schema))
+        return ConjunctiveQuery(tuple(atoms), name=f"op:{self.name}")
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return self.operator.variables
+
+    @property
+    def depth(self) -> int:
+        child_depths = [
+            c.depth for c in self.children if isinstance(c, PlanNode)
+        ]
+        return 1 + max(child_depths, default=0)
+
+    def nodes_by_depth(self) -> dict[int, list["PlanNode"]]:
+        """All plan nodes grouped by the round in which they execute."""
+        out: dict[int, list[PlanNode]] = {}
+
+        def visit(node: "PlanNode") -> int:
+            depths = [
+                visit(c) for c in node.children if isinstance(c, PlanNode)
+            ]
+            depth = 1 + max(depths, default=0)
+            out.setdefault(depth, []).append(node)
+            return depth
+
+        visit(self)
+        return out
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A complete plan: the root node plus the query it computes."""
+
+    query: ConjunctiveQuery
+    root: PlanNode
+
+    @property
+    def depth(self) -> int:
+        """Rounds needed: one per plan level."""
+        return self.root.depth
+
+    def describe(self) -> str:
+        lines = [f"plan for {self.query.name or 'q'} ({self.depth} rounds)"]
+        for depth, nodes in sorted(self.root.nodes_by_depth().items()):
+            ops = ", ".join(
+                f"{n.name}<-({'+'.join(_child_name(c) for c in n.children)})"
+                for n in nodes
+            )
+            lines.append(f"  round {depth}: {ops}")
+        return "\n".join(lines)
+
+
+def _child_name(child: "PlanNode | Atom") -> str:
+    return child.relation if isinstance(child, Atom) else child.name
+
+
+class _Names:
+    """Fresh view names V1, V2, ..."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> str:
+        return f"V{next(self._counter)}"
+
+
+def _group_chain(
+    items: Sequence["PlanNode | Atom"], fanout: int, names: _Names
+) -> "PlanNode | Atom":
+    """Fold a sequence of chain pieces into a bushy ``fanout``-ary tree."""
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    level = list(items)
+    while len(level) > 1:
+        grouped: list[PlanNode | Atom] = []
+        for start in range(0, len(level), fanout):
+            group = tuple(level[start : start + fanout])
+            if len(group) == 1:
+                grouped.append(group[0])
+            else:
+                grouped.append(PlanNode(names.fresh(), group))
+        level = grouped
+    return level[0]
+
+
+def chain_plan(k: int, eps: float = 0.0) -> Plan:
+    """The bushy plan for ``L_k`` with ``k_eps``-way join operators.
+
+    Depth ``ceil(log_{k_eps} k)``; each operator is (isomorphic to) a
+    chain of length at most ``k_eps``, hence in ``Gamma^1_eps``.
+    """
+    query = chain_query(k)
+    fanout = k_epsilon(eps)
+    names = _Names()
+    root = _group_chain(tuple(query.atoms), fanout, names)
+    if isinstance(root, Atom):
+        root = PlanNode(names.fresh(), (root,))
+    return Plan(query, root)
+
+
+def star_plan(k: int) -> Plan:
+    """``T_k`` in a single round (tau* = 1)."""
+    query = star_query(k)
+    return Plan(query, PlanNode("V1", tuple(query.atoms)))
+
+
+def spk_plan(k: int) -> Plan:
+    """Example 5.3's two-round plan for ``SP_k`` at load ``O(M/p)``.
+
+    Round 1 joins each pair ``R_i(z, x_i), S_i(x_i, y_i)``; round 2
+    joins the ``k`` results on the shared ``z``.
+    """
+    query = spk_query(k)
+    names = _Names()
+    pairs = []
+    for i in range(1, k + 1):
+        pairs.append(
+            PlanNode(
+                names.fresh(),
+                (query.atom(f"R{i}"), query.atom(f"S{i}")),
+            )
+        )
+    root = PlanNode(names.fresh(), tuple(pairs))
+    return Plan(query, root)
+
+
+def cycle_plan(k: int, eps: float = 0.0) -> Plan:
+    """Lemma 5.4's plan for ``C_k``: two arcs, then close the cycle.
+
+    The cycle is split into two arcs of length ``ceil(k/2)`` and
+    ``floor(k/2)``; each arc is a chain built with ``k_eps``-ary
+    operators, and a final binary join closes the cycle (the arcs share
+    both endpoints).  Depth ``ceil(log_{k_eps} ceil(k/2)) + 1``.
+    """
+    query = cycle_query(k)
+    fanout = k_epsilon(eps)
+    names = _Names()
+    atoms = list(query.atoms)
+    first_arc = tuple(atoms[: (k + 1) // 2])
+    second_arc = tuple(atoms[(k + 1) // 2 :])
+    left = _group_chain(first_arc, fanout, names)
+    right = _group_chain(second_arc, fanout, names)
+    root = PlanNode(names.fresh(), (left, right))
+    return Plan(query, root)
+
+
+def generic_plan(
+    query: ConjunctiveQuery, fanout: int = 2
+) -> Plan:
+    """A balanced bushy plan for any connected query.
+
+    Groups atoms greedily into connected ``fanout``-size batches per
+    level.  Not always round-optimal (Lemma 5.4's path decomposition
+    can be better), but valid for every connected query and the natural
+    baseline plan shape.
+    """
+    if not query.is_connected:
+        raise ValueError("generic plans require a connected query")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    names = _Names()
+    level: list[PlanNode | Atom] = list(query.atoms)
+
+    def shares_variable(a: "PlanNode | Atom", b: "PlanNode | Atom") -> bool:
+        va = set(a.variables if isinstance(a, Atom) else a.schema)
+        vb = set(b.variables if isinstance(b, Atom) else b.schema)
+        return bool(va & vb)
+
+    while len(level) > 1:
+        grouped: list[PlanNode | Atom] = []
+        remaining = list(level)
+        while remaining:
+            seedling = remaining.pop(0)
+            group = [seedling]
+            while len(group) < fanout and remaining:
+                match = next(
+                    (
+                        c
+                        for c in remaining
+                        if any(shares_variable(c, g) for g in group)
+                    ),
+                    None,
+                )
+                if match is None:
+                    break
+                remaining.remove(match)
+                group.append(match)
+            if len(group) == 1:
+                grouped.append(seedling)
+            else:
+                grouped.append(PlanNode(names.fresh(), tuple(group)))
+        if len(grouped) == len(level):
+            # No progress (disconnected level); force-join the first two.
+            grouped = [
+                PlanNode(names.fresh(), (level[0], level[1]))
+            ] + level[2:]
+        level = grouped
+    root = level[0]
+    if isinstance(root, Atom):
+        root = PlanNode(names.fresh(), (root,))
+    return Plan(query, root)

@@ -1,0 +1,51 @@
+"""Skew handling: detection, skew-aware algorithms, and skew lower bounds.
+
+Section 4 of the paper studies one-round computation when the data has
+*heavy hitters* -- values whose frequency exceeds a threshold such as
+``m_j / p``.  This subpackage implements:
+
+* heavy-hitter detection, exact and sample-based (the paper assumes the
+  identities and approximate frequencies of heavy hitters are known to
+  all servers; there can be at most ``p`` per relation);
+* the *skew-oblivious* HyperCube with LP (18) shares (Section 4.1);
+* the star-query algorithm of Section 4.2.1 (per-hitter server
+  allocation proportional to the residual-query work);
+* the triangle algorithm of Section 4.2.2 (light / two-heavy /
+  one-heavy case split);
+* the Theorem 4.4 lower bound ``L_x(u, M, p)`` for databases with known
+  degree sequences.
+"""
+
+from repro.skew.heavy_hitters import (
+    HitterStatistics,
+    detect_heavy_hitters,
+    sample_heavy_hitters,
+    variable_frequencies,
+)
+from repro.skew.oblivious import run_skew_oblivious_hypercube
+from repro.skew.star import StarSkewResult, run_star_skew, star_skew_load_bound
+from repro.skew.triangle import (
+    TriangleSkewResult,
+    run_triangle_skew,
+    triangle_skew_load_bound,
+)
+from repro.skew.bounds import (
+    skewed_lower_bound,
+    star_skew_lower_bound,
+)
+
+__all__ = [
+    "HitterStatistics",
+    "detect_heavy_hitters",
+    "sample_heavy_hitters",
+    "variable_frequencies",
+    "run_skew_oblivious_hypercube",
+    "StarSkewResult",
+    "run_star_skew",
+    "star_skew_load_bound",
+    "TriangleSkewResult",
+    "run_triangle_skew",
+    "triangle_skew_load_bound",
+    "skewed_lower_bound",
+    "star_skew_lower_bound",
+]

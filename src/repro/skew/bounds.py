@@ -1,0 +1,221 @@
+"""Skew-aware lower bounds (Theorem 4.4 and its star-query corollary).
+
+Theorem 4.4: fix x-statistics ``M`` (per-value frequency vectors for a
+set of variables ``x``).  For any fractional edge packing ``u`` of
+``q`` that *saturates* ``x`` (every variable of ``x`` has packing
+weight at least 1), any one-round algorithm needs load
+
+.. math::
+    L \\ge \\min_j \\frac{a_j - d_j}{4 a_j} \\cdot
+    \\Big( \\frac{\\sum_h \\prod_j M_j(h_j)^{u_j}}{p} \\Big)^{1/\\sum_j u_j}
+
+For the star query with z-statistics, the saturating packings that
+matter are exactly the 0/1 vectors, giving
+
+.. math::
+    L \\ge \\frac{1}{8} \\max_{I \\subseteq [l], I \\ne \\emptyset}
+    \\Big( \\frac{\\sum_h \\prod_{j \\in I} M_j(h)}{p} \\Big)^{1/|I|}
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Mapping
+
+from repro.core.packing import packing_polytope_vertices, saturates
+from repro.core.query import Atom, ConjunctiveQuery
+
+
+def skewed_lower_bound(
+    query: ConjunctiveQuery,
+    variable: str,
+    frequencies: Mapping[str, Mapping[int, int]],
+    value_bits: int,
+    p: int,
+    with_constant: bool = True,
+) -> float:
+    """Theorem 4.4 for single-variable statistics ``x = {variable}``.
+
+    ``frequencies[rel][h] = m_rel(h)`` for relations containing the
+    variable; relations *not* containing it contribute their full size,
+    which must be supplied as ``frequencies[rel][-1]`` keyed by ``-1``
+    (a sentinel meaning "any h").
+
+    Following the theorem's proof, the packings range over the
+    *residual* query ``q_x`` (the variable removed from every atom) --
+    a strictly larger polytope than ``pk(q)`` -- restricted to those
+    saturating the variable in ``q``.  For the star query these are
+    exactly the non-zero 0/1 vectors.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    containing = [
+        a.relation for a in query.atoms if variable in a.variable_set
+    ]
+    if not containing:
+        raise ValueError(f"variable {variable!r} occurs in no atom")
+    for rel in query.relation_names:
+        if rel not in frequencies:
+            raise ValueError(f"missing frequencies for relation {rel!r}")
+
+    hitters: set[int] = set()
+    for rel in containing:
+        hitters |= {h for h in frequencies[rel] if h != -1}
+
+    def bits(rel: str, h: int) -> float:
+        atom = query.atom(rel)
+        if variable in atom.variable_set:
+            m = frequencies[rel].get(h, 0)
+        else:
+            m = frequencies[rel].get(-1, 0)
+        return atom.arity * m * value_bits
+
+    best = 0.0
+    for u in residual_saturating_packings(query, {variable}):
+        total = sum(u.values())
+        if total <= 0:
+            continue
+        series = 0.0
+        for h in hitters:
+            product = 1.0
+            for rel, weight in u.items():
+                if weight <= 0:
+                    continue
+                b = bits(rel, h)
+                if b <= 0:
+                    product = 0.0
+                    break
+                product *= b**weight
+            series += product
+        if series <= 0:
+            continue
+        value = (series / p) ** (1.0 / total)
+        if with_constant:
+            constant = min(
+                (a.arity - _dj(a, variable)) / (4.0 * a.arity)
+                for a in query.atoms
+            )
+            value *= constant
+        best = max(best, value)
+    return best
+
+
+def star_skew_lower_bound(
+    frequencies: Mapping[str, Mapping[int, int]],
+    value_bits: int,
+    p: int,
+    with_constant: bool = True,
+) -> float:
+    """The star-query corollary of Theorem 4.4.
+
+    ``frequencies[rel][h] = m_rel(h)`` over the (heavy) values ``h`` of
+    the center variable; relations are binary.  Returns
+    ``(1/8) max_I (sum_h prod_{j in I} M_j(h) / p)^{1/|I|}`` (the 1/8
+    dropped when ``with_constant=False``).
+    """
+    relations = sorted(frequencies)
+    if not relations:
+        raise ValueError("need at least one relation")
+    hitters: set[int] = set()
+    for rel in relations:
+        hitters |= set(frequencies[rel])
+    best = 0.0
+    for size in range(1, len(relations) + 1):
+        for subset in itertools.combinations(relations, size):
+            series = 0.0
+            for h in hitters:
+                product = 1.0
+                for rel in subset:
+                    product *= 2 * frequencies[rel].get(h, 0) * value_bits
+                series += product
+            if series <= 0:
+                continue
+            best = max(best, (series / p) ** (1.0 / size))
+    if with_constant:
+        best /= 8.0
+    return best
+
+
+def _dj(atom, variable: str) -> int:
+    """``d_j``: how many of the x-variables the atom mentions (0 or 1 here)."""
+    return 1 if variable in atom.variable_set else 0
+
+
+def residual_query(
+    query: ConjunctiveQuery, variables: set[str] | frozenset[str]
+) -> ConjunctiveQuery:
+    """``q_x``: remove the x-variables from every atom (Section 4.2.3).
+
+    Raises when some atom consists solely of x-variables (the theorem
+    requires ``a_j > d_j``).
+    """
+    atoms = []
+    for atom in query.atoms:
+        rest = tuple(v for v in atom.variables if v not in variables)
+        if not rest:
+            raise ValueError(
+                f"Theorem 4.4 needs a_j > d_j, violated by {atom.relation}"
+            )
+        atoms.append(Atom(atom.relation, rest))
+    return ConjunctiveQuery(tuple(atoms), name="residual")
+
+
+def residual_saturating_packings(
+    query: ConjunctiveQuery, variables: set[str] | frozenset[str]
+) -> tuple[dict[str, float], ...]:
+    """Vertices of ``pk(q_x)`` that saturate ``variables`` in ``q``.
+
+    Every packing of ``q`` is one of ``q_x`` but not conversely; the
+    Theorem 4.4 bound ranges over this larger set.  Saturation is
+    checked against the *original* query's incidence.
+    """
+    residual = residual_query(query, variables)
+    return tuple(
+        u
+        for u in packing_polytope_vertices(residual)
+        if saturates(query, u, variables)
+    )
+
+
+def saturating_vertices(
+    query: ConjunctiveQuery, variables: set[str]
+) -> tuple[dict[str, float], ...]:
+    """Alias of :func:`residual_saturating_packings` (bench-facing name)."""
+    return residual_saturating_packings(query, variables)
+
+
+def uniform_frequencies(m: int, num_values: int) -> dict[int, int]:
+    """A flat frequency vector: ``num_values`` values of frequency
+    ``m // num_values`` (helper for building comparison scenarios)."""
+    if num_values < 1:
+        raise ValueError("need at least one value")
+    share = m // num_values
+    return {h: share for h in range(num_values)}
+
+
+def zipf_frequencies(m: int, num_values: int, skew: float = 1.0) -> dict[int, int]:
+    """A Zipf-shaped frequency vector normalized to total ~= m."""
+    if num_values < 1:
+        raise ValueError("need at least one value")
+    raw = [1.0 / (rank**skew) for rank in range(1, num_values + 1)]
+    scale = m / sum(raw)
+    freqs = {h: max(1, int(round(r * scale))) for h, r in enumerate(raw)}
+    return freqs
+
+
+def bound_is_stronger_than_skew_free(
+    skewed: float, skew_free: float, tolerance: float = 1e-9
+) -> bool:
+    """Skewed statistics can only raise the lower bound."""
+    return skewed >= skew_free - tolerance
+
+
+__all__ = [
+    "skewed_lower_bound",
+    "star_skew_lower_bound",
+    "saturating_vertices",
+    "uniform_frequencies",
+    "zipf_frequencies",
+    "bound_is_stronger_than_skew_free",
+]

@@ -1,0 +1,135 @@
+"""Heavy-hitter detection (paper Section 4 preliminaries).
+
+A value ``h`` is a heavy hitter of variable ``z`` in relation ``S_j``
+when its frequency ``m_j(h) = |sigma_{z=h}(S_j)|`` reaches a threshold
+(typically ``m_j / p``).  At most ``p`` values can be heavy per
+relation, so "an O(p) amount of information can easily be stored" on
+every server; the paper assumes it is known in advance and notes it
+"can be easily obtained from small samples of the input", which
+:func:`sample_heavy_hitters` demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.query import ConjunctiveQuery
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def detect_heavy_hitters(
+    relation: Relation, position: int, threshold: float
+) -> dict[int, int]:
+    """Exact heavy hitters of one attribute: ``value -> frequency``."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    return relation.heavy_hitters(position, threshold)
+
+
+def sample_heavy_hitters(
+    relation: Relation,
+    position: int,
+    threshold: float,
+    sample_size: int,
+    seed: int = 0,
+    safety: float = 0.5,
+) -> dict[int, float]:
+    """Approximate heavy hitters from a uniform tuple sample.
+
+    Frequencies are estimated as ``count_in_sample * m / sample_size``;
+    values whose estimate reaches ``safety * threshold`` are reported
+    (the slack keeps the false-negative rate low, at the cost of a few
+    light values sneaking in -- which only wastes a constant factor of
+    servers downstream).  Returns ``value -> estimated frequency``.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if sample_size < 1:
+        raise ValueError("sample size must be >= 1")
+    m = len(relation)
+    if m == 0:
+        return {}
+    rng = random.Random(seed)
+    universe = relation.sorted_tuples()
+    sample = [universe[rng.randrange(m)] for _ in range(sample_size)]
+    counts: dict[int, int] = {}
+    for t in sample:
+        counts[t[position]] = counts.get(t[position], 0) + 1
+    scale = m / sample_size
+    return {
+        value: count * scale
+        for value, count in counts.items()
+        if count * scale >= safety * threshold
+    }
+
+
+def variable_frequencies(
+    query: ConjunctiveQuery, database: Database, variable: str
+) -> dict[int, int]:
+    """Max frequency of each value of ``variable`` over the atoms using it.
+
+    The triangle algorithm calls a value of ``x`` heavy when it is heavy
+    "in at least one of the two relations they belong to"; this helper
+    computes that max-frequency view for any variable.
+    """
+    out: dict[int, int] = {}
+    for atom in query.atoms:
+        if variable not in atom.variable_set:
+            continue
+        position = atom.variables.index(variable)
+        for key, count in database[atom.relation].degrees((position,)).items():
+            value = key[0]
+            if count > out.get(value, 0):
+                out[value] = count
+    return out
+
+
+@dataclass
+class HitterStatistics:
+    """Per-relation frequency vectors ``m_j(h)`` for one variable.
+
+    This is the paper's *x-statistics* specialized to a single variable
+    (the star query's ``z``): ``frequencies[rel][h] = m_rel(h)``.
+    """
+
+    query: ConjunctiveQuery
+    variable: str
+    frequencies: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_database(
+        cls,
+        query: ConjunctiveQuery,
+        database: Database,
+        variable: str,
+        threshold_fraction: float,
+        p: int,
+    ) -> "HitterStatistics":
+        """Collect hitters with ``m_j(h) >= threshold_fraction * m_j / p``."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        frequencies: dict[str, dict[int, int]] = {}
+        for atom in query.atoms:
+            if variable not in atom.variable_set:
+                continue
+            relation = database[atom.relation]
+            threshold = threshold_fraction * len(relation) / p
+            position = atom.variables.index(variable)
+            frequencies[atom.relation] = detect_heavy_hitters(
+                relation, position, max(threshold, 1e-12)
+            )
+        return cls(query, variable, frequencies)
+
+    @property
+    def hitters(self) -> tuple[int, ...]:
+        """All values heavy in at least one relation (sorted)."""
+        out: set[int] = set()
+        for freq in self.frequencies.values():
+            out |= set(freq)
+        return tuple(sorted(out))
+
+    def frequency(self, relation: str, value: int) -> int:
+        return self.frequencies.get(relation, {}).get(value, 0)

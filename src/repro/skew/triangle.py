@@ -1,0 +1,310 @@
+"""The skew-aware triangle algorithm (paper Section 4.2.2).
+
+Computes ``C3 = S1(x1,x2), S2(x2,x3), S3(x3,x1)`` in one round under
+arbitrary skew, by partitioning the *output* triangles according to how
+many heavy values they contain:
+
+* **Light** (every value has frequency below ``m/p^{1/3}``): vanilla
+  HyperCube with shares ``p^{1/3}`` per variable -- load
+  ``O~(M/p^{2/3})``.
+* **Case 1** (at least two values with frequency >= ``m/p``): for each
+  variable pair, broadcast the (at most ``p^2``) doubly-heavy tuples of
+  their shared relation and hash-join the other two relations on the
+  third variable -- load ``O(M/p)`` plus the broadcast.
+* **Case 2** (exactly one value with frequency >= ``m/p^{1/3}``, the
+  others below ``m/p``): each such hitter ``h`` of variable ``x`` gets
+  its own grid of ``p_h >= p^{2/3}`` servers for the residual query
+  ``R'(y), S(y,z), T'(z)``, with ``p_h`` boosted proportionally to
+  ``M_R(h) M_T(h)`` (there are at most ``O(p^{1/3})`` such hitters, so
+  the total stays ``Theta(p)``).
+
+The combined load is the paper's
+
+.. math::
+    O\\Big(\\max\\Big(\\frac{M}{p^{2/3}},
+    \\sqrt{\\frac{\\sum_h M_R(h) M_T(h)}{p}}, \\ldots \\Big)\\Big)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.families import triangle_query
+from repro.core.query import ConjunctiveQuery
+from repro.core.shares import integerize_shares
+from repro.data.database import Database
+from repro.hashing.family import GridPartitioner, HashFamily
+from repro.hypercube.algorithm import route_relation
+from repro.join.multiway import evaluate_on_fragments
+from repro.mpc.report import LoadReport
+from repro.mpc.simulator import MPCSimulation
+from repro.skew.heavy_hitters import variable_frequencies
+
+
+@dataclass
+class TriangleSkewResult:
+    """Output of one skew-aware triangle run."""
+
+    answers: set[tuple[int, ...]]
+    report: LoadReport
+    simulation: MPCSimulation
+    servers_used: int
+    heavy1: dict[str, set[int]]
+    heavy2: dict[str, set[int]]
+    predicted_load_bits: float
+
+    @property
+    def max_load_bits(self) -> float:
+        return self.report.max_load_bits
+
+
+#: The triangle's structure: variable -> (successor relation providing
+#: (x_i, x_{i+1}), predecessor relation providing (x_{i-1}, x_i),
+#: middle relation joining the two neighbours).
+_STRUCTURE = {
+    "x1": ("S1", "S3", "S2"),
+    "x2": ("S2", "S1", "S3"),
+    "x3": ("S3", "S2", "S1"),
+}
+_PAIRS = (
+    ("x1", "x2", "S1", "S2", "S3"),
+    ("x2", "x3", "S2", "S3", "S1"),
+    ("x3", "x1", "S3", "S1", "S2"),
+)
+
+
+def run_triangle_skew(
+    database: Database,
+    p: int,
+    seed: int = 0,
+) -> TriangleSkewResult:
+    """Run the Section 4.2.2 algorithm in one MPC round."""
+    if p < 2:
+        raise ValueError("triangle algorithm needs p >= 2")
+    query = triangle_query()
+    database.validate_for(query)
+    stats = database.statistics(query)
+    m = max(stats.tuples(r) for r in query.relation_names)
+    threshold1 = max(1.0, m / p)  # Case-1 heaviness
+    threshold2 = max(1.0, m / p ** (1.0 / 3.0))  # Case-2 / light boundary
+
+    freq = {v: variable_frequencies(query, database, v) for v in query.variables}
+
+    def f(variable: str, value: int) -> int:
+        return freq[variable].get(value, 0)
+
+    heavy1 = {
+        v: {val for val, c in freq[v].items() if c >= threshold1}
+        for v in query.variables
+    }
+    heavy2 = {
+        v: {val for val, c in freq[v].items() if c >= threshold2}
+        for v in query.variables
+    }
+
+    # ---------------- Case-2 block planning. ---------------------------
+    case2_plan: list[tuple[str, int, set[int], set[int], int]] = []
+    weights: dict[tuple[str, int], float] = {}
+    for variable in query.variables:
+        succ_rel, pred_rel, _mid = _STRUCTURE[variable]
+        for h in sorted(heavy2[variable]):
+            succ_var = _other_variable(query, succ_rel, variable)
+            pred_var = _other_variable(query, pred_rel, variable)
+            r_side = {
+                t[1]
+                for t in database[succ_rel]
+                if t[0] == h and f(succ_var, t[1]) < threshold1
+            }
+            t_side = {
+                t[0]
+                for t in database[pred_rel]
+                if t[1] == h and f(pred_var, t[0]) < threshold1
+            }
+            if not r_side or not t_side:
+                continue
+            weights[(variable, h)] = len(r_side) * len(t_side)
+            case2_plan.append((variable, h, r_side, t_side, 0))
+    total_weight = sum(weights.values())
+    base_block = math.ceil(p ** (2.0 / 3.0))
+    planned = []
+    for variable, h, r_side, t_side, _ in case2_plan:
+        boost = 0
+        if total_weight > 0:
+            boost = math.ceil(p * weights[(variable, h)] / total_weight)
+        planned.append((variable, h, r_side, t_side, max(base_block, boost)))
+    case2_plan = planned
+
+    total_servers = p + 3 * p + sum(size for *_, size in case2_plan)
+    sim = MPCSimulation(total_servers, value_bits=stats.value_bits)
+    family = HashFamily(seed)
+    sim.begin_round()
+
+    # ---------------- Light block: vanilla HC on [0, p). ----------------
+    dims = query.variables
+    light_shares = integerize_shares({v: 1.0 / 3.0 for v in dims}, p)
+    light_grid = GridPartitioner([light_shares[v] for v in dims], family)
+    for atom in query.atoms:
+        a, b = atom.variables
+        light = [
+            t
+            for t in database[atom.relation]
+            if f(a, t[0]) < threshold2 and f(b, t[1]) < threshold2
+        ]
+        _route_block(sim, 0, light_grid, dims, atom, light)
+
+    # ---------------- Case-1 blocks: one per variable pair. -------------
+    case1_bases = {}
+    for index, (va, vb, rel_ab, rel_bc, rel_ca) in enumerate(_PAIRS):
+        block_base = p * (1 + index)
+        case1_bases[(va, vb)] = block_base
+        vc = next(v for v in dims if v not in (va, vb))
+        grid = GridPartitioner(
+            [p if v == vc else 1 for v in dims],
+            HashFamily(seed * 31 + index + 1),
+        )
+        # Doubly-heavy tuples of the direct relation: broadcast.
+        doubly = [
+            t
+            for t in database[rel_ab]
+            if f(va, t[0]) >= threshold1 and f(vb, t[1]) >= threshold1
+        ]
+        for offset in range(p):
+            sim.send(block_base + offset, rel_ab, doubly)
+        # The other two relations, heavy-restricted, hashed on vc.
+        bc_atom = query.atom(rel_bc)
+        bc_heavy = [
+            t
+            for t in database[rel_bc]
+            if f(vb, t[bc_atom.variables.index(vb)]) >= threshold1
+        ]
+        _route_block(sim, block_base, grid, dims, bc_atom, bc_heavy)
+        ca_atom = query.atom(rel_ca)
+        ca_heavy = [
+            t
+            for t in database[rel_ca]
+            if f(va, t[ca_atom.variables.index(va)]) >= threshold1
+        ]
+        _route_block(sim, block_base, grid, dims, ca_atom, ca_heavy)
+
+    # ---------------- Case-2 blocks: one grid per hitter. ---------------
+    case2_blocks = []
+    base = 4 * p
+    for block_index, (variable, h, r_side, t_side, size) in enumerate(case2_plan):
+        succ_rel, pred_rel, mid_rel = _STRUCTURE[variable]
+        gy = int(round(math.sqrt(size * len(r_side) / max(1, len(t_side)))))
+        gy = min(max(1, gy), size)
+        gz = max(1, size // gy)
+        grid = GridPartitioner(
+            [gy, gz], HashFamily(seed * 101 + block_index + 1)
+        )
+        # Rows hold R'(y), columns hold T'(z), cells hold light S(y, z).
+        for y in r_side:
+            row = grid.functions[0](y)
+            for col in range(gz):
+                sim.send(
+                    base + grid.linear_index((row, col)), succ_rel, [(y,)]
+                )
+        for z in t_side:
+            col = grid.functions[1](z)
+            for row in range(gy):
+                sim.send(
+                    base + grid.linear_index((row, col)), pred_rel, [(z,)]
+                )
+        mid_atom = query.atom(mid_rel)
+        va, vb = mid_atom.variables
+        light_mid = [
+            t
+            for t in database[mid_rel]
+            if f(va, t[0]) < threshold1 and f(vb, t[1]) < threshold1
+        ]
+        for t in light_mid:
+            cell = (grid.functions[0](t[0]), grid.functions[1](t[1]))
+            sim.send(base + grid.linear_index(cell), mid_rel, [t])
+        case2_blocks.append((variable, h, base, grid, succ_rel, pred_rel, mid_rel))
+        base += size
+
+    sim.end_round()
+
+    # ---------------- Computation phase. --------------------------------
+    for server in range(4 * p):
+        local = evaluate_on_fragments(query, sim.state(server))
+        if local:
+            sim.output(server, local)
+    for variable, h, block_base, grid, succ_rel, pred_rel, mid_rel in case2_blocks:
+        succ_var = _other_variable(query, succ_rel, variable)
+        pred_var = _other_variable(query, pred_rel, variable)
+        mid_atom = query.atom(mid_rel)
+        for offset in range(grid.num_bins):
+            state = sim.state(block_base + offset)
+            r_local = {t[0] for t in state.get(succ_rel, ())}
+            t_local = {t[0] for t in state.get(pred_rel, ())}
+            outputs = []
+            for tup in state.get(mid_rel, ()):
+                values = dict(zip(mid_atom.variables, tup))
+                y = values[succ_var]
+                z = values[pred_var]
+                if y in r_local and z in t_local:
+                    triangle = {variable: h, succ_var: y, pred_var: z}
+                    outputs.append(tuple(triangle[v] for v in dims))
+            if outputs:
+                sim.output(block_base + offset, outputs)
+
+    predicted = triangle_skew_load_bound(database, p)
+    return TriangleSkewResult(
+        answers=sim.outputs(),
+        report=sim.report,
+        simulation=sim,
+        servers_used=total_servers,
+        heavy1=heavy1,
+        heavy2=heavy2,
+        predicted_load_bits=predicted,
+    )
+
+
+def triangle_skew_load_bound(database: Database, p: int) -> float:
+    """The Section 4.2.2 load formula, in bits.
+
+    ``O~(max(M/p^{2/3}, sqrt(sum_h M_R(h) M_T(h) / p)))`` where the sum
+    ranges over the heavy hitters (threshold ``m/p^{1/3}``) of each
+    variable and ``R``/``T`` are its two adjacent relations.
+    """
+    query = triangle_query()
+    database.validate_for(query)
+    stats = database.statistics(query)
+    m = max(stats.tuples(r) for r in query.relation_names)
+    threshold2 = max(1.0, m / p ** (1.0 / 3.0))
+    bound = max(stats.bits(r) for r in query.relation_names) / p ** (2.0 / 3.0)
+    tuple_bits = 2 * stats.value_bits
+    for variable in query.variables:
+        freqs = variable_frequencies(query, database, variable)
+        succ_rel, pred_rel, _mid = _STRUCTURE[variable]
+        succ_atom = triangle_query().atom(succ_rel)
+        pred_atom = triangle_query().atom(pred_rel)
+        succ_pos = succ_atom.variables.index(variable)
+        pred_pos = pred_atom.variables.index(variable)
+        total = 0.0
+        for value, count in freqs.items():
+            if count < threshold2:
+                continue
+            mr = database[succ_rel].degree((succ_pos,), (value,)) * tuple_bits
+            mt = database[pred_rel].degree((pred_pos,), (value,)) * tuple_bits
+            total += mr * mt
+        if total > 0:
+            bound = max(bound, math.sqrt(total / p))
+    return bound
+
+
+def _other_variable(
+    query: ConjunctiveQuery, relation: str, variable: str
+) -> str:
+    atom = query.atom(relation)
+    return next(v for v in atom.variables if v != variable)
+
+
+def _route_block(sim, base, grid, dims, atom, tuples) -> None:
+    batches: dict[int, list[tuple[int, ...]]] = {}
+    for server, t in route_relation(grid, dims, atom.variables, tuples):
+        batches.setdefault(server, []).append(t)
+    for server, batch in batches.items():
+        sim.send(base + server, atom.relation, batch)

@@ -1,0 +1,195 @@
+"""Tests for the one-round lower bound and Theorem 3.15 equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.one_round import (
+    answer_fraction_bound,
+    equivalence_gap,
+    load_formula,
+    lower_bound,
+    optimal_packing_vertex,
+    speedup_exponent_at,
+    upper_bound,
+)
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    cycle_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+from repro.core.stats import Statistics
+from tests.conftest import random_queries
+
+
+def uniform_stats(query, m=2**20, n=2**20):
+    return Statistics.uniform(query, m, domain_size=n)
+
+
+class TestLoadFormula:
+    def test_equal_sizes_closed_form(self):
+        # L(u, M, p) = M / p^{1/sum u} when all M_j equal.
+        u = {"S1": 0.5, "S2": 0.5, "S3": 0.5}
+        bits = {"S1": 1024.0, "S2": 1024.0, "S3": 1024.0}
+        assert load_formula(u, bits, 64) == pytest.approx(1024 / 64 ** (2 / 3))
+
+    def test_zero_packing_gives_zero(self):
+        assert load_formula({"S1": 0.0}, {"S1": 100.0}, 4) == 0.0
+
+    def test_single_relation_linear_speedup(self):
+        u = {"S1": 1.0, "S2": 0.0}
+        bits = {"S1": 500.0, "S2": 900.0}
+        assert load_formula(u, bits, 10) == pytest.approx(50.0)
+
+    def test_empty_relation_collapses(self):
+        assert load_formula({"S1": 1.0}, {"S1": 0.0}, 4) == 0.0
+
+
+class TestExample317:
+    """Example 3.17: the five vertices of pk(C3) and the crossover."""
+
+    def setup_method(self):
+        self.q = triangle_query()
+
+    def stats(self, m1, m):
+        return Statistics(
+            self.q, {"S1": m1, "S2": m, "S3": m}, domain_size=2**20
+        )
+
+    def test_small_p_prefers_broadcast(self):
+        # p < M/M1: optimal vertex is (0,1,0) or (0,0,1); load M/p.
+        stats = self.stats(1000, 100_000)
+        p = 8
+        u, value = optimal_packing_vertex(self.q, stats, p)
+        assert value == pytest.approx(stats.bits("S2") / p)
+        assert u["S1"] == pytest.approx(0.0)
+
+    def test_large_p_prefers_hypercube(self):
+        stats = self.stats(1000, 100_000)
+        p = 1000
+        u, value = optimal_packing_vertex(self.q, stats, p)
+        assert u == {"S1": 0.5, "S2": 0.5, "S3": 0.5}
+        geo = (
+            stats.bits("S1") * stats.bits("S2") * stats.bits("S3")
+        ) ** (1 / 3)
+        assert value == pytest.approx(geo / p ** (2 / 3))
+
+    def test_speedup_exponent_degrades(self):
+        # Lemma 3.18(3): the speedup exponent can only shrink with p.
+        stats = self.stats(1000, 100_000)
+        small = speedup_exponent_at(self.q, stats, 8)
+        large = speedup_exponent_at(self.q, stats, 10_000)
+        assert small == pytest.approx(1.0)  # linear speedup regime
+        assert large == pytest.approx(2 / 3)  # 1/tau*
+        assert small >= large
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            triangle_query(),
+            chain_query(3),
+            chain_query(4),
+            star_query(3),
+            cycle_query(4),
+            cycle_query(5),
+            binom_query(4, 2),
+            binom_query(4, 3),
+            simple_join_query(),
+        ],
+        ids=lambda q: q.name,
+    )
+    @pytest.mark.parametrize("p", [2, 16, 64, 1024])
+    def test_theorem_3_15_equal_sizes(self, query, p):
+        stats = uniform_stats(query)
+        assert equivalence_gap(query, stats, p) == pytest.approx(1.0, rel=1e-6)
+
+    @pytest.mark.parametrize("p", [4, 64, 4096])
+    def test_theorem_3_15_unequal_sizes(self, p):
+        q = triangle_query()
+        stats = Statistics(
+            q, {"S1": 2**10, "S2": 2**14, "S3": 2**17}, domain_size=2**20
+        )
+        assert equivalence_gap(q, stats, p) == pytest.approx(1.0, rel=1e-6)
+
+    @given(random_queries(max_variables=4, max_atoms=4), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem_3_15_random(self, query, data):
+        p = data.draw(st.sampled_from([4, 16, 256]))
+        sizes = {
+            r: data.draw(
+                st.integers(min_value=2**10, max_value=2**20), label=r
+            )
+            for r in query.relation_names
+        }
+        stats = Statistics(query, sizes, domain_size=2**24)
+        # mu_j >= 1 needs M_j >= p: guaranteed by sizes >= 2^10 > p... for p<=256.
+        assert equivalence_gap(query, stats, p) == pytest.approx(1.0, rel=1e-5)
+
+    def test_equal_sizes_is_tau_star_load(self):
+        q = cycle_query(5)
+        stats = uniform_stats(q)
+        p = 32
+        expected = stats.bits("S1") / p ** (1 / 2.5)
+        assert lower_bound(q, stats, p) == pytest.approx(expected, rel=1e-6)
+        assert upper_bound(q, stats, p) == pytest.approx(expected, rel=1e-6)
+
+
+class TestAnswerFraction:
+    def test_full_load_reports_everything(self):
+        q = triangle_query()
+        stats = uniform_stats(q)
+        p = 64
+        at_bound = lower_bound(q, stats, p)
+        # At L = tau* * L_lower even the strengthened bound reaches 1.
+        assert answer_fraction_bound(
+            q, stats, p, 1.5 * at_bound, strengthened=True
+        ) == pytest.approx(1.0)
+
+    def test_small_load_reports_vanishing_fraction(self):
+        q = triangle_query()
+        stats = uniform_stats(q)
+        p = 64
+        tiny = lower_bound(q, stats, p) / 100.0
+        fraction = answer_fraction_bound(q, stats, p, tiny, strengthened=True)
+        assert fraction < 0.01
+
+    def test_decreases_with_p_below_space_exponent(self):
+        # Section 3.4: with space exponent eps < 1 - 1/tau*, the
+        # reported fraction decays as p grows.
+        q = triangle_query()
+        eps = 0.0  # load M/p, below the required 1 - 2/3
+        fractions = []
+        for p in (8, 64, 512):
+            stats = uniform_stats(q)
+            load = stats.bits("S1") / p ** (1.0 - eps)
+            fractions.append(
+                answer_fraction_bound(q, stats, p, load, strengthened=True)
+            )
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_zero_load(self):
+        q = chain_query(2)
+        assert answer_fraction_bound(q, uniform_stats(q), 4, 0.0) == 0.0
+
+    def test_plain_weaker_than_strengthened(self):
+        q = triangle_query()
+        stats = uniform_stats(q)
+        load = lower_bound(q, stats, 64) / 10
+        plain = answer_fraction_bound(q, stats, 64, load)
+        strong = answer_fraction_bound(q, stats, 64, load, strengthened=True)
+        assert strong <= plain
+
+
+class TestValidation:
+    def test_degenerate_statistics_rejected(self):
+        q = chain_query(2)
+        stats = Statistics(q, {"S1": 0, "S2": 0}, domain_size=4)
+        with pytest.raises(ValueError):
+            equivalence_gap(q, stats, 4)

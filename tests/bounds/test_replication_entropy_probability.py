@@ -1,0 +1,159 @@
+"""Tests for replication-rate, entropy, and probability bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounds.entropy import (
+    binary_entropy,
+    log2_binomial,
+    log2_factorial,
+    matching_entropy_bits,
+    raw_size_bits,
+)
+from repro.bounds.probability import (
+    delta_threshold,
+    expected_answers_cap,
+    failure_probability_bound,
+    output_concentration_bound,
+    randomized_failure_bound,
+    required_trials,
+)
+from repro.bounds.replication import (
+    replication_rate_equal_sizes,
+    replication_rate_lower_bound,
+)
+from repro.core.families import chain_query, star_query, triangle_query
+from repro.core.stats import Statistics
+
+
+class TestReplication:
+    def test_example_3_20_shape(self):
+        # Triangle: r = Omega(sqrt(M/L)).
+        q = triangle_query()
+        m_bits = 2**20
+        for ratio in (4, 16, 64):
+            load = m_bits / ratio
+            assert replication_rate_equal_sizes(q, m_bits, load) == pytest.approx(
+                math.sqrt(ratio)
+            )
+
+    def test_star_query_allows_constant_replication(self):
+        # tau* = 1: (M/L)^0 = 1 -- replication o(1)-ish is possible
+        # exactly when a variable occurs in every atom.
+        q = star_query(3)
+        assert replication_rate_equal_sizes(q, 2**20, 2**10) == pytest.approx(1.0)
+
+    def test_corollary_bound_positive_and_monotone(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, 2**15, domain_size=2**20)
+        bits = stats.bits("S1")
+        low = replication_rate_lower_bound(q, stats, bits / 4)
+        high = replication_rate_lower_bound(q, stats, bits / 64)
+        assert 0 < low < high  # smaller load forces more replication
+
+    def test_corollary_proviso(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, 2**10, domain_size=2**20)
+        with pytest.raises(ValueError, match="L <= M_j"):
+            replication_rate_lower_bound(q, stats, stats.bits("S1") * 2)
+
+    def test_validation(self):
+        q = chain_query(2)
+        with pytest.raises(ValueError):
+            replication_rate_equal_sizes(q, 0, 10)
+        stats = Statistics.uniform(q, 2**10, domain_size=2**12)
+        with pytest.raises(ValueError):
+            replication_rate_lower_bound(q, stats, 0)
+
+
+class TestEntropy:
+    def test_log2_factorial(self):
+        assert log2_factorial(5) == pytest.approx(math.log2(120))
+        assert log2_factorial(0) == pytest.approx(0.0)
+
+    def test_log2_binomial(self):
+        assert log2_binomial(10, 3) == pytest.approx(math.log2(120))
+        with pytest.raises(ValueError):
+            log2_binomial(3, 5)
+
+    def test_binary_entropy(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+    def test_matching_count_formula(self):
+        # binom(n,m)^a * (m!)^{a-1} matchings: check in log space.
+        n, m, a = 12, 4, 3
+        expected = a * math.log2(math.comb(n, m)) + (a - 1) * math.log2(
+            math.factorial(m)
+        )
+        assert matching_entropy_bits(n, m, a) == pytest.approx(expected)
+
+    def test_proposition_3_14_large_domain(self):
+        # n >= m^2  ==>  entropy >= M_j / 2.
+        n, m, a = 10_000, 100, 2
+        assert matching_entropy_bits(n, m, a) >= raw_size_bits(n, m, a) / 2
+
+    def test_proposition_3_14_square_domain(self):
+        # n = m, a >= 2  ==>  entropy >= M_j / 4.
+        n = m = 4096
+        for a in (2, 3):
+            assert matching_entropy_bits(n, m, a) >= raw_size_bits(n, m, a) / 4
+
+    def test_entropy_at_most_raw_size(self):
+        # Describing a matching never takes more bits than listing it.
+        for n, m, a in ((100, 10, 2), (1000, 500, 3), (64, 64, 2)):
+            assert matching_entropy_bits(n, m, a) <= raw_size_bits(n, m, a) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matching_entropy_bits(5, 10, 2)
+        with pytest.raises(ValueError):
+            matching_entropy_bits(5, 3, 0)
+
+
+class TestProbability:
+    def test_lemma_b1_known_value(self):
+        # alpha = 1/3, large mu: bound -> (2/3)^2 = 4/9.
+        assert output_concentration_bound(1e9, 1 / 3) == pytest.approx(
+            4 / 9, rel=1e-6
+        )
+
+    def test_lemma_b1_small_mu(self):
+        assert output_concentration_bound(1.0, 0.0) == pytest.approx(0.5)
+        assert output_concentration_bound(0.0, 0.5) == 0.0
+
+    def test_lemma_b2(self):
+        assert failure_probability_bound(0.0) == 1.0
+        assert failure_probability_bound(1 / 18) == pytest.approx(0.5)
+        assert failure_probability_bound(0.2) == 0.0
+
+    def test_theorem_3_7_positive_below_threshold(self):
+        q = triangle_query()
+        delta = delta_threshold(q) / 2
+        assert randomized_failure_bound(q, delta) > 0
+
+    def test_theorem_3_7_vacuous_above_threshold(self):
+        q = triangle_query()
+        assert randomized_failure_bound(q, 1.0) == 0.0
+
+    def test_threshold_formula(self):
+        # tau*(C3) = 3/2: threshold = 1/(4 * 9^{1.5}) = 1/108.
+        assert delta_threshold(triangle_query()) == pytest.approx(1 / 108)
+
+    def test_required_trials(self):
+        assert required_trials(0.99, 1.0) == 1
+        t = required_trials(0.99, 0.5)
+        assert 1 - 0.5**t >= 0.99
+        with pytest.raises(ValueError):
+            required_trials(1.5, 0.5)
+
+    def test_expected_answers_cap(self):
+        assert expected_answers_cap(0.5, 100) == 50
+        with pytest.raises(ValueError):
+            expected_answers_cap(-1, 10)

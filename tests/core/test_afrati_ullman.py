@@ -1,0 +1,58 @@
+"""Tests for the Afrati-Ullman total-load share optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import chain_query, simple_join_query, triangle_query
+from repro.core.shares import afrati_ullman_share_exponents, share_exponents
+from repro.core.stats import Statistics
+
+
+class TestAfratiUllman:
+    def test_equal_sizes_match_paper_objective(self):
+        # With equal sizes the two objectives share the optimum
+        # (symmetric shares for the triangle).
+        q = triangle_query()
+        stats = Statistics.uniform(q, 2**17, domain_size=2**20)
+        au = afrati_ullman_share_exponents(q, stats, 64)
+        bks = share_exponents(q, stats, 64)
+        assert au.load_bits == pytest.approx(bks.load_bits, rel=1e-3)
+        assert all(
+            v == pytest.approx(1 / 3, abs=1e-3) for v in au.exponents.values()
+        )
+
+    def test_never_beats_max_load_lp(self):
+        # Theorem 3.15: LP (10) is max-load optimal, so AU >= BKS.
+        cases = [
+            (triangle_query(), {"S1": 2**10, "S2": 2**17, "S3": 2**17}),
+            (chain_query(3), {"S1": 2**10, "S2": 2**18, "S3": 2**18}),
+            (simple_join_query(), {"S1": 2**12, "S2": 2**18}),
+        ]
+        for q, sizes in cases:
+            stats = Statistics(q, sizes, 2**20)
+            au = afrati_ullman_share_exponents(q, stats, 64)
+            bks = share_exponents(q, stats, 64)
+            assert au.load_bits >= bks.load_bits * (1 - 1e-6)
+
+    def test_strict_separation_exists(self):
+        # The L3 instance with a tiny S1: BKS broadcasts S1, AU spends
+        # shares on its variables and pays ~8x on the max load.
+        q = chain_query(3)
+        stats = Statistics(q, {"S1": 2**10, "S2": 2**18, "S3": 2**18}, 2**20)
+        au = afrati_ullman_share_exponents(q, stats, 64)
+        bks = share_exponents(q, stats, 64)
+        assert au.load_bits > 3.0 * bks.load_bits
+
+    def test_exponents_form_distribution(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, 2**16, domain_size=2**20)
+        au = afrati_ullman_share_exponents(q, stats, 32)
+        assert sum(au.exponents.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(v >= -1e-9 for v in au.exponents.values())
+
+    def test_rejects_single_server(self):
+        q = chain_query(2)
+        stats = Statistics.uniform(q, 2**10, domain_size=2**12)
+        with pytest.raises(ValueError):
+            afrati_ullman_share_exponents(q, stats, 1)

@@ -1,0 +1,164 @@
+"""Tests for Friedgut's inequality, AGM bound, expected output size."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.families import chain_query, star_query, triangle_query
+from repro.core.friedgut import (
+    agm_bound,
+    expected_output_equal_sizes,
+    expected_output_size,
+    friedgut_lhs,
+    friedgut_rhs,
+)
+from repro.core.packing import minimum_edge_cover
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.stats import Statistics
+
+
+def random_weights(query, n, seed, density=0.5, max_weight=3.0):
+    rng = random.Random(seed)
+    out = {}
+    for atom in query.atoms:
+        w = {}
+        for tup in itertools.product(range(n), repeat=atom.arity):
+            if rng.random() < density:
+                w[tup] = rng.uniform(0.0, max_weight)
+        out[atom.relation] = w
+    return out
+
+
+class TestFriedgut:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_triangle_inequality_with_half_cover(self, seed):
+        q = triangle_query()
+        n = 4
+        weights = random_weights(q, n, seed)
+        cover = {"S1": 0.5, "S2": 0.5, "S3": 0.5}
+        lhs = friedgut_lhs(q, weights, n)
+        rhs = friedgut_rhs(q, cover, weights)
+        assert lhs <= rhs + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_l3_inequality_with_101_cover(self, seed):
+        # Paper's second example: cover (1, 0, 1) turns the middle factor
+        # into a max.
+        q = chain_query(3)
+        n = 3
+        weights = random_weights(q, n, seed)
+        cover = {"S1": 1.0, "S2": 0.0, "S3": 1.0}
+        lhs = friedgut_lhs(q, weights, n)
+        rhs = friedgut_rhs(q, cover, weights)
+        assert lhs <= rhs + 1e-9
+        # Check the closed form of the RHS for this cover.
+        s1 = sum(weights["S1"].values())
+        s3 = sum(weights["S3"].values())
+        mx = max(weights["S2"].values(), default=0.0)
+        assert rhs == pytest.approx(s1 * mx * s3)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_inequality_random_star(self, seed):
+        q = star_query(2)
+        n = 3
+        weights = random_weights(q, n, seed)
+        cover = {"S1": 1.0, "S2": 1.0}
+        assert friedgut_lhs(q, weights, n) <= friedgut_rhs(q, cover, weights) + 1e-9
+
+    def test_rhs_rejects_non_cover(self):
+        q = triangle_query()
+        with pytest.raises(ValueError):
+            friedgut_rhs(q, {"S1": 0.1, "S2": 0.1, "S3": 0.1}, {})
+
+    def test_lhs_counts_join_size_for_01_weights(self):
+        # With 0/1 weights the LHS is exactly |q(I)|.
+        q = triangle_query()
+        edges = {(0, 1), (1, 2), (2, 0), (0, 0)}
+        weights = {
+            "S1": {e: 1.0 for e in edges},
+            "S2": {e: 1.0 for e in edges},
+            "S3": {e: 1.0 for e in edges},
+        }
+        # Directed triangles: the three rotations (0,1,2), (1,2,0),
+        # (2,0,1), plus (0,0,0) via the self-loop.
+        assert friedgut_lhs(q, weights, 3) == pytest.approx(4.0)
+
+
+class TestAGM:
+    def test_triangle_agm_is_sqrt_product(self):
+        q = triangle_query()
+        m = {"S1": 100, "S2": 100, "S3": 100}
+        assert agm_bound(q, m) == pytest.approx(100 ** 1.5, rel=1e-6)
+
+    def test_chain_agm_uses_rho_star(self):
+        q = chain_query(3)
+        m = {"S1": 10, "S2": 10, "S3": 10}
+        rho = minimum_edge_cover(q).total
+        assert rho == pytest.approx(2.0)
+        assert agm_bound(q, m) == pytest.approx(100.0, rel=1e-6)
+
+    def test_agm_zero_relation(self):
+        q = chain_query(2)
+        assert agm_bound(q, {"S1": 0, "S2": 5}) == 0.0
+
+    def test_agm_unequal_sizes_prefers_cheap_cover(self):
+        q = chain_query(2)  # rho* = 2? L2: S1(x0,x1), S2(x1,x2); cover needs both.
+        m = {"S1": 4, "S2": 9}
+        assert agm_bound(q, m) == pytest.approx(36.0, rel=1e-6)
+
+
+class TestExpectedOutput:
+    def test_formula_chain(self):
+        q = chain_query(2)
+        stats = Statistics(q, {"S1": 50, "S2": 70}, domain_size=100)
+        # k = 3, a = 4: E = n^{-1} m1 m2.
+        assert expected_output_size(stats) == pytest.approx(50 * 70 / 100)
+
+    def test_equal_sizes_corollary(self):
+        # E[|q(I)|] = n^{c - chi}: chains have c=1, chi=0.
+        q = chain_query(4)
+        assert expected_output_equal_sizes(q, 32) == pytest.approx(32.0)
+
+    def test_equal_sizes_triangle(self):
+        q = triangle_query()
+        # chi(C3) = 6 - 3 - 3 + 1 = 1, c = 1: E = n^0 = 1.
+        assert q.characteristic == 1
+        assert expected_output_equal_sizes(q, 1000) == pytest.approx(1.0)
+
+    def test_monte_carlo_matches_formula(self):
+        # Small Monte-Carlo check of Lemma 3.6 on the simple 2-chain.
+        rng = random.Random(7)
+        q = chain_query(2)
+        n, m = 12, 6
+        stats = Statistics(q, {"S1": m, "S2": m}, domain_size=n)
+        trials = 400
+        total = 0
+        for _ in range(trials):
+            # Uniform matchings: random injections on both columns.
+            def matching():
+                left = rng.sample(range(n), m)
+                right = rng.sample(range(n), m)
+                return set(zip(left, right))
+
+            s1, s2 = matching(), matching()
+            index = {}
+            for a, b in s1:
+                index.setdefault(b, []).append(a)
+            count = sum(len(index.get(b, ())) for (b, _c) in s2)
+            total += count
+        empirical = total / trials
+        assert empirical == pytest.approx(expected_output_size(stats), rel=0.15)
+
+
+class TestDisconnected:
+    def test_cartesian_product_expected_size(self):
+        q = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("y",))))
+        stats = Statistics(q, {"R": 5, "S": 7}, domain_size=10)
+        # k=2, a=2: E = m1 * m2.
+        assert expected_output_size(stats) == pytest.approx(35.0)

@@ -1,0 +1,172 @@
+"""Tests for fractional edge packings / covers (paper Section 2.2, 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    cycle_query,
+    star_query,
+    triangle_query,
+)
+from repro.core.packing import (
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    is_edge_cover,
+    is_edge_packing,
+    is_tight,
+    maximum_edge_packing,
+    minimum_edge_cover,
+    minimum_vertex_cover,
+    packing_polytope_vertices,
+    saturates,
+    slack,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from tests.conftest import random_queries
+
+
+class TestWorkedExamples:
+    def test_example_2_3_l3_packing(self):
+        # (1, 0, 1) is a tight, optimal edge packing of L3 and tau* = 2.
+        q = chain_query(3)
+        u = {"S1": 1.0, "S2": 0.0, "S3": 1.0}
+        assert is_edge_packing(q, u)
+        assert is_tight(q, u)
+        assert fractional_vertex_cover_number(q) == pytest.approx(2.0)
+
+    def test_packing_cover_disconnect_examples(self):
+        # q = S1(x,y), S2(y,z): tau* = 1, rho* = 2.
+        q = ConjunctiveQuery((Atom("S1", ("x", "y")), Atom("S2", ("y", "z"))))
+        assert fractional_vertex_cover_number(q) == pytest.approx(1.0)
+        assert fractional_edge_cover_number(q) == pytest.approx(2.0)
+        # q = S1(x), S2(x,y), S3(y): tau* = 2, rho* = 1.
+        q2 = ConjunctiveQuery(
+            (Atom("S1", ("x",)), Atom("S2", ("x", "y")), Atom("S3", ("y",)))
+        )
+        assert fractional_vertex_cover_number(q2) == pytest.approx(2.0)
+        assert fractional_edge_cover_number(q2) == pytest.approx(1.0)
+
+
+class TestTable2TauStar:
+    """Table 2's tau* column."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 8])
+    def test_cycle(self, k):
+        assert fractional_vertex_cover_number(cycle_query(k)) == pytest.approx(k / 2)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_star(self, k):
+        assert fractional_vertex_cover_number(star_query(k)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 8])
+    def test_chain(self, k):
+        expected = -(-k // 2)  # ceil(k/2)
+        assert fractional_vertex_cover_number(chain_query(k)) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("k,m", [(3, 2), (4, 2), (4, 3), (5, 2)])
+    def test_binom(self, k, m):
+        assert fractional_vertex_cover_number(binom_query(k, m)) == pytest.approx(k / m)
+
+
+class TestPolytopeVertices:
+    def test_example_3_17_triangle_vertices(self):
+        # pk(C3) has exactly five vertices.
+        q = triangle_query()
+        vertices = packing_polytope_vertices(q)
+        as_tuples = {
+            tuple(round(v[r], 6) for r in q.relation_names) for v in vertices
+        }
+        assert as_tuples == {
+            (0.5, 0.5, 0.5),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 1.0),
+            (0.0, 0.0, 0.0),
+        }
+
+    def test_l3_vertices_include_optimal(self):
+        q = chain_query(3)
+        vertices = packing_polytope_vertices(q)
+        as_tuples = {
+            tuple(round(v[r], 6) for r in q.relation_names) for v in vertices
+        }
+        assert (1.0, 0.0, 1.0) in as_tuples
+        assert all(is_edge_packing(q, v) for v in vertices)
+
+    def test_vertices_feasible_and_unique(self):
+        q = binom_query(4, 2)
+        vertices = packing_polytope_vertices(q)
+        keys = {tuple(round(v[r], 9) for r in q.relation_names) for v in vertices}
+        assert len(keys) == len(vertices)
+        assert all(is_edge_packing(q, v) for v in vertices)
+
+    def test_optimum_attained_at_vertex(self):
+        for q in (triangle_query(), chain_query(4), star_query(3)):
+            tau = fractional_vertex_cover_number(q)
+            best = max(
+                sum(v.values()) for v in packing_polytope_vertices(q)
+            )
+            assert best == pytest.approx(tau)
+
+    def test_guard_on_large_queries(self):
+        with pytest.raises(ValueError):
+            packing_polytope_vertices(binom_query(6, 2), max_atoms=10)
+
+
+class TestDuality:
+    @given(random_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_packing_equals_cover(self, q):
+        packing = maximum_edge_packing(q)
+        cover = minimum_vertex_cover(q)
+        assert packing.total == pytest.approx(cover.total, abs=1e-6)
+
+    @given(random_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_solutions_feasible(self, q):
+        packing = maximum_edge_packing(q)
+        assert is_edge_packing(q, packing.weights)
+
+    @given(random_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_edge_cover_feasible(self, q):
+        cover = minimum_edge_cover(q)
+        assert is_edge_cover(q, cover.weights)
+
+
+class TestPredicates:
+    def test_tight_packing_is_tight_cover(self):
+        # Section 2.2: tight packings and tight covers coincide.
+        q = chain_query(3)
+        u = {"S1": 1.0, "S2": 0.0, "S3": 1.0}
+        assert is_tight(q, u)
+        assert is_edge_cover(q, u)
+        assert is_edge_packing(q, u)
+
+    def test_saturation(self):
+        q = star_query(2)
+        u = {"S1": 1.0, "S2": 1.0}
+        # z gets weight 2 >= 1 from both atoms; x1, x2 get 1 each.
+        assert not is_edge_packing(q, u)  # z is over-packed
+        assert saturates(q, u, {"z", "x1", "x2"})
+        u2 = {"S1": 1.0, "S2": 0.0}
+        assert saturates(q, u2, {"z", "x1"})
+        assert not saturates(q, u2, {"x2"})
+
+    def test_slack_matches_extended_query_weights(self):
+        # Lemma 3.13: u'_i = 1 - sum_{j: x_i in S_j} u_j >= 0 for packings.
+        q = triangle_query()
+        u = {"S1": 0.5, "S2": 0.5, "S3": 0.5}
+        s = slack(q, u)
+        assert all(v == pytest.approx(0.0) for v in s.values())
+        u2 = {"S1": 1.0, "S2": 0.0, "S3": 0.0}
+        s2 = slack(q, u2)
+        assert s2["x3"] == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self):
+        q = chain_query(2)
+        assert not is_edge_packing(q, {"S1": -0.5, "S2": 0.0})

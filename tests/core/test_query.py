@@ -1,0 +1,321 @@
+"""Tests for the conjunctive-query core (paper Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    cycle_query,
+    k4_query,
+    simple_join_query,
+    spk_query,
+    star_query,
+    triangle_query,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from tests.conftest import random_queries
+
+
+class TestAtom:
+    def test_basic(self):
+        a = Atom("S", ("x", "y"))
+        assert a.arity == 2
+        assert a.variable_set == {"x", "y"}
+        assert str(a) == "S(x, y)"
+
+    def test_repeated_variables_allowed(self):
+        a = Atom("S", ("x", "x"))
+        assert a.arity == 2
+        assert a.variable_set == {"x"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Atom("S", ())
+        with pytest.raises(ValueError):
+            Atom("", ("x",))
+
+    def test_rename(self):
+        a = Atom("S", ("x", "y")).rename({"y": "z"})
+        assert a.variables == ("x", "z")
+
+
+class TestValidation:
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError, match="self-join"):
+            ConjunctiveQuery((Atom("S", ("x", "y")), Atom("S", ("y", "z"))))
+
+    def test_isolated_variable_overlap_rejected(self):
+        with pytest.raises(ValueError, match="isolated"):
+            ConjunctiveQuery(
+                (Atom("S", ("x",)),), isolated_variables=frozenset({"x"})
+            )
+
+    def test_empty_query_is_legal(self):
+        q = ConjunctiveQuery(())
+        assert q.num_atoms == 0
+        assert q.num_variables == 0
+        assert q.characteristic == 0
+
+
+class TestCounts:
+    def test_chain_counts(self):
+        q = chain_query(5)
+        assert q.num_atoms == 5
+        assert q.num_variables == 6
+        assert q.total_arity == 10
+        assert q.num_components == 1
+
+    def test_star_counts(self):
+        q = star_query(4)
+        assert q.num_variables == 5  # z plus x1..x4
+        assert q.total_arity == 8
+
+    def test_variables_first_occurrence_order(self):
+        q = chain_query(3)
+        assert q.variables == ("x0", "x1", "x2", "x3")
+
+    def test_atom_lookup(self):
+        q = triangle_query()
+        assert q.atom("S2").variables == ("x2", "x3")
+        with pytest.raises(KeyError):
+            q.atom("nope")
+
+    def test_atoms_of(self):
+        q = triangle_query()
+        assert {a.relation for a in q.atoms_of("x1")} == {"S1", "S3"}
+
+
+class TestCharacteristic:
+    def test_paper_l5_l3_example(self):
+        # chi(L5) = 10 - 6 - 5 + 1 = 0 and chi(L3) = 6 - 4 - 3 + 1 = 0.
+        assert chain_query(5).characteristic == 0
+        assert chain_query(3).characteristic == 0
+
+    def test_paper_k4_example(self):
+        # chi(K4) = 12 - 4 - 6 + 1 = 3.
+        assert k4_query().characteristic == 3
+
+    def test_k4_contraction_example(self):
+        # K4/M with M = {S1,S2,S3}: chi(M) = 1, chi(K4/M) = 2.
+        k4 = k4_query()
+        m = k4.subquery(["S1", "S2", "S3"])
+        assert m.characteristic == 1
+        contracted = k4.contract(["S1", "S2", "S3"])
+        assert contracted.characteristic == 2
+        assert contracted.num_atoms == 3
+        assert contracted.num_variables == 2
+
+    def test_l5_contraction_example(self):
+        # L5/{S2,S4} is isomorphic to L3; chi(M) = 0 for the two-edge M.
+        l5 = chain_query(5)
+        contracted = l5.contract(["S2", "S4"])
+        assert contracted.num_atoms == 3
+        assert contracted.num_variables == 4
+        assert contracted.characteristic == 0
+        m = l5.subquery(["S2", "S4"])
+        assert m.characteristic == 0
+        assert m.num_components == 2
+
+    def test_contract_whole_component_leaves_isolated_variable(self):
+        q = ConjunctiveQuery((Atom("S", ("x", "y")),))
+        contracted = q.contract(["S"])
+        assert contracted.num_atoms == 0
+        assert contracted.num_variables == 1
+        assert contracted.num_components == 1
+        assert contracted.characteristic == 0
+
+    @given(random_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_characteristic_nonnegative(self, q):
+        # Lemma 2.1(c).
+        assert q.characteristic >= 0
+
+    @given(random_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_characteristic_additive_over_components(self, q):
+        # Lemma 2.1(a).
+        total = sum(c.characteristic for c in q.connected_components())
+        assert total == q.characteristic
+
+    @given(random_queries(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_contraction_identity(self, q, data):
+        # Lemma 2.1(b): chi(q/M) = chi(q) - chi(M).
+        names = list(q.relation_names)
+        subset = data.draw(st.sets(st.sampled_from(names)) if names else st.just(set()))
+        m = q.subquery(subset)
+        contracted = q.contract(subset)
+        assert contracted.characteristic == q.characteristic - m.characteristic
+        # Lemma 2.1(d): chi(q) >= chi(q/M).
+        assert q.characteristic >= contracted.characteristic
+
+
+class TestTreeLike:
+    def test_chains_are_tree_like(self):
+        for k in (1, 2, 5, 9):
+            assert chain_query(k).is_tree_like
+
+    def test_stars_are_tree_like(self):
+        assert star_query(4).is_tree_like
+
+    def test_cycles_are_not_tree_like(self):
+        for k in (3, 4, 6):
+            assert not cycle_query(k).is_tree_like
+
+    def test_acyclic_but_not_tree_like(self):
+        # Paper: q = S1(x0,x1,x2), S2(x1,x2,x3) is acyclic but chi = 1.
+        q = ConjunctiveQuery(
+            (Atom("S1", ("x0", "x1", "x2")), Atom("S2", ("x1", "x2", "x3")))
+        )
+        assert q.characteristic == 1
+        assert not q.is_tree_like
+
+    def test_connected_subquery_of_tree_like_is_tree_like(self):
+        q = chain_query(6)
+        for sub in q.connected_subqueries():
+            assert sub.is_tree_like
+
+
+class TestConnectivity:
+    def test_paper_connectivity_examples(self):
+        # q(x,y) = R(x), S(y) is not connected; adding T(x,y) connects it.
+        q1 = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("y",))))
+        assert not q1.is_connected
+        q2 = ConjunctiveQuery(
+            (Atom("R", ("x",)), Atom("S", ("y",)), Atom("T", ("x", "y")))
+        )
+        assert q2.is_connected
+
+    def test_components_partition_atoms(self):
+        q = ConjunctiveQuery(
+            (
+                Atom("R", ("x", "y")),
+                Atom("S", ("z",)),
+                Atom("T", ("y", "w")),
+            )
+        )
+        comps = q.connected_components()
+        assert len(comps) == 2
+        sizes = sorted(c.num_atoms for c in comps)
+        assert sizes == [1, 2]
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 8])
+    def test_chain_radius_diameter(self, k):
+        q = chain_query(k)
+        assert q.diameter == k
+        assert q.radius == (k + 1) // 2
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 8])
+    def test_cycle_radius_diameter(self, k):
+        q = cycle_query(k)
+        assert q.radius == k // 2
+        assert q.diameter == k // 2
+
+    def test_star_radius(self):
+        q = star_query(5)
+        assert q.radius == 1
+        assert q.diameter == 2
+        assert q.center() == "z"
+
+    def test_spk_radius(self):
+        q = spk_query(3)
+        assert q.radius == 2
+        assert q.center() == "z"
+
+    def test_disconnected_has_no_radius(self):
+        q = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("y",))))
+        with pytest.raises(ValueError):
+            _ = q.radius
+
+    def test_distances(self):
+        q = chain_query(4)
+        d = q.distances_from("x0")
+        assert d["x4"] == 4
+        assert d["x2"] == 2
+
+
+class TestOperations:
+    def test_subquery(self):
+        q = chain_query(4)
+        sub = q.subquery(["S2", "S3"])
+        assert sub.num_atoms == 2
+        assert set(sub.variables) == {"x1", "x2", "x3"}
+
+    def test_subquery_unknown_relation(self):
+        with pytest.raises(KeyError):
+            chain_query(2).subquery(["nope"])
+
+    def test_contract_unknown_relation(self):
+        with pytest.raises(KeyError):
+            chain_query(2).contract(["nope"])
+
+    def test_rename_relations(self):
+        q = chain_query(2).rename_relations({"S1": "V1"})
+        assert set(q.relation_names) == {"V1", "S2"}
+
+    def test_rename_variables(self):
+        q = chain_query(2).rename_variables({"x0": "a"})
+        assert q.atom("S1").variables == ("a", "x1")
+
+    def test_contraction_produces_repeated_variable_atoms(self):
+        # Contracting the middle of a triangle folds S3 onto two merged vars.
+        q = triangle_query()
+        contracted = q.contract(["S1"])
+        # S2(x2,x3) -> S2(x1,x3), S3(x3,x1): arity stays 2, chi drops by 0.
+        assert contracted.total_arity == 4
+        assert contracted.characteristic == q.characteristic
+
+    def test_connected_subqueries_of_chain(self):
+        # A path of 3 atoms has 3 + 2 + 1 = 6 connected subsets.
+        q = chain_query(3)
+        subs = list(q.connected_subqueries())
+        assert len(subs) == 6
+        assert all(s.is_connected for s in subs)
+
+    def test_connected_subqueries_bounded(self):
+        q = chain_query(4)
+        subs = list(q.connected_subqueries(min_atoms=2, max_atoms=2))
+        assert len(subs) == 3
+        assert all(s.num_atoms == 2 for s in subs)
+
+
+class TestFamilies:
+    def test_binom_query_counts(self):
+        q = binom_query(4, 2)
+        assert q.num_atoms == 6
+        assert q.num_variables == 4
+        assert q.name == "B4_2"
+
+    def test_binom_is_k4_shape(self):
+        assert binom_query(4, 2).characteristic == k4_query().characteristic
+
+    def test_simple_join(self):
+        q = simple_join_query()
+        assert q.num_variables == 3
+        assert q.is_connected
+
+    def test_spk_structure(self):
+        q = spk_query(2)
+        assert q.num_atoms == 4
+        assert q.num_variables == 5
+        assert q.is_tree_like
+
+    def test_family_validation(self):
+        with pytest.raises(ValueError):
+            chain_query(0)
+        with pytest.raises(ValueError):
+            cycle_query(2)
+        with pytest.raises(ValueError):
+            star_query(0)
+        with pytest.raises(ValueError):
+            binom_query(3, 4)
+
+    def test_str_roundtrip_mentions_atoms(self):
+        text = str(triangle_query())
+        assert "S1(x1, x2)" in text

@@ -1,0 +1,66 @@
+"""Tests for cardinality/bit statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import chain_query, triangle_query
+from repro.core.stats import Statistics, bits_per_value
+
+
+class TestBitsPerValue:
+    def test_powers_of_two(self):
+        assert bits_per_value(2) == 1
+        assert bits_per_value(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert bits_per_value(1000) == 10
+        assert bits_per_value(3) == 2
+
+    def test_degenerate_domain(self):
+        assert bits_per_value(1) == 1
+        with pytest.raises(ValueError):
+            bits_per_value(0)
+
+
+class TestStatistics:
+    def test_bits_formula(self):
+        q = chain_query(2)
+        stats = Statistics(q, {"S1": 100, "S2": 200}, domain_size=1024)
+        # M_j = a_j * m_j * log n = 2 * m * 10.
+        assert stats.bits("S1") == 2 * 100 * 10
+        assert stats.bits("S2") == 2 * 200 * 10
+        assert stats.total_bits == 2 * 300 * 10
+        assert stats.total_tuples == 300
+
+    def test_uniform_constructor(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, 50)
+        assert stats.domain_size == 50
+        assert all(stats.tuples(r) == 50 for r in q.relation_names)
+
+    def test_missing_relation_rejected(self):
+        q = chain_query(2)
+        with pytest.raises(ValueError, match="missing"):
+            Statistics(q, {"S1": 10}, domain_size=10)
+
+    def test_negative_cardinality_rejected(self):
+        q = chain_query(1)
+        with pytest.raises(ValueError):
+            Statistics(q, {"S1": -1}, domain_size=10)
+
+    def test_scale(self):
+        q = chain_query(1)
+        stats = Statistics(q, {"S1": 100}, domain_size=10).scale(0.5)
+        assert stats.tuples("S1") == 50
+
+    def test_vectors(self):
+        q = chain_query(2)
+        stats = Statistics(q, {"S1": 1, "S2": 2}, domain_size=4)
+        assert stats.tuples_vector() == {"S1": 1, "S2": 2}
+        assert stats.bits_vector() == {"S1": 4.0, "S2": 8.0}
+
+    def test_bits_per_tuple(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, 16, domain_size=16)
+        assert stats.bits_per_tuple("S1") == 2 * 4

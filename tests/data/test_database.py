@@ -1,0 +1,98 @@
+"""Tests for Database instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import chain_query, triangle_query
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def db(domain=10, **relations):
+    rels = [Relation(name, len(next(iter(ts))) if ts else 2, ts)
+            for name, ts in relations.items()]
+    return Database(rels, domain)
+
+
+class TestConstruction:
+    def test_duplicate_relation_rejected(self):
+        r = Relation("R", 1, [(1,)])
+        with pytest.raises(ValueError, match="duplicate"):
+            Database([r, r], 10)
+
+    def test_domain_violation_rejected(self):
+        r = Relation("R", 1, [(10,)])
+        with pytest.raises(ValueError, match="outside domain"):
+            Database([r], 10)
+
+    def test_container_protocol(self):
+        d = db(S1={(1, 2)}, S2={(2, 3)})
+        assert "S1" in d and "nope" not in d
+        assert len(d) == 2
+        assert d["S1"].tuples == {(1, 2)}
+        assert {r.name for r in d} == {"S1", "S2"}
+
+    def test_relation_lookup_error(self):
+        d = db(S1={(1, 2)})
+        with pytest.raises(KeyError):
+            d.relation("S9")
+
+
+class TestValidation:
+    def test_validate_for_query(self):
+        q = chain_query(2)
+        d = db(S1={(1, 2)}, S2={(2, 3)})
+        d.validate_for(q)  # should not raise
+
+    def test_missing_relation(self):
+        q = chain_query(2)
+        d = db(S1={(1, 2)})
+        with pytest.raises(KeyError):
+            d.validate_for(q)
+
+    def test_arity_mismatch(self):
+        q = chain_query(1)  # S1 binary
+        d = Database([Relation("S1", 1, [(1,)])], 10)
+        with pytest.raises(ValueError, match="arity"):
+            d.validate_for(q)
+
+
+class TestDerived:
+    def test_statistics(self):
+        q = chain_query(2)
+        d = db(S1={(1, 2), (3, 4)}, S2={(2, 3)})
+        stats = d.statistics(q)
+        assert stats.tuples("S1") == 2
+        assert stats.tuples("S2") == 1
+        assert stats.domain_size == 10
+
+    def test_matching_detection(self):
+        d1 = db(S1={(1, 2), (3, 4)}, S2={(5, 6)})
+        assert d1.is_matching_database()
+        d2 = db(S1={(1, 2), (1, 4)})
+        assert not d2.is_matching_database()
+
+    def test_with_relation_and_restrict(self):
+        d = db(S1={(1, 2)})
+        d2 = d.with_relation(Relation("S2", 2, [(3, 4)]))
+        assert "S2" in d2 and "S2" not in d
+        d3 = d2.restrict(["S2"])
+        assert len(d3) == 1
+        with pytest.raises(KeyError):
+            d2.restrict(["S9"])
+
+    def test_renamed(self):
+        d = db(S1={(1, 2)})
+        d2 = d.renamed({"S1": "R"})
+        assert "R" in d2 and "S1" not in d2
+
+    def test_total_tuples(self):
+        d = db(S1={(1, 2), (3, 4)}, S2={(2, 3)})
+        assert d.total_tuples() == 3
+
+    def test_triangle_schema_roundtrip(self):
+        q = triangle_query()
+        d = db(S1={(1, 2)}, S2={(2, 3)}, S3={(3, 1)})
+        stats = d.statistics(q)
+        assert stats.total_tuples == 3

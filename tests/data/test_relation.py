@@ -1,0 +1,143 @@
+"""Tests for the Relation data type."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation, relation_from_pairs
+
+pairs = st.sets(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=0, max_size=30
+)
+
+
+def rel(tuples, name="R", arity=2):
+    return Relation(name, arity, tuples)
+
+
+class TestConstruction:
+    def test_deduplicates(self):
+        r = rel([(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+
+    def test_arities_checked(self):
+        with pytest.raises(ValueError):
+            Relation("R", 2, [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            Relation("R", 0, [])
+
+    def test_container_protocol(self):
+        r = rel([(1, 2)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+        assert list(r) == [(1, 2)]
+
+    def test_equality_and_hash(self):
+        a = rel([(1, 2), (3, 4)])
+        b = rel([(3, 4), (1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != rel([(1, 2)])
+
+    def test_sorted_tuples_deterministic(self):
+        r = rel([(3, 4), (1, 2), (1, 1)])
+        assert r.sorted_tuples() == [(1, 1), (1, 2), (3, 4)]
+
+
+class TestDegrees:
+    def test_degree_single_position(self):
+        r = rel([(1, 2), (1, 3), (2, 3)])
+        assert r.degree((0,), (1,)) == 2
+        assert r.degree((0,), (9,)) == 0
+
+    def test_degree_pair(self):
+        r = rel([(1, 2), (1, 3)])
+        assert r.degree((0, 1), (1, 2)) == 1
+
+    def test_degrees_histogram(self):
+        r = rel([(1, 2), (1, 3), (2, 3)])
+        assert dict(r.degrees((1,))) == {(2,): 1, (3,): 2}
+
+    def test_max_degree(self):
+        r = rel([(1, 2), (1, 3), (2, 3)])
+        assert r.max_degree((0,)) == 2
+        assert rel([]).max_degree((0,)) == 0
+
+    def test_heavy_hitters(self):
+        r = rel([(1, 2), (1, 3), (1, 4), (2, 5)])
+        assert r.heavy_hitters(0, 3) == {1: 3}
+        assert r.heavy_hitters(0, 4) == {}
+
+    def test_position_bounds_checked(self):
+        r = rel([(1, 2)])
+        with pytest.raises(IndexError):
+            r.degree((5,), (1,))
+        with pytest.raises(IndexError):
+            r.project((2,))
+
+
+class TestOperators:
+    def test_project(self):
+        r = rel([(1, 2), (1, 3)])
+        assert r.project((0,)).tuples == {(1,)}
+        assert r.project((1, 0)).tuples == {(2, 1), (3, 1)}
+
+    def test_select(self):
+        r = rel([(1, 2), (1, 3), (2, 3)])
+        assert r.select((0,), (1,)).tuples == {(1, 2), (1, 3)}
+
+    def test_semijoin_antijoin_partition(self):
+        r = rel([(1, 2), (3, 4), (5, 6)])
+        s = rel([(2, 9), (6, 9)], name="S")
+        semi = r.semijoin(s, (1,), (0,))
+        anti = r.antijoin(s, (1,), (0,))
+        assert semi.tuples == {(1, 2), (5, 6)}
+        assert anti.tuples == {(3, 4)}
+        assert semi.tuples | anti.tuples == r.tuples
+        assert not semi.tuples & anti.tuples
+
+    @given(pairs, pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_semijoin_antijoin_algebra(self, a, b):
+        r = rel(a)
+        s = rel(b, name="S")
+        semi = r.semijoin(s, (0,), (1,))
+        anti = r.antijoin(s, (0,), (1,))
+        assert semi.tuples | anti.tuples == r.tuples
+        assert not semi.tuples & anti.tuples
+
+    def test_union_difference(self):
+        a = rel([(1, 2)])
+        b = rel([(3, 4)])
+        assert len(a.union(b)) == 2
+        assert a.union(b).difference(b) == a
+        with pytest.raises(ValueError):
+            a.union(Relation("X", 1, [(1,)]))
+
+    def test_filter(self):
+        r = rel([(1, 2), (3, 4)])
+        assert r.filter(lambda t: t[0] == 1).tuples == {(1, 2)}
+
+    def test_index(self):
+        r = rel([(1, 2), (1, 3), (2, 3)])
+        idx = r.index((0,))
+        assert sorted(idx[(1,)]) == [(1, 2), (1, 3)]
+        assert idx[(2,)] == [(2, 3)]
+
+
+class TestInvariants:
+    def test_matching_detection(self):
+        assert rel([(1, 2), (3, 4)]).is_matching()
+        assert not rel([(1, 2), (1, 4)]).is_matching()
+        assert not rel([(1, 2), (3, 2)]).is_matching()
+
+    def test_column_and_active_domain(self):
+        r = rel([(1, 2), (3, 4)])
+        assert r.column(0) == {1, 3}
+        assert r.active_domain() == {1, 2, 3, 4}
+
+    def test_from_pairs(self):
+        r = relation_from_pairs("E", [(0, 1)])
+        assert r.arity == 2 and len(r) == 1

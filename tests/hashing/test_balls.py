@@ -1,0 +1,145 @@
+"""Tests for the Appendix A balls-in-bins bounds and simulators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hashing.balls import (
+    adversarial_weights,
+    bennett_h,
+    kl_bernoulli,
+    max_load_exceed_probability,
+    simulate_grid_partition,
+    simulate_weighted_balls,
+    weighted_balls_tail_bound,
+    weighted_balls_tail_bound_kl,
+)
+
+
+class TestBennettH:
+    def test_zero(self):
+        assert bennett_h(0.0) == pytest.approx(0.0)
+
+    def test_monotone_increasing(self):
+        xs = [0.1, 0.5, 1.0, 2.0, 5.0]
+        hs = [bennett_h(x) for x in xs]
+        assert all(a < b for a, b in zip(hs, hs[1:]))
+
+    def test_known_value(self):
+        # h(1) = 2 ln 2 - 1.
+        assert bennett_h(1.0) == pytest.approx(2 * math.log(2) - 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bennett_h(-0.1)
+
+
+class TestKL:
+    def test_zero_when_equal(self):
+        assert kl_bernoulli(0.3, 0.3) == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        assert kl_bernoulli(0.5, 0.1) > 0
+
+    def test_footnote_8_inequality(self):
+        # K * D((1+d)/K || 1/K) >= (1+d) ln(1+d) - d = h(d).
+        for k in (4, 16, 64):
+            for delta in (0.5, 1.0, 3.0):
+                if (1 + delta) / k >= 1:
+                    continue
+                lhs = k * kl_bernoulli((1 + delta) / k, 1 / k)
+                assert lhs >= bennett_h(delta) - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kl_bernoulli(1.5, 0.5)
+        with pytest.raises(ValueError):
+            kl_bernoulli(0.5, 0.0)
+
+
+class TestBoundFormulas:
+    def test_kl_bound_no_larger_than_h_bound(self):
+        for k in (8, 64):
+            for beta in (0.1, 1.0):
+                for delta in (0.5, 2.0):
+                    if (1 + delta) / k >= 1:
+                        continue
+                    assert weighted_balls_tail_bound_kl(
+                        k, beta, delta
+                    ) <= weighted_balls_tail_bound(k, beta, delta) + 1e-12
+
+    def test_bound_decreases_with_delta(self):
+        values = [weighted_balls_tail_bound(16, 0.5, d) for d in (0.5, 1, 2, 4)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_bound_increases_with_beta(self):
+        assert weighted_balls_tail_bound(16, 2.0, 1.0) > weighted_balls_tail_bound(
+            16, 0.5, 1.0
+        )
+
+    def test_kl_bound_saturates_to_zero(self):
+        assert weighted_balls_tail_bound_kl(4, 1.0, 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_balls_tail_bound(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            weighted_balls_tail_bound_kl(1, 1.0, 1.0)
+
+
+class TestSimulation:
+    def test_unit_balls_concentrate(self):
+        # 10_000 unit balls in 10 bins: max load should be near 1000.
+        result = simulate_weighted_balls([1.0] * 10_000, 10, trials=20, seed=1)
+        assert result.mean_load == pytest.approx(1000.0)
+        assert max(result.max_loads) < 1200
+        assert min(result.max_loads) >= 1000
+
+    def test_exceed_probability_monotone(self):
+        result = simulate_weighted_balls([1.0] * 2000, 8, trials=30, seed=2)
+        p_low = max_load_exceed_probability(result, 0.01)
+        p_high = max_load_exceed_probability(result, 0.5)
+        assert p_low >= p_high
+
+    def test_heavy_ball_forces_large_max(self):
+        # One ball carries all the weight: max load always equals it.
+        result = simulate_weighted_balls([1000.0] + [0.0] * 99, 10, trials=5, seed=3)
+        assert all(load == 1000.0 for load in result.max_loads)
+
+    def test_empirical_within_theorem_a1(self):
+        # The empirical exceedance probability never beats the bound
+        # (statistically; the bound is loose so this is a safe check).
+        m, k, beta = 4000, 8, 0.02
+        weights = adversarial_weights(m, k, beta, seed=4)
+        result = simulate_weighted_balls(weights, k, trials=40, seed=5)
+        for delta in (0.2, 0.5, 1.0):
+            bound = min(1.0, weighted_balls_tail_bound(k, beta, delta))
+            empirical = max_load_exceed_probability(result, delta)
+            assert empirical <= bound + 0.1
+
+    def test_grid_partition_matching_tuples(self):
+        # A matching relation spreads well over a 4x4 grid.
+        tuples = [(i, 1000 + i) for i in range(1600)]
+        result = simulate_grid_partition(tuples, [4, 4], trials=10, seed=6)
+        assert result.mean_load == pytest.approx(100.0)
+        assert max(result.max_loads) < 170
+
+    def test_grid_partition_skew_hits_one_row(self):
+        # All tuples share the first attribute: only 4 of 16 bins used,
+        # max load >= m / p_2 (Theorem A.5 / Corollary 4.3 behaviour).
+        tuples = [(7, i) for i in range(400)]
+        result = simulate_grid_partition(tuples, [4, 4], trials=5, seed=7)
+        assert min(result.max_loads) >= 400 / 4
+
+    def test_grid_weights_validation(self):
+        with pytest.raises(ValueError):
+            simulate_grid_partition([(1, 2)], [2, 2], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            simulate_grid_partition([(1,)], [2, 2])
+
+    def test_adversarial_weights_sum(self):
+        w = adversarial_weights(1000, 10, 0.5, seed=8)
+        assert sum(w) == pytest.approx(1000.0)
+        assert max(w) <= 0.5 * 1000 / 10 + 1e-9

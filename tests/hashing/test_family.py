@@ -1,0 +1,118 @@
+"""Tests for the PRF hash family and grid partitioner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.family import GridPartitioner, HashFamily, HashFunction
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        h1 = HashFunction(1, 2, 100)
+        h2 = HashFunction(1, 2, 100)
+        assert [h1(i) for i in range(50)] == [h2(i) for i in range(50)]
+
+    def test_different_salts_differ(self):
+        h1 = HashFunction(1, 2, 1_000_000)
+        h2 = HashFunction(1, 3, 1_000_000)
+        values = [h1(i) == h2(i) for i in range(200)]
+        assert sum(values) < 5  # collisions only by chance
+
+    def test_range(self):
+        h = HashFunction(7, 0, 13)
+        assert all(0 <= h(i) < 13 for i in range(-50, 500))
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            HashFunction(0, 0, 0)
+
+    def test_roughly_uniform(self):
+        k = 16
+        h = HashFunction(42, 9, k)
+        counts = [0] * k
+        samples = 16_000
+        for i in range(samples):
+            counts[h(i)] += 1
+        expected = samples / k
+        # Loose 3-sigma style band: sqrt(expected) ~ 31.
+        assert all(abs(c - expected) < 6 * math.sqrt(expected) for c in counts)
+
+    @given(st.integers(), st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_any_input_in_range(self, value, buckets):
+        h = HashFunction(0, 1, buckets)
+        assert 0 <= h(value) < buckets
+
+
+class TestHashFamily:
+    def test_functions_have_distinct_salts(self):
+        fam = HashFamily(3)
+        fs = fam.functions(3, [10, 10, 10])
+        outputs = [tuple(f(i) for i in range(100)) for f in fs]
+        assert outputs[0] != outputs[1] != outputs[2]
+
+    def test_function_count_validation(self):
+        with pytest.raises(ValueError):
+            HashFamily(0).functions(2, [4])
+
+
+class TestGridPartitioner:
+    def test_bin_of_shape(self):
+        grid = GridPartitioner([4, 5, 6])
+        cell = grid.bin_of((10, 20, 30))
+        assert len(cell) == 3
+        assert all(0 <= c < s for c, s in zip(cell, (4, 5, 6)))
+        assert grid.num_bins == 120
+
+    def test_bin_is_componentwise(self):
+        # Changing one coordinate changes only that dimension's bucket.
+        grid = GridPartitioner([8, 8])
+        a = grid.bin_of((1, 2))
+        b = grid.bin_of((1, 3))
+        assert a[0] == b[0]
+
+    def test_destinations_subcube(self):
+        grid = GridPartitioner([3, 4, 5])
+        cells = grid.destinations((7, None, 9))
+        assert len(cells) == 4  # replicated along the unknown dimension
+        fixed0 = {c[0] for c in cells}
+        fixed2 = {c[2] for c in cells}
+        assert len(fixed0) == 1 and len(fixed2) == 1
+        assert {c[1] for c in cells} == {0, 1, 2, 3}
+
+    def test_destinations_fully_known_is_single_cell(self):
+        grid = GridPartitioner([3, 3])
+        cells = grid.destinations((1, 2))
+        assert cells == [grid.bin_of((1, 2))]
+
+    def test_full_replication(self):
+        grid = GridPartitioner([2, 2])
+        assert len(grid.destinations((None, None))) == 4
+
+    def test_linear_index_bijective(self):
+        grid = GridPartitioner([3, 4])
+        seen = {
+            grid.linear_index((i, j)) for i in range(3) for j in range(4)
+        }
+        assert seen == set(range(12))
+
+    def test_linear_index_bounds(self):
+        grid = GridPartitioner([3, 4])
+        with pytest.raises(ValueError):
+            grid.linear_index((3, 0))
+
+    def test_arity_checked(self):
+        grid = GridPartitioner([3, 4])
+        with pytest.raises(ValueError):
+            grid.bin_of((1,))
+        with pytest.raises(ValueError):
+            grid.destinations((1,))
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            GridPartitioner([0, 2])

@@ -1,0 +1,186 @@
+"""Tests for the one-round HyperCube algorithm (paper Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+from repro.data.generators import (
+    matching_database,
+    planted_heavy_hitter_database,
+    uniform_database,
+)
+from repro.hypercube.algorithm import resolve_shares, run_hypercube
+from repro.hypercube.analysis import (
+    predicted_load_bits,
+    predicted_load_bits_skewed,
+    predicted_load_tuples,
+)
+from repro.join.multiway import evaluate
+from repro.mpc.simulator import LoadExceededError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            triangle_query(),
+            chain_query(3),
+            star_query(3),
+            simple_join_query(),
+            binom_query(3, 2),
+        ],
+        ids=lambda q: q.name,
+    )
+    @pytest.mark.parametrize("p", [4, 8, 27])
+    def test_matches_sequential_on_matchings(self, query, p):
+        db = matching_database(query, m=40, n=200, seed=11)
+        result = run_hypercube(query, db, p, seed=5)
+        assert result.answers == evaluate(query, db)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sequential_on_uniform(self, seed):
+        q = triangle_query()
+        db = uniform_database(q, m=60, n=25, seed=seed)
+        result = run_hypercube(q, db, p=8, seed=seed)
+        assert result.answers == evaluate(q, db)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_chain_random_seeds(self, seed):
+        q = chain_query(2)
+        db = uniform_database(q, m=30, n=12, seed=seed)
+        result = run_hypercube(q, db, p=6, seed=seed)
+        assert result.answers == evaluate(q, db)
+
+    def test_correct_even_with_skew(self):
+        # Skew hurts the load, never the correctness.
+        q = simple_join_query()
+        db = planted_heavy_hitter_database(q, 50, 500, "z", 1.0, 3, seed=7)
+        result = run_hypercube(q, db, p=8, seed=1)
+        assert result.answers == evaluate(q, db)
+
+    def test_custom_shares_still_correct(self):
+        q = triangle_query()
+        db = matching_database(q, m=30, n=100, seed=3)
+        result = run_hypercube(q, db, p=8, shares={"x1": 8, "x2": 1, "x3": 1})
+        assert result.answers == evaluate(q, db)
+
+    def test_non_perfect_power_p(self):
+        q = triangle_query()
+        db = matching_database(q, m=30, n=100, seed=4)
+        result = run_hypercube(q, db, p=10, seed=2)
+        assert result.answers == evaluate(q, db)
+        assert math.prod(result.shares.values()) <= 10
+
+
+class TestShares:
+    def test_lp_shares_for_triangle(self):
+        q = triangle_query()
+        db = matching_database(q, m=64, n=256, seed=0)
+        result = run_hypercube(q, db, p=64)
+        assert result.shares == {"x1": 4, "x2": 4, "x3": 4}
+
+    def test_star_shares_go_to_z(self):
+        q = star_query(2)
+        db = matching_database(q, m=64, n=256, seed=0)
+        result = run_hypercube(q, db, p=16)
+        assert result.shares["z"] == 16
+
+    def test_resolve_shares_validation(self):
+        q = triangle_query()
+        db = matching_database(q, m=16, n=64, seed=0)
+        stats = db.statistics(q)
+        with pytest.raises(ValueError, match="exceeds"):
+            resolve_shares(q, stats, 4, shares={"x1": 4, "x2": 2, "x3": 1})
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_shares(q, stats, 4, shares={"x1": 0, "x2": 1, "x3": 1})
+
+    def test_explicit_exponents(self):
+        q = simple_join_query()
+        db = matching_database(q, m=16, n=64, seed=0)
+        result = run_hypercube(q, db, p=16, exponents={"z": 1.0})
+        assert result.shares["z"] == 16
+
+
+class TestLoads:
+    def test_matching_load_near_prediction(self):
+        # C3 with m=1500, p=64: predicted ~ m / p^{2/3} tuples/relation.
+        q = triangle_query()
+        m, p = 1500, 64
+        db = matching_database(q, m=m, n=2**14, seed=9)
+        stats = db.statistics(q)
+        result = run_hypercube(q, db, p, seed=9)
+        predicted = predicted_load_bits(q, stats, result.shares)
+        # Load counts all three relations; allow constant ~ 3x plus
+        # hashing fluctuation.
+        assert result.max_load_bits <= 5 * predicted
+        assert result.max_load_bits >= predicted  # can't beat one relation's share
+
+    def test_skewed_load_matches_corollary_4_3(self):
+        # All tuples share z: hashing on z routes them to one server.
+        q = simple_join_query()
+        m, p = 400, 16
+        db = planted_heavy_hitter_database(q, m, 4000, "z", 1.0, 5, seed=10)
+        stats = db.statistics(q)
+        result = run_hypercube(q, db, p, exponents={"z": 1.0}, seed=3)
+        skew_prediction = predicted_load_bits_skewed(q, stats, result.shares)
+        # Everything lands on one server: the load reaches Theta(M).
+        assert result.max_load_bits >= stats.bits("S1")
+        assert result.max_load_bits <= 2 * skew_prediction
+
+    def test_predicted_load_tuples_formula(self):
+        q = triangle_query()
+        db = matching_database(q, m=100, n=1000, seed=0)
+        stats = db.statistics(q)
+        shares = {"x1": 4, "x2": 4, "x3": 1}
+        # S1(x1,x2): 100/16; S2(x2,x3): 100/4; S3(x3,x1): 100/4.
+        assert predicted_load_tuples(q, stats, shares) == pytest.approx(25.0)
+
+    def test_capacity_abort(self):
+        q = simple_join_query()
+        db = planted_heavy_hitter_database(q, 200, 2000, "z", 1.0, 5, seed=1)
+        with pytest.raises(LoadExceededError):
+            run_hypercube(
+                q, db, p=16, exponents={"z": 1.0},
+                capacity_bits=100.0, on_overflow="fail",
+            )
+
+    def test_capacity_drop_loses_answers(self):
+        q = simple_join_query()
+        db = planted_heavy_hitter_database(q, 200, 2000, "z", 1.0, 5, seed=1)
+        full = evaluate(q, db)
+        result = run_hypercube(
+            q, db, p=16, exponents={"z": 1.0},
+            capacity_bits=500.0, on_overflow="drop",
+        )
+        assert result.report.dropped_bits > 0
+        assert result.answers < full  # strict subset
+
+    def test_skip_local_join(self):
+        q = triangle_query()
+        db = matching_database(q, m=50, n=200, seed=2)
+        result = run_hypercube(q, db, p=8, skip_local_join=True)
+        assert result.answers == set()
+        assert result.max_load_bits > 0
+
+
+class TestReplication:
+    def test_triangle_replication_factor(self):
+        # With shares (4,4,4), each tuple of each relation is replicated
+        # 4 times: total bits = 4 * |I|.
+        q = triangle_query()
+        db = matching_database(q, m=200, n=2048, seed=5)
+        stats = db.statistics(q)
+        result = run_hypercube(q, db, p=64, seed=5)
+        assert result.replication_rate(stats) == pytest.approx(4.0, rel=1e-6)

@@ -1,0 +1,187 @@
+"""Tests for the MPC simulator's accounting and semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpc.simulator import LoadExceededError, MPCSimulation
+
+
+class TestBitAccounting:
+    def test_bits_default_to_arity_times_value_bits(self):
+        sim = MPCSimulation(p=4, value_bits=10)
+        sim.begin_round()
+        sim.send(2, "S1", [(1, 2), (3, 4), (5, 6)])
+        load = sim.end_round()
+        assert load.bits[2] == 3 * 2 * 10
+        assert load.tuples[2] == 3
+
+    def test_bits_override(self):
+        sim = MPCSimulation(p=2, value_bits=10)
+        sim.begin_round()
+        sim.send(0, "S1", [(1,)], bits_per_tuple=100)
+        load = sim.end_round()
+        assert load.bits[0] == 100
+
+    def test_max_load_is_over_rounds_and_servers(self):
+        sim = MPCSimulation(p=3, value_bits=1)
+        sim.begin_round()
+        sim.send(0, "a", [(1, 1)])  # 2 bits
+        sim.end_round()
+        sim.begin_round()
+        sim.send(1, "a", [(1, 1), (2, 2), (3, 3)])  # 6 bits
+        sim.end_round()
+        assert sim.report.max_load_bits == 6
+        assert sim.report.num_rounds == 2
+        assert sim.report.round_max_bits(0) == 2
+
+    def test_total_and_replication(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        sim.begin_round()
+        sim.send(0, "a", [(1, 1)])
+        sim.send(1, "a", [(1, 1)])
+        sim.end_round()
+        assert sim.report.total_bits == 4
+        assert sim.report.replication_rate(input_bits=2.0) == 2.0
+        with pytest.raises(ValueError):
+            sim.report.replication_rate(0)
+
+    def test_server_total_bits(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        for _ in range(3):
+            sim.begin_round()
+            sim.send(1, "a", [(1,)])
+            sim.end_round()
+        assert sim.report.server_total_bits(1) == 3
+        assert sim.report.server_total_bits(0) == 0
+
+
+class TestSemantics:
+    def test_state_persists_across_rounds(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        sim.begin_round()
+        sim.send(0, "S", [(1, 2)])
+        sim.end_round()
+        sim.begin_round()
+        sim.send(0, "S", [(3, 4)])
+        sim.end_round()
+        assert sim.state(0)["S"] == {(1, 2), (3, 4)}
+
+    def test_broadcast(self):
+        sim = MPCSimulation(p=3, value_bits=1)
+        sim.begin_round()
+        sim.broadcast("S", [(7, 8)])
+        load = sim.end_round()
+        assert all(sim.state(s)["S"] == {(7, 8)} for s in range(3))
+        assert load.total_bits == 3 * 2
+
+    def test_outputs_union(self):
+        sim = MPCSimulation(p=3, value_bits=1)
+        sim.output(0, [(1,)])
+        sim.output(1, [(2,)])
+        sim.output(2, [(1,)])
+        assert sim.outputs() == {(1,), (2,)}
+        assert sim.outputs_of(0) == {(1,)}
+        assert sim.output_counts() == [1, 1, 1]
+
+    def test_clear_all(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        sim.begin_round()
+        sim.send(0, "S", [(1, 2)])
+        sim.send(0, "T", [(3, 4)])
+        sim.end_round()
+        sim.clear_all("S")
+        assert sim.state(0).get("S") is None
+        assert sim.state(0)["T"] == {(3, 4)}
+        sim.clear_all()
+        assert sim.state(0) == {}
+
+    def test_empty_send_costs_nothing(self):
+        sim = MPCSimulation(p=1, value_bits=8)
+        sim.begin_round()
+        sim.send(0, "S", [])
+        load = sim.end_round()
+        assert load.total_bits == 0
+
+
+class TestProtocolErrors:
+    def test_send_outside_round(self):
+        sim = MPCSimulation(p=1, value_bits=1)
+        with pytest.raises(RuntimeError, match="outside a round"):
+            sim.send(0, "S", [(1,)])
+
+    def test_double_begin(self):
+        sim = MPCSimulation(p=1, value_bits=1)
+        sim.begin_round()
+        with pytest.raises(RuntimeError, match="already inside"):
+            sim.begin_round()
+
+    def test_end_without_begin(self):
+        sim = MPCSimulation(p=1, value_bits=1)
+        with pytest.raises(RuntimeError, match="no round"):
+            sim.end_round()
+
+    def test_bad_destination(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        sim.begin_round()
+        with pytest.raises(ValueError, match="destination"):
+            sim.send(5, "S", [(1,)])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MPCSimulation(p=0, value_bits=1)
+        with pytest.raises(ValueError):
+            MPCSimulation(p=1, value_bits=0)
+        with pytest.raises(ValueError):
+            MPCSimulation(p=1, value_bits=1, on_overflow="explode")
+
+
+class TestCapacity:
+    def test_fail_mode_raises(self):
+        sim = MPCSimulation(p=1, value_bits=10, capacity_bits=25)
+        sim.begin_round()
+        sim.send(0, "S", [(1,), (2,), (3,)])  # 30 bits > 25
+        with pytest.raises(LoadExceededError) as err:
+            sim.end_round()
+        assert err.value.server == 0
+
+    def test_drop_mode_truncates(self):
+        sim = MPCSimulation(
+            p=1, value_bits=10, capacity_bits=25, on_overflow="drop"
+        )
+        sim.begin_round()
+        sim.send(0, "S", [(1,), (2,), (3,)])
+        load = sim.end_round()
+        assert load.bits[0] == 20  # two tuples fit
+        assert len(sim.state(0)["S"]) == 2
+        assert sim.report.dropped_bits == 10
+
+    def test_capacity_is_per_round(self):
+        sim = MPCSimulation(
+            p=1, value_bits=10, capacity_bits=15, on_overflow="drop"
+        )
+        for _ in range(2):
+            sim.begin_round()
+            sim.send(0, "S", [(1,), (2,)])
+            sim.end_round()
+        # One tuple delivered per round.
+        assert sim.report.max_load_bits == 10
+        assert sim.report.dropped_bits == 20
+
+    def test_under_capacity_untouched(self):
+        sim = MPCSimulation(p=1, value_bits=10, capacity_bits=100)
+        sim.begin_round()
+        sim.send(0, "S", [(1,), (2,)])
+        load = sim.end_round()
+        assert load.bits[0] == 20
+        assert sim.report.dropped_bits == 0
+
+
+class TestReportSummary:
+    def test_summary_mentions_rounds(self):
+        sim = MPCSimulation(p=2, value_bits=1)
+        sim.begin_round()
+        sim.send(0, "S", [(1,)])
+        sim.end_round()
+        text = sim.report.summary()
+        assert "p=2" in text and "round 1" in text

@@ -1,0 +1,111 @@
+"""Tests for tuple-based MPC connected components (Theorem 5.20)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.data.generators import layered_path_graph, random_graph_edges
+from repro.multiround.connected import connected_components_mpc
+
+
+def reference_components(edges, num_vertices):
+    g = nx.Graph(edges)
+    g.add_nodes_from(range(num_vertices))
+    return {frozenset(c) for c in nx.connected_components(g)}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ["hash_to_min", "label_propagation"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, algorithm, seed):
+        edges = random_graph_edges(60, 80, seed=seed)
+        result = connected_components_mpc(
+            edges, 60, p=8, seed=seed, algorithm=algorithm
+        )
+        assert result.converged
+        mine = {frozenset(c) for c in result.components().values()}
+        assert mine == reference_components(edges, 60)
+
+    @pytest.mark.parametrize("algorithm", ["hash_to_min", "label_propagation"])
+    def test_layered_graphs(self, algorithm):
+        edges, n = layered_path_graph(6, 8, seed=4)
+        result = connected_components_mpc(
+            edges, n, p=8, seed=1, algorithm=algorithm
+        )
+        mine = {frozenset(c) for c in result.components().values()}
+        assert mine == reference_components(edges, n)
+
+    def test_labels_are_component_minima(self):
+        edges = [(0, 1), (1, 2), (4, 5)]
+        result = connected_components_mpc(edges, 6, p=4, seed=0)
+        assert result.labels[0] == result.labels[1] == result.labels[2] == 0
+        assert result.labels[4] == result.labels[5] == 4
+        assert result.labels[3] == 3  # isolated
+
+    def test_empty_graph(self):
+        result = connected_components_mpc([], 5, p=2, seed=0)
+        assert result.labels == {v: v for v in range(5)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            connected_components_mpc([(0, 9)], 5, p=2)
+        with pytest.raises(ValueError):
+            connected_components_mpc([], 0, p=2)
+        with pytest.raises(ValueError):
+            connected_components_mpc([], 3, p=2, algorithm="magic")
+
+
+class TestRoundCounts:
+    def test_hash_to_min_is_logarithmic_on_paths(self):
+        # Hash-to-min on a path of length d converges in O(log d)
+        # rounds; label propagation needs Theta(d).
+        edges, n = layered_path_graph(32, 4, seed=5)
+        h2m = connected_components_mpc(edges, n, p=8, seed=2)
+        lp = connected_components_mpc(
+            edges, n, p=8, seed=2, algorithm="label_propagation"
+        )
+        assert h2m.converged and lp.converged
+        assert h2m.rounds <= 4 * math.ceil(math.log2(33))
+        assert lp.rounds >= 32  # diameter-bound flooding
+        assert h2m.rounds < lp.rounds
+
+    def test_rounds_grow_with_path_length(self):
+        lengths = [4, 16, 64]
+        rounds = []
+        for k in lengths:
+            edges, n = layered_path_graph(k, 3, seed=6)
+            result = connected_components_mpc(edges, n, p=8, seed=3)
+            rounds.append(result.rounds)
+        assert rounds[0] < rounds[1] < rounds[2]
+        # Logarithmic-ish growth: quadrupling the length adds ~constant.
+        assert rounds[2] - rounds[1] <= 2 * (rounds[1] - rounds[0]) + 2
+
+    def test_max_rounds_cutoff(self):
+        edges, n = layered_path_graph(30, 2, seed=7)
+        result = connected_components_mpc(
+            edges, n, p=4, seed=4, algorithm="label_propagation", max_rounds=3
+        )
+        assert not result.converged
+        assert result.rounds <= 4
+
+
+class TestLoads:
+    def test_load_stays_near_m_over_p(self):
+        # On the layered family the per-round load stays O(m/p) up to
+        # logs: components are small so hash-to-min clusters stay small.
+        edges, n = layered_path_graph(16, 16, seed=8)
+        p = 8
+        result = connected_components_mpc(edges, n, p=p, seed=5)
+        m_bits = len(edges) * 2 * result.report.rounds[0].bits[
+            next(iter(result.report.rounds[0].bits))
+        ] / max(
+            1, result.report.rounds[0].tuples[
+                next(iter(result.report.rounds[0].tuples))
+            ]
+        )
+        # Round-1 edge distribution: ~ 2m/p edges per server.
+        round1 = result.report.rounds[0]
+        assert round1.max_tuples <= 6 * (2 * len(edges)) / p + 16

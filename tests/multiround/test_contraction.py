@@ -1,0 +1,94 @@
+"""Tests for instance-level contraction (Lemma 5.12's construction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.families import chain_query, cycle_query
+from repro.data.generators import matching_database
+from repro.join.multiway import evaluate
+from repro.multiround.contraction import (
+    apply_permutation,
+    contract_instance,
+    contraction_identity_holds,
+    contraction_permutation,
+)
+
+
+class TestPermutation:
+    def test_identity_outside_contracted_component(self):
+        q = chain_query(3)
+        db = matching_database(q, m=10, n=20, seed=1)
+        mapping = contraction_permutation(q, db, ["S2"])
+        # x0 is not in S2's component closure via S2 alone.
+        assert mapping.apply_value("x0", 5) == 5
+
+    def test_maps_component_values_to_representative(self):
+        q = chain_query(2)
+        db = matching_database(q, m=8, n=16, seed=2)
+        mapping = contraction_permutation(q, db, ["S1"])
+        # For every S1 tuple (a, b): sigma maps both endpoints to the
+        # representative (x0's value).
+        for a, b in db["S1"]:
+            assert mapping.apply_value("x0", a) == mapping.apply_value("x1", b)
+
+    def test_rejects_nonzero_characteristic(self):
+        q = cycle_query(3)
+        db = matching_database(q, m=5, n=15, seed=3)
+        with pytest.raises(ValueError, match="characteristic"):
+            contraction_permutation(q, db, ["S1", "S2", "S3"])
+
+    def test_apply_permutation_preserves_sizes_on_matchings(self):
+        q = chain_query(3)
+        db = matching_database(q, m=12, n=12, seed=4)
+        mapping = contraction_permutation(q, db, ["S2"])
+        mapped = apply_permutation(q, db, mapping)
+        # Permutations keep matchings matchings of the same size.
+        for rel in q.relation_names:
+            assert len(mapped[rel]) == len(db[rel])
+
+
+class TestContractionIdentity:
+    @pytest.mark.parametrize(
+        "k,survivors",
+        [
+            (3, ["S1", "S3"]),
+            (5, ["S1", "S3", "S5"]),
+            (4, ["S1", "S4"]),
+            (6, ["S1", "S4"]),
+        ],
+    )
+    def test_chains(self, k, survivors):
+        q = chain_query(k)
+        db = matching_database(q, m=20, n=20, seed=k)
+        assert contraction_identity_holds(q, db, survivors)
+
+    @pytest.mark.parametrize("survivors", [["S1", "S3", "S5"], ["S1", "S4"]])
+    def test_cycles(self, survivors):
+        q = cycle_query(6)
+        db = matching_database(q, m=15, n=15, seed=7)
+        assert contraction_identity_holds(q, db, survivors)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_matchings(self, seed):
+        q = chain_query(5)
+        db = matching_database(q, m=12, n=12, seed=seed)
+        assert contraction_identity_holds(q, db, ["S1", "S3", "S5"])
+
+    def test_answer_counts_preserved_on_permutations(self):
+        # chi(q|M) = chi(q): on permutation databases both queries have
+        # ~n answers, and the contraction identity makes them equal.
+        q = chain_query(5)
+        db = matching_database(q, m=24, n=24, seed=9)
+        cq, cdb, _ = contract_instance(q, db, ["S1", "S3", "S5"])
+        assert len(evaluate(cq, cdb)) == len(evaluate(q, db))
+
+    def test_contracted_schema(self):
+        q = chain_query(5)
+        db = matching_database(q, m=6, n=12, seed=10)
+        cq, cdb, _ = contract_instance(q, db, ["S1", "S3", "S5"])
+        assert cq.num_atoms == 3
+        assert set(cdb.relation_names) == {"S1", "S3", "S5"}

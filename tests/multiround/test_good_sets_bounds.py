@@ -1,0 +1,209 @@
+"""Tests for (eps, r)-plans and the multi-round lower bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.families import chain_query, cycle_query, star_query
+from repro.multiround.good_sets import (
+    chain_epsilon_r_plan,
+    contract_to_survivors,
+    cycle_epsilon_r_plan,
+    is_epsilon_good,
+    minimal_hard_subqueries,
+    validate_plan,
+)
+from repro.multiround.lowerbounds import (
+    beta_constant,
+    chain_round_lower_bound,
+    connected_components_round_lower_bound,
+    cycle_round_lower_bound,
+    load_constant_for_failure,
+    reported_fraction_bound,
+    tau_star_of_plan,
+    tree_like_round_lower_bound,
+)
+from repro.multiround.gamma import in_gamma_1, rounds_upper_bound
+
+
+class TestContraction:
+    def test_l5_keep_alternate_atoms(self):
+        # The paper's L5/{S2,S4} example: keep S1, S3, S5.
+        q = chain_query(5)
+        contracted = contract_to_survivors(q, ["S1", "S3", "S5"])
+        assert contracted.num_atoms == 3
+        assert contracted.characteristic == q.characteristic
+
+    def test_unknown_survivor(self):
+        with pytest.raises(KeyError):
+            contract_to_survivors(chain_query(2), ["S9"])
+
+
+class TestEpsilonGood:
+    def test_alternate_atoms_good_for_chain(self):
+        q = chain_query(5)
+        assert is_epsilon_good(q, ["S1", "S3", "S5"], 0.0)
+
+    def test_adjacent_atoms_not_good(self):
+        # {S1, S2} lies inside the Gamma^1_0 subquery L2.
+        q = chain_query(5)
+        assert not is_epsilon_good(q, ["S1", "S2", "S5"], 0.0)
+
+    def test_whole_set_not_good(self):
+        q = chain_query(3)
+        assert not is_epsilon_good(q, ["S1", "S2", "S3"], 0.0)
+
+    def test_empty_not_good(self):
+        assert not is_epsilon_good(chain_query(3), [], 0.0)
+
+    def test_complement_characteristic_matters(self):
+        # For C3, dropping one atom leaves a path (chi = 0) but the two
+        # kept atoms form an L2 in Gamma^1_0: not good.
+        q = cycle_query(3)
+        assert not is_epsilon_good(q, ["S1", "S2"], 0.0)
+
+    def test_spacing_depends_on_eps(self):
+        # At eps=0.5 (k_eps = 4), distance-2 atoms violate condition 1.
+        q = chain_query(9)
+        assert is_epsilon_good(q, ["S1", "S3", "S5", "S7", "S9"], 0.0)
+        assert not is_epsilon_good(q, ["S1", "S3", "S5", "S7", "S9"], 0.5)
+        assert is_epsilon_good(q, ["S1", "S5", "S9"], 0.5)
+
+
+class TestPlans:
+    @pytest.mark.parametrize("k", [3, 5, 8, 16, 32, 64])
+    def test_chain_plan_valid_and_r_matches_lemma_5_6(self, k):
+        plan = chain_epsilon_r_plan(k, 0.0)
+        validate_plan(plan)
+        assert plan.r == max(0, math.ceil(math.log2(k)) - 2)
+
+    @pytest.mark.parametrize("k,eps", [(17, 0.5), (65, 0.5)])
+    def test_chain_plan_eps_half(self, k, eps):
+        plan = chain_epsilon_r_plan(k, eps)
+        validate_plan(plan)
+        assert plan.r >= math.ceil(math.log(k, 4)) - 2
+
+    @pytest.mark.parametrize("k", [4, 6, 12, 24])
+    def test_cycle_plan_valid(self, k):
+        plan = cycle_epsilon_r_plan(k, 0.0)
+        validate_plan(plan)
+        # Lemma 5.7 promises at least floor(log_2(k/3)).
+        assert plan.r >= math.floor(math.log2(k / 3))
+
+    def test_chain_plan_needs_hard_query(self):
+        with pytest.raises(ValueError):
+            chain_epsilon_r_plan(2, 0.0)  # L2 in Gamma^1_0
+
+    def test_cycle_plan_needs_hard_query(self):
+        with pytest.raises(ValueError):
+            cycle_epsilon_r_plan(4, 0.5)  # C4 in Gamma^1_{1/2} (m_eps=4)
+
+    def test_validate_rejects_bad_plans(self):
+        from repro.multiround.good_sets import EpsilonRPlan
+
+        q = chain_query(5)
+        bad = EpsilonRPlan(q, 0.0, (frozenset({"S1", "S2", "S5"}),))
+        with pytest.raises(ValueError):
+            validate_plan(bad)
+
+    def test_stage_queries_shrink(self):
+        plan = chain_epsilon_r_plan(16, 0.0)
+        stages = plan.stage_queries()
+        sizes = [s.num_atoms for s in stages]
+        assert sizes == sorted(sizes, reverse=True)
+        assert not in_gamma_1(stages[-1], 0.0)
+
+
+class TestRoundLowerBounds:
+    @pytest.mark.parametrize(
+        "k,expected", [(2, 1), (4, 2), (8, 3), (16, 4), (5, 3)]
+    )
+    def test_corollary_5_15(self, k, expected):
+        assert chain_round_lower_bound(k, 0.0) == expected
+
+    def test_chain_bounds_are_tight(self):
+        # The bushy-plan upper bound equals Cor 5.15's lower bound.
+        from repro.multiround.gamma import chain_rounds_upper_bound
+
+        for k in (4, 8, 16, 32):
+            for eps in (0.0, 0.5):
+                assert chain_rounds_upper_bound(
+                    k, eps
+                ) == chain_round_lower_bound(k, eps)
+
+    def test_corollary_5_17_trees(self):
+        q = chain_query(6)  # diameter 6
+        assert tree_like_round_lower_bound(q, 0.0) == 3
+        with pytest.raises(ValueError):
+            tree_like_round_lower_bound(cycle_query(4), 0.0)
+
+    @pytest.mark.parametrize("k,expected", [(5, 2), (6, 3)])
+    def test_example_5_19(self, k, expected):
+        # C6: tight 3 rounds; C5: lower bound 2, upper 3 (open gap).
+        assert cycle_round_lower_bound(k, 0.0) == expected
+        assert rounds_upper_bound(cycle_query(k), 0.0) == 3
+
+    def test_cc_bound_grows_with_p(self):
+        # The Theorem 5.20 constants are tiny (delta = 1/16 at eps=0),
+        # so growth shows at asymptotic p -- exactly the Omega(log p)
+        # claim, nothing more.
+        values = [
+            connected_components_round_lower_bound(2**e, 0.0)
+            for e in (8, 64, 256, 1024, 4096)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+        # Linear in log p: quadrupling the exponent ~ quadruples it.
+        assert values[-1] >= 2 * values[-2] - 2
+
+    def test_cc_bound_validation(self):
+        with pytest.raises(ValueError):
+            connected_components_round_lower_bound(1, 0.0)
+
+
+class TestTheorem511:
+    def test_tau_star_of_chain_plan(self):
+        # For eps=0 plans on chains, hard subqueries are L3-shaped
+        # (tau* = 2); tau*(M) should be 2.
+        plan = chain_epsilon_r_plan(16, 0.0)
+        assert tau_star_of_plan(plan) == pytest.approx(2.0)
+
+    def test_beta_positive_and_finite(self):
+        for k in (8, 16):
+            plan = chain_epsilon_r_plan(k, 0.0)
+            beta = beta_constant(plan)
+            assert 0 < beta < 100
+
+    def test_reported_fraction_small_load_vanishes(self):
+        plan = chain_epsilon_r_plan(16, 0.0)
+        m_bits = 2**22
+        p = 2**10
+        tiny_load = m_bits / p**3
+        fraction = reported_fraction_bound(plan, tiny_load, m_bits, p)
+        assert fraction < 1e-3
+
+    def test_reported_fraction_clipped(self):
+        plan = chain_epsilon_r_plan(8, 0.0)
+        assert reported_fraction_bound(plan, 2**20, 2**20, 4) == 1.0
+        assert reported_fraction_bound(plan, 0.0, 2**20, 4) == 0.0
+
+    def test_load_constant_for_failure(self):
+        plan = chain_epsilon_r_plan(16, 0.0)
+        p = 2**10
+        c = load_constant_for_failure(plan, p)
+        assert c > 0
+        m_bits = 2**22
+        load = c * m_bits / p
+        assert reported_fraction_bound(plan, load * 0.99, m_bits, p) < 1 / 9
+
+    def test_minimal_hard_subqueries_chain(self):
+        # For L4 at eps=0, the minimal hard subqueries are the two L3s.
+        subs = minimal_hard_subqueries(chain_query(4), 0.0)
+        assert len(subs) == 2
+        assert all(s.num_atoms == 3 for s in subs)
+
+    def test_minimal_hard_subqueries_star(self):
+        # Stars are easy at every eps: nothing is hard.
+        assert minimal_hard_subqueries(star_query(4), 0.0) == ()

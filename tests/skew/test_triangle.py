@@ -1,0 +1,111 @@
+"""Tests for the Section 4.2.2 skew-aware triangle algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import triangle_query
+from repro.data.generators import (
+    matching_database,
+    random_graph_edges,
+    triangle_database_from_edges,
+    uniform_database,
+    zipf_database,
+)
+from repro.hypercube.algorithm import run_hypercube
+from repro.join.multiway import evaluate
+from repro.skew.triangle import run_triangle_skew, triangle_skew_load_bound
+
+
+def hub_graph_db(hub_degree=400, path_edges=100):
+    """Hub vertex 0 with high degree; some leaf-leaf edges for triangles."""
+    edges = {(0, v) for v in range(1, hub_degree + 1)}
+    edges |= {(v, v + 1) for v in range(1, path_edges + 1)}
+    return triangle_database_from_edges(edges, hub_degree + 2)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        edges = random_graph_edges(60, 250, seed=seed)
+        db = triangle_database_from_edges(edges, 60)
+        result = run_triangle_skew(db, p=8, seed=seed)
+        assert result.answers == evaluate(triangle_query(), db)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_zipf_relations(self, seed):
+        q = triangle_query()
+        db = zipf_database(q, m=200, n=50, skew=1.1, seed=seed)
+        result = run_triangle_skew(db, p=8, seed=seed)
+        assert result.answers == evaluate(q, db)
+
+    def test_hub_graph(self):
+        db = hub_graph_db()
+        result = run_triangle_skew(db, p=27, seed=1)
+        truth = evaluate(triangle_query(), db)
+        assert len(truth) == 600  # 100 leaf edges x 6 orientations
+        assert result.answers == truth
+
+    def test_matching_instance_no_hitters(self):
+        q = triangle_query()
+        db = matching_database(q, m=60, n=300, seed=3)
+        result = run_triangle_skew(db, p=8, seed=3)
+        assert result.answers == evaluate(q, db)
+        assert all(not s for s in result.heavy2.values())
+
+    def test_two_heavy_variables_case1(self):
+        # Complete bipartite-ish core: many values heavy in two vars.
+        edges = {(u, v) for u in range(6) for v in range(6, 46)}
+        edges |= {(u, w) for u in range(6) for w in range(46, 52)}
+        edges |= {(6, 46)}
+        db = triangle_database_from_edges(edges, 60)
+        result = run_triangle_skew(db, p=8, seed=4)
+        assert result.answers == evaluate(triangle_query(), db)
+
+    def test_uniform_random_relations(self):
+        q = triangle_query()
+        db = uniform_database(q, m=120, n=30, seed=5)
+        result = run_triangle_skew(db, p=8, seed=5)
+        assert result.answers == evaluate(q, db)
+
+    def test_rejects_small_p(self):
+        db = hub_graph_db(20, 4)
+        with pytest.raises(ValueError):
+            run_triangle_skew(db, p=1)
+
+
+class TestLoads:
+    def test_beats_vanilla_hc_on_hub_graph(self):
+        db = hub_graph_db()
+        p = 27
+        skew_aware = run_triangle_skew(db, p=p, seed=1)
+        vanilla = run_hypercube(triangle_query(), db, p, seed=1)
+        assert skew_aware.answers == vanilla.answers
+        assert vanilla.max_load_bits >= 3.0 * skew_aware.max_load_bits
+
+    def test_load_within_constant_of_formula(self):
+        db = hub_graph_db()
+        p = 27
+        result = run_triangle_skew(db, p=p, seed=1)
+        assert result.max_load_bits <= 4.0 * result.predicted_load_bits
+
+    def test_servers_used_is_theta_p(self):
+        db = hub_graph_db()
+        p = 27
+        result = run_triangle_skew(db, p=p, seed=1)
+        # 4p fixed blocks + per-hitter grids; hitters are O(p^{1/3}).
+        assert result.servers_used <= 10 * p
+
+    def test_bound_reduces_to_hc_without_skew(self):
+        q = triangle_query()
+        db = matching_database(q, m=64, n=512, seed=6)
+        stats = db.statistics(q)
+        bound = triangle_skew_load_bound(db, 8)
+        assert bound == pytest.approx(stats.bits("S1") / 4.0)  # M / p^{2/3}
+
+    def test_bound_grows_with_skew(self):
+        light = triangle_skew_load_bound(
+            matching_database(triangle_query(), m=500, n=2000, seed=7), 64
+        )
+        heavy = triangle_skew_load_bound(hub_graph_db(500, 100), 64)
+        assert heavy > light
