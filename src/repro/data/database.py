@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from repro.core.query import ConjunctiveQuery
 from repro.core.stats import Statistics
 from repro.data.relation import Relation
@@ -32,6 +34,15 @@ class Database:
         self._relations: dict[str, Relation] = rels
         self.domain_size = domain_size
         for rel in rels.values():
+            arr = rel._array
+            if arr is not None:
+                if len(arr) and (arr.min() < 0 or arr.max() >= domain_size):
+                    bad = int(arr[(arr < 0) | (arr >= domain_size)].flat[0])
+                    raise ValueError(
+                        f"value {bad} in {rel.name} outside domain "
+                        f"[0, {domain_size})"
+                    )
+                continue
             for t in rel:
                 for v in t:
                     if not 0 <= v < domain_size:
@@ -84,6 +95,29 @@ class Database:
                     f"arity mismatch for {atom.relation!r}: "
                     f"atom has {atom.arity}, relation has {rel.arity}"
                 )
+
+    def arrays(self, query: ConjunctiveQuery | None = None) -> dict[str, np.ndarray]:
+        """Columnar view: relation name -> canonical ``(n, arity)`` array.
+
+        With a ``query``, only that query's relations are materialized
+        (and the instance is validated against it first).
+        """
+        if query is not None:
+            self.validate_for(query)
+            names: Iterable[str] = query.relation_names
+        else:
+            names = self._relations
+        return {name: self._relations[name].to_array() for name in names}
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], domain_size: int
+    ) -> "Database":
+        """Build a database from ``name -> (n, arity)`` integer arrays."""
+        return cls(
+            (Relation.from_array(name, arr) for name, arr in arrays.items()),
+            domain_size,
+        )
 
     def is_matching_database(self) -> bool:
         """Section 3's matching-database condition on every relation."""

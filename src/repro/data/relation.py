@@ -19,11 +19,22 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
+from repro.data.arrays import unique_rows
+
 
 class Relation:
-    """An immutable, set-semantics relation of fixed arity."""
+    """An immutable, set-semantics relation of fixed arity.
 
-    __slots__ = ("name", "arity", "_tuples", "_hash")
+    Internally the tuple set and the columnar array (see
+    :meth:`to_array`) are two interchangeable encodings; each is
+    materialized lazily from the other, so array-born relations
+    (:meth:`from_array`) pay the Python-tuple cost only if a set-style
+    API is actually used.
+    """
+
+    __slots__ = ("name", "arity", "_tuples_cache", "_hash", "_array")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple[int, ...]]):
         if arity < 1:
@@ -36,13 +47,22 @@ class Relation:
                 )
         self.name = name
         self.arity = arity
-        self._tuples = frozen
+        self._tuples_cache: frozenset[tuple[int, ...]] | None = frozen
         self._hash: int | None = None
+        self._array: np.ndarray | None = None
+
+    @property
+    def _tuples(self) -> frozenset[tuple[int, ...]]:
+        if self._tuples_cache is None:
+            self._tuples_cache = frozenset(map(tuple, self._array.tolist()))
+        return self._tuples_cache
 
     # ------------------------------------------------------------- container
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        if self._tuples_cache is None:
+            return len(self._array)  # canonical array is already deduplicated
+        return len(self._tuples_cache)
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
         return iter(self._tuples)
@@ -53,11 +73,11 @@ class Relation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return (
-            self.name == other.name
-            and self.arity == other.arity
-            and self._tuples == other._tuples
-        )
+        if self.name != other.name or self.arity != other.arity:
+            return False
+        if self._array is not None and other._array is not None:
+            return bool(np.array_equal(self._array, other._array))
+        return self._tuples == other._tuples
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -74,6 +94,57 @@ class Relation:
     def sorted_tuples(self) -> list[tuple[int, ...]]:
         """Deterministically ordered tuples (for stable iteration)."""
         return sorted(self._tuples)
+
+    # ------------------------------------------------------------- columnar
+
+    def to_array(self) -> np.ndarray:
+        """The relation as a read-only ``(len, arity)`` int64 array.
+
+        Rows are lexicographically sorted, so the array is a canonical
+        encoding of the tuple set.  The array is computed once and
+        cached on the relation; repeated calls are free, and callers
+        share the same buffer (it is marked non-writeable).
+        """
+        if self._array is None:
+            arr = np.fromiter(
+                (v for t in self._tuples for v in t),
+                dtype=np.int64,
+                count=len(self._tuples) * self.arity,
+            ).reshape(len(self._tuples), self.arity)
+            arr = arr[np.lexsort(arr.T[::-1])]
+            arr.flags.writeable = False
+            self._array = arr
+        return self._array
+
+    @classmethod
+    def from_array(cls, name: str, array: np.ndarray) -> "Relation":
+        """Build a relation from a ``(n, arity)`` integer array.
+
+        Duplicate rows collapse (set semantics).  The canonical sorted
+        array is cached on the result, so a subsequent
+        :meth:`to_array` does not re-convert.
+        """
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValueError(f"need a 2-D (n, arity) array, got shape {array.shape}")
+        if array.shape[1] < 1:
+            raise ValueError("relation arity must be >= 1")
+        if array.dtype.kind not in "iu":
+            raise TypeError(f"need an integer array, got dtype {array.dtype}")
+        canonical = unique_rows(array.astype(np.int64, copy=False))
+        canonical.flags.writeable = False
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.arity = array.shape[1]
+        relation._tuples_cache = None  # materialized on first set-API use
+        relation._hash = None
+        relation._array = canonical
+        return relation
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """Per-attribute value columns of :meth:`to_array`."""
+        arr = self.to_array()
+        return tuple(arr[:, j] for j in range(self.arity))
 
     # ------------------------------------------------------------ statistics
 

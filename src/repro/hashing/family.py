@@ -1,9 +1,24 @@
 """Seeded PRF hash functions standing in for perfectly random hashing.
 
-A :class:`HashFunction` maps integers to ``[0, buckets)`` via a keyed
-BLAKE2b digest.  Distinct ``(seed, salt)`` pairs give (for all
-statistical purposes) independent functions, matching the paper's
-assumption of independent perfectly random hash functions ``h_i``.
+A :class:`HashFunction` maps integers to ``[0, buckets)``.  Two
+interchangeable implementations share the same ``(seed, salt, buckets)``
+determinism contract:
+
+* ``"splitmix64"`` (the default): a keyed splitmix64 finalizer over
+  64-bit arithmetic.  It is a strong statistical mixer, cheap to compute
+  scalar-at-a-time, and -- crucially for the columnar execution backend
+  -- vectorizes over whole ``uint64`` columns via
+  :meth:`HashFunction.hash_array`.
+* ``"blake2b"``: the original keyed BLAKE2b digest, kept behind the
+  ``method`` flag as a cryptographic-strength cross-check.  Its
+  vectorized path hashes each *distinct* value once and scatters the
+  results, so it remains usable (if slower) from the columnar backend.
+
+Distinct ``(seed, salt)`` pairs give (for all statistical purposes)
+independent functions, matching the paper's assumption of independent
+perfectly random hash functions ``h_i``.  Scalar calls may memoize
+results in a bounded per-function cache (``cache_size``; the vectorized
+path never populates it).
 
 :class:`GridPartitioner` composes one hash function per dimension into
 the HyperCube destination map: a tuple ``(a_1, ..., a_r)`` lands in bin
@@ -15,40 +30,122 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Sequence
+from typing import Literal, Sequence
+
+import numpy as np
+
+HashMethod = Literal["splitmix64", "blake2b"]
+
+DEFAULT_CACHE_SIZE = 65_536
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer on a Python int (mod 2**64)."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a ``uint64`` array (wraps mod 2**64)."""
+    x = x + np.uint64(_GOLDEN)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+    return x ^ (x >> np.uint64(31))
 
 
 class HashFunction:
     """A deterministic pseudo-random function ``int -> [0, buckets)``."""
 
-    __slots__ = ("seed", "salt", "buckets", "_key", "_cache")
+    __slots__ = ("seed", "salt", "buckets", "method", "cache_size", "_key",
+                 "_mixkey", "_cache")
 
-    def __init__(self, seed: int, salt: int, buckets: int):
+    def __init__(
+        self,
+        seed: int,
+        salt: int,
+        buckets: int,
+        method: HashMethod = "splitmix64",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
         if buckets < 1:
             raise ValueError("need at least one bucket")
+        if method not in ("splitmix64", "blake2b"):
+            raise ValueError(f"unknown hash method {method!r}")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
         self.seed = seed
         self.salt = salt
         self.buckets = buckets
+        self.method = method
+        self.cache_size = cache_size
         self._key = struct.pack(">qq", seed & 0x7FFFFFFFFFFFFFFF, salt)
+        # Two mixing rounds decorrelate (seed, salt) pairs before the
+        # per-value round, so nearby seeds give independent functions.
+        self._mixkey = _mix64(_mix64(seed & _MASK64) ^ ((salt * _GOLDEN) & _MASK64))
         self._cache: dict[int, int] = {}
 
+    # ------------------------------------------------------------ scalar path
+
     def __call__(self, value: int) -> int:
+        if self.method == "splitmix64":
+            # Pure arithmetic; a dict probe costs as much as the mix,
+            # so the scalar splitmix path does not use the cache.
+            return _mix64((value & _MASK64) ^ self._mixkey) % self.buckets
         cached = self._cache.get(value)
         if cached is not None:
             return cached
+        out = self._blake2b_raw(value)
+        if len(self._cache) < self.cache_size:
+            self._cache[value] = out
+        return out
+
+    def _blake2b_raw(self, value: int) -> int:
+        """One keyed BLAKE2b evaluation, bypassing the cache."""
         length = max(1, (value.bit_length() + 8) // 8)
         digest = hashlib.blake2b(
             value.to_bytes(length, "big", signed=True),
             key=self._key,
             digest_size=8,
         ).digest()
-        out = int.from_bytes(digest, "big") % self.buckets
-        if len(self._cache) < 1_000_000:
-            self._cache[value] = out
-        return out
+        return int.from_bytes(digest, "big") % self.buckets
+
+    # -------------------------------------------------------- vectorized path
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        """Hash a whole column at once; never populates the scalar cache.
+
+        Agrees elementwise with :meth:`__call__` for both methods (the
+        property tests cross-check this).  Accepts any integer dtype;
+        returns ``int64`` bucket indices.
+        """
+        values = np.ascontiguousarray(values)
+        if values.dtype.kind not in "iu":
+            raise TypeError(f"hash_array needs an integer array, got {values.dtype}")
+        if self.method == "splitmix64":
+            # int64 -> uint64 wraps two's-complement, matching `& _MASK64`.
+            x = values.astype(np.uint64) ^ np.uint64(self._mixkey)
+            return (_mix64_array(x) % np.uint64(self.buckets)).astype(np.int64)
+        # blake2b: hash each distinct value once, scatter via the inverse.
+        uniq, inverse = np.unique(values, return_inverse=True)
+        table = np.fromiter(
+            (self._blake2b_raw(int(v)) for v in uniq),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        return table[inverse.reshape(values.shape)]
 
     def __repr__(self) -> str:
-        return f"HashFunction(seed={self.seed}, salt={self.salt}, buckets={self.buckets})"
+        return (
+            f"HashFunction(seed={self.seed}, salt={self.salt}, "
+            f"buckets={self.buckets}, method={self.method!r})"
+        )
 
 
 class HashFamily:
@@ -57,14 +154,25 @@ class HashFamily:
     ``family.function(salt, buckets)`` returns the same function for the
     same arguments, and statistically independent functions for
     different salts -- the shared-randomness model of Section 2.1
-    ("random bits are available to all servers").
+    ("random bits are available to all servers").  ``method`` selects the
+    implementation for every function produced by this family;
+    ``cache_size`` bounds the per-function scalar memoization cache.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(
+        self,
+        seed: int = 0,
+        method: HashMethod = "splitmix64",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
         self.seed = seed
+        self.method = method
+        self.cache_size = cache_size
 
     def function(self, salt: int, buckets: int) -> HashFunction:
-        return HashFunction(self.seed, salt, buckets)
+        return HashFunction(
+            self.seed, salt, buckets, method=self.method, cache_size=self.cache_size
+        )
 
     def functions(self, count: int, buckets: Sequence[int]) -> list[HashFunction]:
         """``count`` independent functions with per-index bucket counts."""
@@ -95,6 +203,14 @@ class GridPartitioner:
         for s in self.shares:
             out *= s
         return out
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides: ``linear_index(cell) = sum_i cell[i] * strides[i]``."""
+        out = [1] * len(self.shares)
+        for i in range(len(self.shares) - 2, -1, -1):
+            out[i] = out[i + 1] * self.shares[i + 1]
+        return tuple(out)
 
     def bin_of(self, values: Sequence[int]) -> tuple[int, ...]:
         if len(values) != len(self.shares):

@@ -15,7 +15,12 @@ single-server execution, the standard parallel hash join (all shares on
 one variable), and broadcast joins.
 """
 
-from repro.hypercube.algorithm import HyperCubeResult, run_hypercube
+from repro.hypercube.algorithm import (
+    HyperCubeResult,
+    route_relation,
+    route_relation_arrays,
+    run_hypercube,
+)
 from repro.hypercube.analysis import (
     predicted_load_bits,
     predicted_load_bits_skewed,
@@ -29,6 +34,8 @@ from repro.hypercube.baselines import (
 
 __all__ = [
     "HyperCubeResult",
+    "route_relation",
+    "route_relation_arrays",
     "run_hypercube",
     "predicted_load_bits",
     "predicted_load_bits_skewed",

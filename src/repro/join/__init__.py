@@ -11,6 +11,11 @@ baseline algorithms.
 
 from repro.join.multiway import evaluate, evaluate_on_fragments, join_order
 from repro.join.binary import hash_join, merge_schemas
+from repro.join.vectorized import (
+    UnsupportedVectorizedQuery,
+    evaluate_arrays,
+    join_arrays,
+)
 
 __all__ = [
     "evaluate",
@@ -18,4 +23,7 @@ __all__ = [
     "join_order",
     "hash_join",
     "merge_schemas",
+    "UnsupportedVectorizedQuery",
+    "evaluate_arrays",
+    "join_arrays",
 ]

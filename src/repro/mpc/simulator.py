@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
+import numpy as np
+
+from repro.data.arrays import unique_rows
 from repro.mpc.report import LoadReport, RoundLoad
 
 
@@ -48,26 +51,53 @@ class LoadExceededError(RuntimeError):
 
 @dataclass
 class ServerState:
-    """What one server has stored so far: tag -> set of tuples."""
+    """What one server has stored so far: tag -> set of tuples.
+
+    The columnar backend stores received batches as arrays instead
+    (``array_fragments``); :meth:`array_fragment` canonicalizes them
+    into one deduplicated ``(n, arity)`` array per tag.  Both stores
+    share the same bit accounting at the round barrier.
+    """
 
     server_id: int
     fragments: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+    array_fragments: dict[str, list[np.ndarray]] = field(default_factory=dict)
 
     def add(self, tag: str, tuples: Iterable[tuple[int, ...]]) -> None:
         self.fragments.setdefault(tag, set()).update(tuples)
 
+    def add_array(self, tag: str, rows: np.ndarray) -> None:
+        self.array_fragments.setdefault(tag, []).append(rows)
+
     def get(self, tag: str) -> set[tuple[int, ...]]:
         return self.fragments.get(tag, set())
 
+    def array_fragment(self, tag: str) -> np.ndarray | None:
+        """The deduplicated array stored under ``tag`` (None if absent)."""
+        batches = self.array_fragments.get(tag)
+        if not batches:
+            return None
+        if len(batches) == 1:
+            merged = batches[0]
+        else:
+            merged = np.concatenate(batches, axis=0)
+        merged = unique_rows(merged)
+        self.array_fragments[tag] = [merged]
+        return merged
+
     def tags(self) -> tuple[str, ...]:
-        return tuple(self.fragments)
+        seen = dict.fromkeys(self.fragments)
+        seen.update(dict.fromkeys(self.array_fragments))
+        return tuple(seen)
 
     def clear(self, tag: str | None = None) -> None:
         """Forget stored data (free local storage between plan stages)."""
         if tag is None:
             self.fragments.clear()
+            self.array_fragments.clear()
         else:
             self.fragments.pop(tag, None)
+            self.array_fragments.pop(tag, None)
 
 
 class MPCSimulation:
@@ -93,8 +123,11 @@ class MPCSimulation:
         self._servers = [ServerState(s) for s in range(p)]
         self._report = LoadReport(p)
         self._in_round = False
-        self._pending: list[tuple[int, str, tuple[tuple[int, ...], ...], float]] = []
+        self._pending: list[
+            tuple[int, str, tuple[tuple[int, ...], ...] | np.ndarray, float]
+        ] = []
         self._outputs: list[set[tuple[int, ...]]] = [set() for _ in range(p)]
+        self._array_outputs: list[list[np.ndarray]] = [[] for _ in range(p)]
 
     # ------------------------------------------------------------- lifecycle
 
@@ -110,9 +143,14 @@ class MPCSimulation:
             raise RuntimeError("no round in progress; call begin_round first")
         round_load = RoundLoad()
         received_bits = [0.0] * self.p
-        for dest, tag, tuples, bits_per_tuple in self._pending:
+        for dest, tag, payload, bits_per_tuple in self._pending:
+            if isinstance(payload, np.ndarray):
+                self._deliver_array(
+                    round_load, received_bits, dest, tag, payload, bits_per_tuple
+                )
+                continue
             accepted: list[tuple[int, ...]] = []
-            for t in tuples:
+            for t in payload:
                 cost = bits_per_tuple
                 if (
                     self.capacity_bits is not None
@@ -139,6 +177,41 @@ class MPCSimulation:
         self._pending = []
         return round_load
 
+    def _deliver_array(
+        self,
+        round_load: RoundLoad,
+        received_bits: list[float],
+        dest: int,
+        tag: str,
+        rows: np.ndarray,
+        bits_per_tuple: float,
+    ) -> None:
+        """Deliver an array batch with the tuple path's exact accounting.
+
+        Every row costs ``bits_per_tuple`` on receipt; under a capacity
+        cap the accepted rows are the longest prefix that fits (the
+        per-tuple loop accepts exactly that prefix, since all rows of a
+        batch share one cost).
+        """
+        accept = len(rows)
+        if self.capacity_bits is not None and bits_per_tuple > 0:
+            headroom = self.capacity_bits - received_bits[dest]
+            fit = int(headroom // bits_per_tuple) if headroom > 0 else 0
+            if fit < accept:
+                if self.on_overflow == "fail":
+                    raise LoadExceededError(
+                        dest,
+                        self._report.num_rounds + 1,
+                        received_bits[dest] + (fit + 1) * bits_per_tuple,
+                        self.capacity_bits,
+                    )
+                round_load.drop(dest, (accept - fit) * bits_per_tuple)
+                accept = fit
+        if accept:
+            received_bits[dest] += accept * bits_per_tuple
+            self._servers[dest].add_array(tag, rows[:accept])
+            round_load.add(dest, accept * bits_per_tuple, accept)
+
     # ----------------------------------------------------------- primitives
 
     def send(
@@ -160,6 +233,31 @@ class MPCSimulation:
             bits_per_tuple = len(batch[0]) * self.value_bits
         self._pending.append((dest, tag, batch, float(bits_per_tuple)))
 
+    def send_array(
+        self,
+        dest: int,
+        tag: str,
+        rows: np.ndarray,
+        bits_per_tuple: float | None = None,
+    ) -> None:
+        """Queue a ``(n, arity)`` array batch for delivery at the barrier.
+
+        Accounting is identical to :meth:`send`: each row costs
+        ``arity * value_bits`` bits on receipt unless overridden.
+        """
+        if not self._in_round:
+            raise RuntimeError("send outside a round; call begin_round first")
+        if not 0 <= dest < self.p:
+            raise ValueError(f"destination {dest} outside [0, {self.p})")
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"need a 2-D (n, arity) batch, got shape {rows.shape}")
+        if len(rows) == 0:
+            return
+        if bits_per_tuple is None:
+            bits_per_tuple = rows.shape[1] * self.value_bits
+        self._pending.append((dest, tag, rows, float(bits_per_tuple)))
+
     def broadcast(
         self,
         tag: str,
@@ -177,6 +275,20 @@ class MPCSimulation:
         """The server's stored fragments (local computation phase)."""
         return self._servers[server].fragments
 
+    def array_state(self, server: int) -> dict[str, np.ndarray]:
+        """The server's array-form fragments (columnar local phase).
+
+        Only tags that received array batches appear; each maps to one
+        deduplicated ``(n, arity)`` array.
+        """
+        state = self._servers[server]
+        out: dict[str, np.ndarray] = {}
+        for tag in state.array_fragments:
+            merged = state.array_fragment(tag)
+            if merged is not None and len(merged):
+                out[tag] = merged
+        return out
+
     def server(self, server: int) -> ServerState:
         return self._servers[server]
 
@@ -189,18 +301,56 @@ class MPCSimulation:
         """Record locally-produced answers (stays at the server)."""
         self._outputs[server].update(tuple(t) for t in tuples)
 
+    def output_array(self, server: int, rows: np.ndarray) -> None:
+        """Record locally-produced answers given as a ``(n, k)`` array."""
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"need a 2-D (n, k) answer array, got {rows.shape}")
+        if len(rows):
+            self._array_outputs[server].append(rows)
+
     def outputs(self) -> set[tuple[int, ...]]:
         """The union of all servers' outputs -- the algorithm's answer."""
         out: set[tuple[int, ...]] = set()
         for chunk in self._outputs:
             out |= chunk
+        for batches in self._array_outputs:
+            for rows in batches:
+                out.update(map(tuple, rows.tolist()))
         return out
 
+    def outputs_array(self, width: int) -> np.ndarray:
+        """All servers' outputs as one canonical ``(n, width)`` array.
+
+        The columnar counterpart of :meth:`outputs`: set-form outputs
+        are converted, array batches concatenated, and the union
+        deduplicated row-wise.
+        """
+        batches = [
+            rows for per_server in self._array_outputs for rows in per_server
+        ]
+        merged_sets = set()
+        for chunk in self._outputs:
+            merged_sets |= chunk
+        if merged_sets:
+            batches.append(
+                np.array(sorted(merged_sets), dtype=np.int64).reshape(
+                    len(merged_sets), width
+                )
+            )
+        if not batches:
+            return np.empty((0, width), dtype=np.int64)
+        return unique_rows(np.concatenate(batches, axis=0))
+
     def outputs_of(self, server: int) -> set[tuple[int, ...]]:
-        return set(self._outputs[server])
+        out = set(self._outputs[server])
+        for rows in self._array_outputs[server]:
+            out.update(map(tuple, rows.tolist()))
+        return out
 
     def output_counts(self) -> list[int]:
-        return [len(chunk) for chunk in self._outputs]
+        """Distinct answers recorded per server."""
+        return [len(self.outputs_of(s)) for s in range(self.p)]
 
     @property
     def report(self) -> LoadReport:

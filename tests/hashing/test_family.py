@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -47,6 +48,75 @@ class TestHashFunction:
     def test_any_input_in_range(self, value, buckets):
         h = HashFunction(0, 1, buckets)
         assert 0 <= h(value) < buckets
+
+
+class TestVectorizedHash:
+    @pytest.mark.parametrize("method", ["splitmix64", "blake2b"])
+    def test_hash_array_matches_scalar(self, method):
+        h = HashFunction(12345, 7, 97, method=method)
+        values = np.array(
+            list(range(-300, 300)) + [2**63 - 1, -(2**63), 0], dtype=np.int64
+        )
+        vectorized = h.hash_array(values)
+        assert vectorized.tolist() == [h(int(v)) for v in values]
+
+    @pytest.mark.parametrize("method", ["splitmix64", "blake2b"])
+    def test_hash_array_never_populates_cache(self, method):
+        h = HashFunction(1, 2, 100, method=method)
+        h.hash_array(np.arange(1000))
+        assert not h._cache
+
+    def test_hash_array_rejects_floats(self):
+        h = HashFunction(0, 0, 10)
+        with pytest.raises(TypeError):
+            h.hash_array(np.array([1.5, 2.5]))
+
+    def test_methods_differ(self):
+        split = HashFunction(5, 1, 1_000_000, method="splitmix64")
+        blake = HashFunction(5, 1, 1_000_000, method="blake2b")
+        assert [split(i) for i in range(50)] != [blake(i) for i in range(50)]
+
+    def test_splitmix_uniform(self):
+        k = 16
+        h = HashFunction(42, 9, k)
+        counts = np.bincount(h.hash_array(np.arange(16_000)), minlength=k)
+        expected = 16_000 / k
+        assert all(abs(c - expected) < 6 * math.sqrt(expected) for c in counts)
+
+
+class TestCacheBounds:
+    def test_blake2b_cache_capped(self):
+        h = HashFunction(0, 0, 10, method="blake2b", cache_size=8)
+        for i in range(50):
+            h(i)
+        assert len(h._cache) == 8
+
+    def test_cache_disabled(self):
+        h = HashFunction(0, 0, 10, method="blake2b", cache_size=0)
+        for i in range(50):
+            h(i)
+        assert not h._cache
+
+    def test_splitmix_scalar_does_not_cache(self):
+        h = HashFunction(0, 0, 10)
+        for i in range(50):
+            h(i)
+        assert not h._cache
+
+    def test_family_passes_cache_size_through(self):
+        family = HashFamily(3, method="blake2b", cache_size=4)
+        h = family.function(0, 10)
+        for i in range(20):
+            h(i)
+        assert len(h._cache) == 4
+
+    def test_rejects_negative_cache_size(self):
+        with pytest.raises(ValueError):
+            HashFunction(0, 0, 10, cache_size=-1)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            HashFunction(0, 0, 10, method="md5")
 
 
 class TestHashFamily:

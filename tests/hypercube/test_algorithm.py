@@ -15,12 +15,21 @@ from repro.core.families import (
     star_query,
     triangle_query,
 )
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.data.database import Database
 from repro.data.generators import (
     matching_database,
     planted_heavy_hitter_database,
     uniform_database,
 )
-from repro.hypercube.algorithm import resolve_shares, run_hypercube
+from repro.data.relation import Relation
+from repro.hashing.family import GridPartitioner
+from repro.hypercube.algorithm import (
+    resolve_shares,
+    route_relation,
+    route_relation_arrays,
+    run_hypercube,
+)
 from repro.hypercube.analysis import (
     predicted_load_bits,
     predicted_load_bits_skewed,
@@ -82,6 +91,65 @@ class TestCorrectness:
         result = run_hypercube(q, db, p=10, seed=2)
         assert result.answers == evaluate(q, db)
         assert math.prod(result.shares.values()) <= 10
+
+
+class TestInconsistentRepeatedVariables:
+    """Tuples binding a repeated variable inconsistently ship zero bits."""
+
+    def query(self):
+        return ConjunctiveQuery(
+            (Atom("R", ("x", "x")), Atom("S", ("x", "y"))), name="loop"
+        )
+
+    def database(self):
+        # (1, 2) and (4, 5) bind x inconsistently in R(x, x): droppable.
+        return Database(
+            [
+                Relation("R", 2, [(1, 1), (1, 2), (3, 3), (4, 5)]),
+                Relation("S", 2, [(1, 5), (3, 7)]),
+            ],
+            10,
+        )
+
+    def test_route_relation_drops_inconsistent_tuples(self):
+        grid = GridPartitioner([3, 2])
+        routed = list(
+            route_relation(grid, ("x", "y"), ("x", "x"), [(1, 1), (1, 2), (4, 5)])
+        )
+        shipped = {t for _, t in routed}
+        assert shipped == {(1, 1)}
+        # The consistent tuple replicates along the unbound y axis only.
+        assert len(routed) == 2
+
+    def test_route_relation_arrays_drops_inconsistent_tuples(self):
+        import numpy as np
+
+        grid = GridPartitioner([3, 2])
+        batches = list(
+            route_relation_arrays(
+                grid, ("x", "y"), ("x", "x"), np.array([[1, 1], [1, 2], [4, 5]])
+            )
+        )
+        shipped = {
+            tuple(row) for _, batch in batches for row in batch.tolist()
+        }
+        assert shipped == {(1, 1)}
+        assert sum(len(batch) for _, batch in batches) == 2
+
+    @pytest.mark.parametrize("backend", ["tuples", "numpy"])
+    def test_inconsistent_tuples_contribute_zero_bits(self, backend):
+        query, db = self.query(), self.database()
+        result = run_hypercube(
+            query, db, p=6, shares={"x": 3, "y": 2}, seed=0, backend=backend
+        )
+        assert result.answers == evaluate(query, db) == {(1, 5), (3, 7)}
+        # Load accounting matches Eq. 9 over *consistent* tuples only:
+        # R ships its 2 consistent tuples, replicated along y's share 2;
+        # S ships its 2 tuples exactly once each.  The 2 inconsistent
+        # R-tuples contribute zero bits.
+        bits = db.statistics(query).value_bits
+        expected = (2 * 2 + 2) * 2 * bits
+        assert result.report.total_bits == expected
 
 
 class TestShares:
