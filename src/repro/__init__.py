@@ -30,6 +30,14 @@ Package map (see DESIGN.md for the paper-section correspondence):
 * :mod:`repro.skew` -- heavy hitters, star/triangle algorithms, Thm 4.4
 * :mod:`repro.multiround` -- plans, (eps, r)-plans, connected components
 * :mod:`repro.bounds` -- one-round lower bounds, replication, entropy
+* :mod:`repro.planner` -- cost-based strategy selection (`plan`/`execute`)
+
+The planner is the front door when you don't want to pick an algorithm
+by hand::
+
+    from repro.planner import execute, plan
+    print(plan(q, db, p=64).table())   # EXPLAIN: ranked predicted costs
+    result = execute(q, db, p=64)      # runs the predicted winner
 """
 
 from repro.core import (
@@ -55,8 +63,11 @@ from repro.data import (
 from repro.hypercube import run_hypercube
 from repro.mpc import MPCSimulation
 from repro.bounds import lower_bound, upper_bound
+from repro.planner import DataStatistics, ExplainedPlan, PlannedExecution
+from repro.planner import execute as execute_query
+from repro.planner import plan as plan_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -79,5 +90,10 @@ __all__ = [
     "MPCSimulation",
     "lower_bound",
     "upper_bound",
+    "DataStatistics",
+    "ExplainedPlan",
+    "PlannedExecution",
+    "execute_query",
+    "plan_query",
     "__version__",
 ]

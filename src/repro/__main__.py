@@ -1,25 +1,101 @@
-"""``python -m repro``: a 30-second tour of the reproduction.
+"""``python -m repro``: a 30-second tour, plus the planner CLI.
 
-Prints the paper's headline numbers live: Table 2 rows, the tight
-one-round bound for the triangle query, a real HyperCube run, and the
-multi-round tradeoff for L16.  For the full harness run
-``pytest benchmarks/ --benchmark-only``.
+Without arguments, the tour prints the paper's headline numbers live
+(Table 2 rows, the tight one-round bound for the triangle query, a real
+HyperCube run, the cost-based planner's EXPLAIN table, the multi-round
+tradeoff for L16) and **exits nonzero if any check fails**, so CI can
+smoke-run it.
+
+``python -m repro plan QUERY`` prints the planner's EXPLAIN cost table
+for a named query (``triangle``, ``L5``, ``T3``, ``C4``, ``SP2``,
+``K4``, ``join``) on a generated database, and with ``--execute`` runs
+the winning strategy and reports predicted vs measured load.
+
+For the full harness run ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
-from repro import matching_database, triangle_query
+import argparse
+import re
+import sys
+
+from repro import matching_database, triangle_query, zipf_database
 from repro.bounds import lower_bound, upper_bound
-from repro.core.families import binom_query, chain_query, cycle_query, star_query
+from repro.core.families import (
+    binom_query,
+    chain_query,
+    cycle_query,
+    k4_query,
+    simple_join_query,
+    spk_query,
+    star_query,
+)
 from repro.core.packing import fractional_vertex_cover_number
+from repro.core.query import ConjunctiveQuery
 from repro.core.shares import space_exponent_bound
 from repro.hypercube import run_hypercube
 from repro.join import evaluate
 from repro.multiround.gamma import chain_rounds_upper_bound
 from repro.multiround.lowerbounds import chain_round_lower_bound
+from repro.planner import execute as planner_execute
+from repro.planner import plan as planner_plan
 
 
-def main() -> None:
+class TourCheckFailed(SystemExit):
+    """A tour invariant failed; carries exit status 1."""
+
+    def __init__(self, message: str):
+        super().__init__(1)
+        self.message = message
+
+
+def _check(condition: bool, message: str) -> None:
+    """Fail the run (exit status 1) when a tour invariant breaks.
+
+    Explicit instead of ``assert`` so the smoke tour still guards the
+    invariants under ``python -O``.
+    """
+    if not condition:
+        print(f"CHECK FAILED: {message}", file=sys.stderr)
+        raise TourCheckFailed(message)
+
+
+def parse_query(name: str) -> ConjunctiveQuery:
+    """Resolve a query name: a family shorthand or a named example.
+
+    Accepted: ``triangle``, ``join``, ``K4``, and the parameterized
+    families ``L<k>`` (chains), ``C<k>`` (cycles), ``T<k>`` (stars),
+    ``SP<k>`` and ``B<k>_<m>``.
+    """
+    flat = name.strip()
+    lowered = flat.lower()
+    if lowered in ("triangle", "c3"):
+        return triangle_query()
+    if lowered == "join":
+        return simple_join_query()
+    if lowered == "k4":
+        return k4_query()
+    match = re.fullmatch(r"(?i)(L|C|T|SP)(\d+)", flat)
+    if match:
+        kind, k = match.group(1).upper(), int(match.group(2))
+        builder = {
+            "L": chain_query,
+            "C": cycle_query,
+            "T": star_query,
+            "SP": spk_query,
+        }[kind]
+        return builder(k)
+    match = re.fullmatch(r"(?i)B(\d+)_(\d+)", flat)
+    if match:
+        return binom_query(int(match.group(1)), int(match.group(2)))
+    raise argparse.ArgumentTypeError(
+        f"unknown query {name!r} (try triangle, join, K4, L5, C4, T3, "
+        f"SP2, B4_2)"
+    )
+
+
+def run_tour() -> None:
     print("repro: Beame-Koutris-Suciu, Communication Cost in Parallel")
     print("Query Processing (EDBT 2015) -- reproduction smoke tour\n")
 
@@ -34,22 +110,113 @@ def main() -> None:
     p, m = 64, 1000
     db = matching_database(q, m=m, n=2**14, seed=0)
     stats = db.statistics(q)
+    lo, hi = lower_bound(q, stats, p), upper_bound(q, stats, p)
     print(f"\nTriangle query, p={p}, m={m} (skew-free):")
-    print(f"  L_lower = {lower_bound(q, stats, p):.0f} bits "
-          f"= L_upper = {upper_bound(q, stats, p):.0f} bits (Thm 3.15)")
+    print(f"  L_lower = {lo:.0f} bits = L_upper = {hi:.0f} bits (Thm 3.15)")
+    _check(abs(lo - hi) <= 1e-6 * max(lo, 1.0),
+           "Theorem 3.15 tightness: L_lower == L_upper")
+    expected = evaluate(q, db)
     result = run_hypercube(q, db, p, seed=0)
-    assert result.answers == evaluate(q, db)
+    _check(result.answers == expected,
+           "HyperCube answers equal the sequential join")
     print(f"  HyperCube shares {result.shares}: measured "
           f"L = {result.max_load_bits:.0f} bits, "
           f"{len(result.answers)} answers (= sequential join)")
 
+    print(f"\nCost-based planner, same triangle at p={p}:")
+    explained = planner_plan(q, db, p)
+    print(explained.table())
+    _check(len(explained.ranked) >= 5,
+           "planner ranks at least 5 strategies for the triangle")
+    planned = planner_execute(q, db, p, seed=0, stats=explained.statistics)
+    ratio = planned.report.prediction_ratio()
+    print(f"  executed {planned.strategy}: measured "
+          f"L = {planned.max_load_bits:.0f} bits "
+          f"(predicted {planned.predicted_load_bits:.0f}, "
+          f"measured/predicted = {ratio:.2f})")
+    _check(planned.answers == expected,
+           "planner-chosen execution equals the sequential join")
+    _check(planned.predicted_load_bits <= hi * len(q.atoms) + 1e-6,
+           "planner winner predicted within the one-round envelope")
+
+    zq = star_query(2)
+    zdb = zipf_database(zq, m=2000, n=2000, skew=1.0, seed=2)
+    zplanned = planner_execute(zq, zdb, 16, seed=0)
+    print(f"\nZipf-skewed star join T2 (m=2000, skew=1.0, p=16): planner "
+          f"picks {zplanned.strategy}, measured "
+          f"L = {zplanned.max_load_bits:.0f} bits")
+    _check(zplanned.answers == evaluate(zq, zdb),
+           "skewed star execution equals the sequential join")
+
     print("\nMulti-round tradeoff for L16 (Cor 5.15, tight):")
     for eps in (0.0, 0.5):
-        lo = chain_round_lower_bound(16, eps)
-        hi = chain_rounds_upper_bound(16, eps)
-        print(f"  eps = {eps}: {lo} rounds (lower = upper = {hi})")
-    print("\nRun `pytest benchmarks/ --benchmark-only` for all 16 "
-          "reproduction tables.")
+        lo_r = chain_round_lower_bound(16, eps)
+        hi_r = chain_rounds_upper_bound(16, eps)
+        _check(lo_r == hi_r, f"L16 round bound tight at eps={eps}")
+        print(f"  eps = {eps}: {lo_r} rounds (lower = upper = {hi_r})")
+    print("\nAll tour checks passed.  Run `pytest benchmarks/ "
+          "--benchmark-only` for all reproduction tables.")
+
+
+def run_plan_command(args: argparse.Namespace) -> None:
+    query = args.query
+    if args.skew > 0:
+        db = zipf_database(
+            query, m=args.m, n=args.n, skew=args.skew, seed=args.seed,
+            backend="numpy",
+        )
+        flavour = f"zipf(skew={args.skew:g})"
+    else:
+        db = matching_database(
+            query, m=args.m, n=args.n, seed=args.seed, backend="numpy"
+        )
+        flavour = "matching"
+    print(f"{flavour} database: m={args.m}, n={args.n}, seed={args.seed}\n")
+    explained = planner_plan(query, db, args.p)
+    print(explained.table())
+    if args.execute:
+        planned = planner_execute(
+            query, db, args.p, seed=args.seed, stats=explained.statistics
+        )
+        ratio = planned.report.prediction_ratio()
+        print(f"\nexecuted {planned.strategy}: measured "
+              f"L = {planned.max_load_bits:.0f} bits, "
+              f"{len(planned.answers)} answers"
+              + (f" (measured/predicted = {ratio:.2f})" if ratio else ""))
+        _check(planned.answers == evaluate(query, db),
+               "planned execution equals the sequential join")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction smoke tour and cost-based planner CLI.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    plan_parser = sub.add_parser(
+        "plan", help="print the planner's EXPLAIN cost table for a query"
+    )
+    plan_parser.add_argument("query", type=parse_query,
+                             help="triangle, join, K4, L5, C4, T3, SP2, ...")
+    plan_parser.add_argument("--p", type=int, default=64,
+                             help="number of servers (default 64)")
+    plan_parser.add_argument("--m", type=int, default=2000,
+                             help="tuples per relation (default 2000)")
+    plan_parser.add_argument("--n", type=int, default=None,
+                             help="domain size (default 4*m)")
+    plan_parser.add_argument("--skew", type=float, default=0.0,
+                             help="zipf skew; 0 generates a matching "
+                                  "database (default 0)")
+    plan_parser.add_argument("--seed", type=int, default=0)
+    plan_parser.add_argument("--execute", action="store_true",
+                             help="also run the winning strategy")
+    args = parser.parse_args(argv)
+    if args.command == "plan":
+        if args.n is None:
+            args.n = 4 * args.m
+        run_plan_command(args)
+    else:
+        run_tour()
 
 
 if __name__ == "__main__":

@@ -63,6 +63,24 @@ class ShareSolution:
         """Integer shares with product at most ``p``."""
         return integerize_shares(self.exponents, self.p)
 
+    def integer_load_bits(self, stats: Statistics) -> float:
+        """Corollary 3.3 load of the *integerized* shares, in bits.
+
+        ``max_j M_j / prod_{i in S_j} p_i`` for the rounded shares of
+        :meth:`integer_shares`.  Rounding can only lose parallelism, so
+        this is at least the fractional ``p^{lambda*}`` and is the
+        honest prediction for a real grid of ``p`` servers (what the
+        planner's cost model ranks by).
+        """
+        shares = self.integer_shares()
+        load = 0.0
+        for atom in self.query.atoms:
+            product = 1
+            for v in atom.variable_set:
+                product *= shares.get(v, 1)
+            load = max(load, stats.bits(atom.relation) / product)
+        return load
+
 
 def _mu(stats: Statistics, p: int) -> dict[str, float]:
     """``mu_j = log_p M_j`` for every relation."""

@@ -21,17 +21,31 @@
 
 Every generator takes an explicit integer ``seed`` (or an already-seeded
 ``random.Random``), so all experiments replay deterministically.
+
+The matching and zipf generators additionally accept
+``backend="numpy"``: the same distribution families drawn with a
+vectorized ``numpy.random.Generator`` stream, building relations
+column-wise (array-born via :meth:`Relation.from_array`, no Python
+tuples).  This is what makes ``n = 10^7`` planner/skew benchmark setups
+take seconds instead of minutes.  The two backends are each
+deterministic per seed but draw from *different* streams, so for equal
+seeds they produce different (equally distributed) instances.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Literal, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.query import ConjunctiveQuery
+from repro.data.arrays import encode_rows
 from repro.data.database import Database
 from repro.data.relation import Relation
+
+GeneratorBackend = Literal["python", "numpy"]
 
 
 def _rng(seed_or_rng: int | random.Random) -> random.Random:
@@ -40,22 +54,54 @@ def _rng(seed_or_rng: int | random.Random) -> random.Random:
     return random.Random(seed_or_rng)
 
 
+def _np_rng(
+    seed_or_rng: int | random.Random | np.random.Generator,
+) -> np.random.Generator:
+    """A seeded ``numpy`` generator from any accepted seed form."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, random.Random):
+        return np.random.default_rng(seed_or_rng.getrandbits(64))
+    return np.random.default_rng(seed_or_rng)
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in ("python", "numpy"):
+        raise ValueError(f"unknown generator backend {backend!r}")
+
+
 # --------------------------------------------------------------------------
 # Matching databases (Section 3.2's probability space)
 # --------------------------------------------------------------------------
 
 
 def matching_relation(
-    name: str, arity: int, m: int, n: int, seed: int | random.Random = 0
+    name: str,
+    arity: int,
+    m: int,
+    n: int,
+    seed: int | random.Random | np.random.Generator = 0,
+    backend: GeneratorBackend = "python",
 ) -> Relation:
     """A uniform random ``arity``-dimensional matching of size ``m``.
 
     Every column is a random injection ``[m] -> [n]``, so every value
     has degree exactly 1 in every column -- the paper's matching
-    condition.  Requires ``m <= n``.
+    condition.  Requires ``m <= n``.  ``backend="numpy"`` draws the
+    columns vectorized and returns an array-born relation.
     """
+    _check_backend(backend)
     if m > n:
         raise ValueError(f"matching needs m <= n (got m={m}, n={n})")
+    if backend == "numpy":
+        rng = _np_rng(seed)
+        if m == 0:
+            return Relation.from_array(name, np.empty((0, arity), dtype=np.int64))
+        columns = [
+            rng.choice(n, size=m, replace=False).astype(np.int64)
+            for _ in range(arity)
+        ]
+        return Relation.from_array(name, np.stack(columns, axis=1))
     rng = _rng(seed)
     columns = [rng.sample(range(n), m) for _ in range(arity)]
     return Relation(name, arity, set(zip(*columns)) if m else set())
@@ -66,12 +112,17 @@ def matching_database(
     m: int | Mapping[str, int],
     n: int,
     seed: int | random.Random = 0,
+    backend: GeneratorBackend = "python",
 ) -> Database:
     """A matching database for ``query`` with cardinalities ``m``."""
-    rng = _rng(seed)
+    _check_backend(backend)
+    rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
     sizes = _size_map(query, m)
     relations = [
-        matching_relation(atom.relation, atom.arity, sizes[atom.relation], n, rng)
+        matching_relation(
+            atom.relation, atom.arity, sizes[atom.relation], n, rng,
+            backend=backend,
+        )
         for atom in query.atoms
     ]
     return Database(relations, n)
@@ -121,9 +172,10 @@ def zipf_relation(
     m: int,
     n: int,
     skew: float = 1.0,
-    seed: int | random.Random = 0,
+    seed: int | random.Random | np.random.Generator = 0,
     skew_positions: Sequence[int] | None = None,
     max_attempts_factor: int = 50,
+    backend: GeneratorBackend = "python",
 ) -> Relation:
     """Up to ``m`` distinct tuples with Zipf(``skew``)-distributed values.
 
@@ -131,8 +183,16 @@ def zipf_relation(
     probability proportional to ``1/rank^skew``; other positions are
     uniform.  Because tuples are deduplicated, extremely skewed
     configurations may saturate below ``m`` distinct tuples; generation
-    stops after ``max_attempts_factor * m`` draws.
+    stops after ``max_attempts_factor * m`` draws.  ``backend="numpy"``
+    draws whole batches vectorized (inverse-CDF via ``searchsorted``)
+    and keeps the first ``m`` distinct rows in draw order.
     """
+    _check_backend(backend)
+    if backend == "numpy":
+        return _zipf_relation_numpy(
+            name, arity, m, n, skew, _np_rng(seed), skew_positions,
+            max_attempts_factor,
+        )
     rng = _rng(seed)
     positions = set(range(arity) if skew_positions is None else skew_positions)
     weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
@@ -163,17 +223,71 @@ def zipf_relation(
     return Relation(name, arity, tuples)
 
 
+def _zipf_relation_numpy(
+    name: str,
+    arity: int,
+    m: int,
+    n: int,
+    skew: float,
+    rng: np.random.Generator,
+    skew_positions: Sequence[int] | None,
+    max_attempts_factor: int,
+) -> Relation:
+    """Vectorized zipf draws: batched inverse-CDF, incremental dedup."""
+    positions = set(range(arity) if skew_positions is None else skew_positions)
+    cumulative = np.cumsum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** skew)
+    total = cumulative[-1]
+
+    # ``drawn`` always holds only the distinct rows seen so far, in draw
+    # order (matching the tuple-path semantics of "stop once m distinct
+    # tuples exist"), so each merge touches O(m + batch) rows no matter
+    # how many draws the skewed head forces us to discard.
+    drawn = np.empty((0, arity), dtype=np.int64)
+    attempts = 0
+    budget = max_attempts_factor * m
+    while len(drawn) < m and attempts < budget:
+        # Under heavy skew most draws repeat, so size the next batch by
+        # the observed acceptance rate instead of the optimistic
+        # ``m - distinct`` (which shrinks to O(1) near saturation and
+        # makes the loop quadratic).
+        rate = len(drawn) / attempts if attempts else 1.0
+        need = m - len(drawn)
+        batch = int(need / max(rate, 0.01)) + 1
+        batch = min(batch, max(4 * m, 1), budget - attempts)
+        attempts += batch
+        block = np.empty((batch, arity), dtype=np.int64)
+        for pos in range(arity):
+            if pos in positions:
+                block[:, pos] = np.searchsorted(
+                    cumulative, rng.random(batch) * total
+                )
+            else:
+                block[:, pos] = rng.integers(0, n, size=batch)
+        merged = np.concatenate([drawn, block], axis=0)
+        ids, _ = encode_rows(merged)
+        # Rows of ``drawn`` are distinct and precede the block, so first
+        # occurrences keep them (and fresh block rows) in draw order.
+        _, first_index = np.unique(ids, return_index=True)
+        drawn = merged[np.sort(first_index)]
+    return Relation.from_array(name, drawn[:m])
+
+
 def zipf_database(
     query: ConjunctiveQuery,
     m: int | Mapping[str, int],
     n: int,
     skew: float = 1.0,
     seed: int | random.Random = 0,
+    backend: GeneratorBackend = "python",
 ) -> Database:
-    rng = _rng(seed)
+    _check_backend(backend)
+    rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
     sizes = _size_map(query, m)
     relations = [
-        zipf_relation(atom.relation, atom.arity, sizes[atom.relation], n, skew, rng)
+        zipf_relation(
+            atom.relation, atom.arity, sizes[atom.relation], n, skew, rng,
+            backend=backend,
+        )
         for atom in query.atoms
     ]
     return Database(relations, n)

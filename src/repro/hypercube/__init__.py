@@ -17,6 +17,7 @@ one variable), and broadcast joins.
 
 from repro.hypercube.algorithm import (
     HyperCubeResult,
+    local_join_arrays,
     route_relation,
     route_relation_arrays,
     run_hypercube,
@@ -24,6 +25,7 @@ from repro.hypercube.algorithm import (
 from repro.hypercube.analysis import (
     predicted_load_bits,
     predicted_load_bits_skewed,
+    predicted_load_bits_with_frequencies,
     predicted_load_tuples,
 )
 from repro.hypercube.baselines import (
@@ -34,11 +36,13 @@ from repro.hypercube.baselines import (
 
 __all__ = [
     "HyperCubeResult",
+    "local_join_arrays",
     "route_relation",
     "route_relation_arrays",
     "run_hypercube",
     "predicted_load_bits",
     "predicted_load_bits_skewed",
+    "predicted_load_bits_with_frequencies",
     "predicted_load_tuples",
     "run_broadcast_join",
     "run_parallel_hash_join",

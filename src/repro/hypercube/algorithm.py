@@ -304,6 +304,34 @@ def _communicate_arrays(
     sim.end_round()
 
 
+def local_join_arrays(
+    query: ConjunctiveQuery, sim: MPCSimulation, server: int
+) -> None:
+    """Vectorized local join on one server's array fragments.
+
+    Falls back to the backtracking tuple join for queries the
+    vectorized evaluator cannot handle; outputs (if any) are recorded
+    on the simulation.  Shared by every columnar computation phase
+    (HyperCube, and the skew-aware algorithms' light parts).
+    """
+    fragments = sim.array_state(server)
+    if not fragments:
+        return
+    try:
+        local = evaluate_arrays(query, fragments)
+    except UnsupportedVectorizedQuery:
+        tuple_fragments = {
+            tag: set(map(tuple, rows.tolist()))
+            for tag, rows in fragments.items()
+        }
+        fallback = evaluate_on_fragments(query, tuple_fragments)
+        if fallback:
+            sim.output(server, fallback)
+        return
+    if len(local):
+        sim.output_array(server, local)
+
+
 def _local_joins_arrays(
     query: ConjunctiveQuery,
     partitioner: GridPartitioner,
@@ -311,19 +339,4 @@ def _local_joins_arrays(
 ) -> None:
     """The computation phase on array fragments, with tuple fallback."""
     for server in range(partitioner.num_bins):
-        fragments = sim.array_state(server)
-        if not fragments:
-            continue
-        try:
-            local = evaluate_arrays(query, fragments)
-        except UnsupportedVectorizedQuery:
-            tuple_fragments = {
-                tag: set(map(tuple, rows.tolist()))
-                for tag, rows in fragments.items()
-            }
-            fallback = evaluate_on_fragments(query, tuple_fragments)
-            if fallback:
-                sim.output(server, fallback)
-            continue
-        if len(local):
-            sim.output_array(server, local)
+        local_join_arrays(query, sim, server)

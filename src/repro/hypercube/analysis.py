@@ -47,6 +47,44 @@ def predicted_load_bits(
     )
 
 
+def predicted_load_bits_with_frequencies(
+    query: ConjunctiveQuery,
+    stats: Statistics,
+    shares: Mapping[str, int],
+    frequencies: Mapping[str, Mapping[str, Mapping[int, int]]],
+) -> float:
+    """Corollary 3.3 plus the data-dependent hotspot term, in bits.
+
+    ``frequencies[variable][relation][value]`` holds known heavy-hitter
+    frequencies ``m_j(h)`` (the paper's x-statistics, Section 4.2).
+    Every tuple of ``S_j`` carrying value ``h`` on variable ``x`` hashes
+    to the same grid coordinate on the ``x`` axis, so those tuples
+    spread over only ``prod_{i in S_j} p_i / p_x`` servers: the
+    per-relation load is at least ``m_j(h) * p_x / prod_{i in S_j} p_i``
+    tuples.  Interpolating between this and the skew-free Corollary 3.3
+    term recovers Corollary 4.3's worst case when a single value carries
+    the whole relation.
+
+    Unlike the big-O statements (which quote ``max_j``), the per-atom
+    terms are *summed*: a server receives its fragment of every
+    relation, so the sum is what a measured
+    :class:`~repro.mpc.report.LoadReport` maximum tracks.  The two
+    forms differ by at most the factor ``l``.
+    """
+    load = 0.0
+    for atom in query.atoms:
+        product = _share_product(atom.variable_set, shares)
+        tuple_load = stats.tuples(atom.relation) / product
+        for v in atom.variable_set:
+            per_relation = frequencies.get(v, {}).get(atom.relation, {})
+            if not per_relation:
+                continue
+            hottest = max(per_relation.values())
+            tuple_load = max(tuple_load, hottest * shares.get(v, 1) / product)
+        load += tuple_load * stats.bits_per_tuple(atom.relation)
+    return load
+
+
 def predicted_load_bits_skewed(
     query: ConjunctiveQuery, stats: Statistics, shares: Mapping[str, int]
 ) -> float:

@@ -43,10 +43,40 @@ class RoundLoad:
 
 @dataclass
 class LoadReport:
-    """Per-round load history of a complete MPC execution."""
+    """Per-round load history of a complete MPC execution.
+
+    When the execution was chosen by the cost-based planner, the
+    planner attaches its prediction (:meth:`attach_prediction`) so
+    every report can answer "how close was the model?" via
+    :meth:`prediction_ratio`.
+    """
 
     p: int
     rounds: list[RoundLoad] = field(default_factory=list)
+    strategy: str | None = None
+    predicted_load_bits: float | None = None
+    predicted_rounds: int | None = None
+
+    def attach_prediction(
+        self,
+        strategy: str,
+        load_bits: float,
+        rounds: int | None = None,
+    ) -> None:
+        """Record the cost model's prediction for this execution."""
+        self.strategy = strategy
+        self.predicted_load_bits = float(load_bits)
+        self.predicted_rounds = rounds
+
+    def prediction_ratio(self) -> float | None:
+        """``measured L / predicted L`` (None without a prediction).
+
+        Values near 1 mean the closed-form cost model was accurate;
+        values well below 1 mean it was conservative.
+        """
+        if not self.predicted_load_bits:
+            return None
+        return self.max_load_bits / self.predicted_load_bits
 
     @property
     def num_rounds(self) -> int:
@@ -93,4 +123,11 @@ class LoadReport:
                 f" ({r.max_tuples} tuples), total {r.total_bits:.0f} bits"
             )
         lines.append(f"  L = {self.max_load_bits:.0f} bits")
+        if self.predicted_load_bits is not None:
+            ratio = self.prediction_ratio()
+            lines.append(
+                f"  planner: strategy={self.strategy or '?'}, predicted "
+                f"L = {self.predicted_load_bits:.0f} bits"
+                + (f" (measured/predicted = {ratio:.2f})" if ratio else "")
+            )
         return "\n".join(lines)

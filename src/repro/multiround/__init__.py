@@ -27,6 +27,7 @@ from repro.multiround.gamma import (
 from repro.multiround.plans import (
     Plan,
     PlanNode,
+    candidate_plans,
     chain_plan,
     cycle_plan,
     generic_plan,
@@ -65,6 +66,7 @@ __all__ = [
     "space_exponent_for_one_round",
     "Plan",
     "PlanNode",
+    "candidate_plans",
     "chain_plan",
     "cycle_plan",
     "generic_plan",

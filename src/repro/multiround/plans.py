@@ -198,6 +198,42 @@ def cycle_plan(k: int, eps: float = 0.0) -> Plan:
     return Plan(query, root)
 
 
+def candidate_plans(
+    query: ConjunctiveQuery,
+    eps_values: Sequence[float] = (0.0, 0.5),
+    fanouts: Sequence[int] = (2, 3),
+) -> tuple[tuple[str, Plan], ...]:
+    """Enumerate labelled candidate plans for ``query``.
+
+    The pool the planner's multi-round strategy ranks over: the
+    balanced bushy :func:`generic_plan` at each ``fanout``, plus --
+    when the query is literally one of the paper's named families --
+    the specialized builders (``k_eps``-ary chain trees at each ``eps``,
+    the Lemma 5.4 cycle split, the two-round ``SP_k`` plan, the
+    one-round star plan).  Matching is by exact atom set, the naming
+    every :mod:`repro.core.families` constructor produces.
+    """
+    candidates: list[tuple[str, Plan]] = []
+    atoms = set(query.atoms)
+    ell = query.num_atoms
+    if ell < 1:
+        return ()
+    if atoms == set(star_query(ell).atoms):
+        candidates.append(("star", star_plan(ell)))
+    if atoms == set(chain_query(ell).atoms):
+        for eps in eps_values:
+            candidates.append((f"chain(eps={eps:g})", chain_plan(ell, eps)))
+    if ell >= 3 and atoms == set(cycle_query(ell).atoms):
+        for eps in eps_values:
+            candidates.append((f"cycle(eps={eps:g})", cycle_plan(ell, eps)))
+    if ell % 2 == 0 and ell >= 2 and atoms == set(spk_query(ell // 2).atoms):
+        candidates.append(("spk", spk_plan(ell // 2)))
+    if query.is_connected:
+        for fanout in fanouts:
+            candidates.append((f"bushy(fanout={fanout})", generic_plan(query, fanout)))
+    return tuple(candidates)
+
+
 def generic_plan(
     query: ConjunctiveQuery, fanout: int = 2
 ) -> Plan:

@@ -1,0 +1,299 @@
+"""Closed-form cost estimates for every strategy (no execution).
+
+Each estimator prices one algorithm family using the paper's own
+formulas, evaluated on :class:`~repro.planner.statistics.DataStatistics`
+alone:
+
+* one-round HyperCube -- LP (10) shares, integerized, priced with
+  Corollary 3.3 plus the data-dependent hotspot term of
+  :func:`~repro.hypercube.analysis.predicted_load_bits_with_frequencies`
+  (which recovers Corollary 4.3 under total skew);
+* skew-oblivious HyperCube -- the same, with LP (18) shares;
+* the skew-aware star algorithm -- Eq. (20) plus the light term,
+  priced in the sum-form server convention described below (the
+  max-form statistics-only bound lives in
+  :func:`~repro.skew.star.star_skew_load_bound_from_stats`);
+* the skew-aware triangle algorithm -- the Section 4.2.2 formula,
+  same convention (max-form:
+  :func:`~repro.skew.triangle.triangle_skew_load_bound_from_stats`);
+* multi-round plans -- per-operator LP loads summed within a round
+  (Proposition 5.1's constant-factor regime), with intermediate view
+  sizes estimated by Lemma 3.6's expected output size, clamped by the
+  AGM bound;
+* the baselines (broadcast join, parallel hash join, single server) --
+  their exact shipping formulas.
+
+All estimates are in bits of maximum per-server, per-round load -- the
+MPC model's ``L`` -- so they are directly comparable with each other,
+with the Theorem 3.15 lower bound, and with measured
+:class:`~repro.mpc.report.LoadReport` maxima.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.core.friedgut import agm_bound, expected_output_size
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.shares import (
+    integerize_shares,
+    share_exponents,
+    skew_oblivious_share_exponents,
+)
+from repro.core.stats import Statistics
+from repro.hypercube.analysis import (
+    predicted_load_bits_with_frequencies,
+)
+from repro.multiround.plans import Plan
+from repro.planner.statistics import DataStatistics
+from repro.skew.heavy_hitters import HitterStatistics
+from repro.skew.star import _heavy_allocation, star_center
+from repro.skew.triangle import _STRUCTURE as _TRIANGLE_STRUCTURE
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """A strategy's predicted cost: the two MPC metrics plus servers.
+
+    ``load_bits`` is the predicted maximum per-server, per-round load
+    ``L``; ``rounds`` the number of communication rounds; ``servers``
+    how many servers the strategy occupies (the skew-aware algorithms
+    use ``Theta(p)`` extra blocks).  ``detail`` carries a short
+    human-readable note for the EXPLAIN table (chosen shares, chosen
+    plan, ...).
+    """
+
+    load_bits: float
+    rounds: int
+    servers: int
+    detail: str = ""
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Rank by load, then fewer rounds, then fewer servers."""
+        return (self.load_bits, self.rounds, self.servers)
+
+
+# ------------------------------------------------------------------ HyperCube
+
+
+def hypercube_cost(
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    skew_oblivious: bool = False,
+) -> CostEstimate:
+    """Price one-round HyperCube with LP (10) or LP (18) shares."""
+    stats = dstats.stats
+    solve = skew_oblivious_share_exponents if skew_oblivious else share_exponents
+    solution = solve(query, stats, p)
+    shares = solution.integer_shares()
+    load = predicted_load_bits_with_frequencies(
+        query, stats, shares, dstats.frequency_maps()
+    )
+    label = "LP(18)" if skew_oblivious else "LP(10)"
+    detail = f"{label} shares " + "x".join(
+        str(shares[v]) for v in query.variables
+    )
+    return CostEstimate(load_bits=load, rounds=1, servers=p, detail=detail)
+
+
+# ------------------------------------------------------------ skew-aware star
+
+
+def star_cost(
+    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+) -> CostEstimate:
+    """Price the Section 4.2.1 star algorithm via Eq. (20)."""
+    center = star_center(query)
+    stats = dstats.stats
+    hitters = dstats.hitters.get(center)
+    if hitters is None:
+        hitters = HitterStatistics(query, center, {})
+    # Eq. (20) quotes the light part as max_j M_j/p and each heavy term
+    # as (sum_h prod_{j in I} M_j(h) / p)^{1/|I|}.  A server receives
+    # its share of every relation it participates in, so the planner
+    # prices the sums: all l relations on a light server, the |I|
+    # residual relations on a heavy-block server (the same convention
+    # as the HyperCube estimator; within the paper's O(l) constants).
+    #
+    # A hitter's frequency in a relation where it sits *below* that
+    # relation's m_j/p detection threshold is invisible to the
+    # statistics; approximate it by the threshold itself (its exact
+    # ceiling).  The executor uses exact degrees and drops hitters
+    # absent from some relation -- absent and merely-light are
+    # indistinguishable here, so the planner prices both conservatively.
+    load = sum(stats.bits(r) for r in query.relation_names) / p
+    relations = query.relation_names
+    heavy = hitters.hitters
+
+    def residual_tuples(rel: str, h: int) -> float:
+        known = hitters.frequency(rel, h)
+        return known if known > 0 else stats.tuples(rel) / p
+
+    for size in range(1, len(relations) + 1):
+        for subset in itertools.combinations(relations, size):
+            total = 0.0
+            for h in heavy:
+                product = 1.0
+                for r in subset:
+                    product *= residual_tuples(r, h) * 2 * stats.value_bits
+                total += product
+            if total > 0:
+                load = max(load, size * (total / p) ** (1.0 / size))
+
+    # Server budget: mirrors the executor's per-hitter allocation, with
+    # the same sub-threshold approximation as above.
+    bits_per_hitter: dict[int, dict[str, float]] = {
+        h: {
+            rel: residual_tuples(rel, h) * stats.value_bits
+            for rel in relations
+        }
+        for h in heavy
+    }
+    allocation = _heavy_allocation(query.relation_names, bits_per_hitter, p)
+    servers = p + sum(allocation.values())
+    detail = f"{len(hitters.hitters)} heavy hitter(s) on {center}"
+    return CostEstimate(load_bits=load, rounds=1, servers=servers, detail=detail)
+
+
+# -------------------------------------------------------- skew-aware triangle
+
+
+def triangle_cost(
+    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+) -> CostEstimate:
+    """Price the Section 4.2.2 triangle algorithm."""
+    stats = dstats.stats
+    # Sum-form convention throughout (see the module docstring): a
+    # light-block server receives fragments of all three relations, a
+    # case-2 block server its share of both residual sides.
+    load = sum(stats.bits(r) for r in query.relation_names) / p ** (2.0 / 3.0)
+    m = max(stats.tuples(r) for r in query.relation_names)
+    threshold2 = max(1.0, m / p ** (1.0 / 3.0))
+    tuple_bits = 2 * stats.value_bits
+    case2 = 0
+    for variable, (succ_rel, pred_rel, _mid) in _TRIANGLE_STRUCTURE.items():
+        stats_v = dstats.hitters.get(variable)
+        if stats_v is None:
+            continue
+        total = 0.0
+        for h in stats_v.hitters:
+            freq = max(
+                stats_v.frequency(succ_rel, h), stats_v.frequency(pred_rel, h)
+            )
+            if freq < threshold2:
+                continue
+            case2 += 1
+            total += (
+                stats_v.frequency(succ_rel, h)
+                * tuple_bits
+                * stats_v.frequency(pred_rel, h)
+                * tuple_bits
+            )
+        if total > 0:
+            load = max(load, 2.0 * math.sqrt(total / p))
+    # Light block + three case-1 blocks + >= p^{2/3} per case-2 hitter,
+    # boosted by ~p in total -- the executor's Theta(p) budget.
+    servers = 4 * p + case2 * math.ceil(p ** (2.0 / 3.0)) + (p if case2 else 0)
+    detail = f"{case2} case-2 hitter(s)"
+    return CostEstimate(load_bits=load, rounds=1, servers=servers, detail=detail)
+
+
+# -------------------------------------------------------------- multi-round
+
+
+def multiround_plan_cost(
+    plan: Plan, dstats: DataStatistics, p: int
+) -> CostEstimate:
+    """Price a query plan: per-round sums of per-operator LP loads.
+
+    Intermediate view sizes are estimated with Lemma 3.6's expected
+    output size over the matching probability space (clamped by the AGM
+    bound), so the estimate is exact in expectation for matching
+    databases and optimistic when intermediate results correlate.
+    Operators over base relations keep the hotspot correction, since
+    their frequency vectors are known.
+    """
+    stats = dstats.stats
+    frequency_maps = dstats.frequency_maps()
+    domain = stats.domain_size
+    view_sizes: dict[str, float] = {}
+    round_loads: dict[int, float] = {}
+
+    for depth, nodes in sorted(plan.root.nodes_by_depth().items()):
+        for node in nodes:
+            operator = node.operator
+            sizes: dict[str, int] = {}
+            for child in node.children:
+                if isinstance(child, Atom):
+                    sizes[child.relation] = stats.tuples(child.relation)
+                else:
+                    sizes[child.name] = int(math.ceil(view_sizes[child.name]))
+            op_stats = Statistics(operator, sizes, domain)
+            solution = share_exponents(operator, op_stats, p)
+            shares = solution.integer_shares()
+            load = predicted_load_bits_with_frequencies(
+                operator, op_stats, shares, frequency_maps
+            )
+            round_loads[depth] = round_loads.get(depth, 0.0) + load
+            estimate = expected_output_size(op_stats)
+            bound = agm_bound(operator, op_stats.tuples_vector())
+            view_sizes[node.name] = max(0.0, min(estimate, bound))
+
+    load = max(round_loads.values(), default=0.0)
+    return CostEstimate(
+        load_bits=load,
+        rounds=plan.depth,
+        servers=p,
+        detail=f"{plan.depth} round(s)",
+    )
+
+
+# ------------------------------------------------------------------ baselines
+
+
+def broadcast_cost(
+    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+) -> CostEstimate:
+    """Partition the largest relation, broadcast the rest (Lemma 3.18)."""
+    stats = dstats.stats
+    partition = max(query.relation_names, key=lambda r: stats.bits(r))
+    load = stats.bits(partition) / p + sum(
+        stats.bits(r) for r in query.relation_names if r != partition
+    )
+    return CostEstimate(
+        load_bits=load, rounds=1, servers=p, detail=f"partition {partition}"
+    )
+
+
+def hash_join_cost(
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    join_variables: tuple[str, ...],
+) -> CostEstimate:
+    """All shares spread over the common join variables (Example 4.1)."""
+    stats = dstats.stats
+    exponents = {v: 1.0 / len(join_variables) for v in join_variables}
+    shares = integerize_shares(
+        {v: exponents.get(v, 0.0) for v in query.variables}, p
+    )
+    load = predicted_load_bits_with_frequencies(
+        query, stats, shares, dstats.frequency_maps()
+    )
+    detail = "hash on " + ",".join(join_variables)
+    return CostEstimate(load_bits=load, rounds=1, servers=p, detail=detail)
+
+
+def single_server_cost(
+    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+) -> CostEstimate:
+    """Ship the whole input to one server: ``L = |I|``."""
+    return CostEstimate(
+        load_bits=dstats.stats.total_bits,
+        rounds=1,
+        servers=p,
+        detail="everything to server 0",
+    )

@@ -1,0 +1,106 @@
+"""``execute(query, db, p)``: plan, run the winner, check the model.
+
+The execution engine closes the loop the paper leaves open: collect the
+statistics every server is assumed to know, rank the strategies with
+the closed-form cost model, run the predicted-cheapest one on the MPC
+simulator, and attach the prediction to the measured
+:class:`~repro.mpc.report.LoadReport` so every run reports how close
+the model came (``report.prediction_ratio()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.query import ConjunctiveQuery
+from repro.data.database import Database
+from repro.mpc.report import LoadReport
+from repro.planner.cost import CostEstimate
+from repro.planner.optimizer import ExplainedPlan, plan
+from repro.planner.statistics import DataStatistics
+from repro.planner.strategies import Strategy, StrategyOutcome
+
+
+@dataclass
+class PlannedExecution:
+    """A planner-chosen execution: the explanation plus the outcome."""
+
+    plan: ExplainedPlan
+    outcome: StrategyOutcome
+    estimate: CostEstimate
+
+    @property
+    def strategy(self) -> str:
+        return self.outcome.strategy
+
+    @property
+    def answers(self) -> set[tuple[int, ...]]:
+        return self.outcome.answers
+
+    @property
+    def report(self) -> LoadReport:
+        return self.outcome.report
+
+    @property
+    def max_load_bits(self) -> float:
+        return self.report.max_load_bits
+
+    @property
+    def predicted_load_bits(self) -> float:
+        return self.estimate.load_bits
+
+    def summary(self) -> str:
+        """The EXPLAIN table plus the measured outcome."""
+        ratio = self.report.prediction_ratio()
+        lines = [
+            self.plan.table(),
+            f"  executed {self.strategy}: measured L = "
+            f"{self.max_load_bits:.4g} bits"
+            + (f" (measured/predicted = {ratio:.2f})" if ratio else ""),
+        ]
+        return "\n".join(lines)
+
+
+def execute(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    seed: int = 0,
+    strategy: str | None = None,
+    strategies: Sequence[Strategy] | None = None,
+    stats: DataStatistics | None = None,
+) -> PlannedExecution:
+    """Plan ``query`` against ``database`` and run the chosen strategy.
+
+    ``strategy`` forces a specific (applicable) strategy by name instead
+    of the ranked winner -- useful for ablations and for comparing the
+    planner's pick against an alternative on the same input.
+
+    ``stats`` accepts already-collected :class:`DataStatistics` (e.g.
+    ``plan(...).statistics`` from a prior call), so the common
+    plan-then-execute pattern scans the database for heavy-hitter
+    frequencies once, not twice.
+    """
+    dstats = (
+        stats
+        if stats is not None
+        else DataStatistics.from_database(query, database, p)
+    )
+    explained = plan(query, dstats, p, strategies=strategies)
+    if strategy is None:
+        candidate = explained.winner
+    else:
+        candidate = explained.candidate(strategy)
+        if not candidate.applicable:
+            raise ValueError(
+                f"strategy {strategy!r} is not applicable here: "
+                f"{candidate.reason}"
+            )
+    outcome = candidate.strategy.run(query, database, p, seed=seed, dstats=dstats)
+    outcome.report.attach_prediction(
+        candidate.name,
+        candidate.estimate.load_bits,
+        candidate.estimate.rounds,
+    )
+    return PlannedExecution(explained, outcome, candidate.estimate)

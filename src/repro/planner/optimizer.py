@@ -1,0 +1,149 @@
+"""``plan(query, stats, p)``: rank every strategy, explain the choice.
+
+The optimizer prices each registered strategy with its paper formula
+(pruning the inapplicable ones with a reason), ranks the applicable
+candidates by predicted load / rounds / servers, and returns an
+:class:`ExplainedPlan` whose :meth:`~ExplainedPlan.table` renders the
+EXPLAIN cost table -- the per-candidate comparison the paper carries
+out by hand in Sections 3-5, automated.
+
+The Theorem 3.15 one-round floor ``L_lower`` is computed alongside as
+the reference line: no one-round strategy can beat it, so a predicted
+cost close to the floor means the winner is essentially optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bounds.one_round import lower_bound
+from repro.core.query import ConjunctiveQuery
+from repro.core.stats import Statistics
+from repro.data.database import Database
+from repro.planner.cost import CostEstimate
+from repro.planner.statistics import DataStatistics
+from repro.planner.strategies import Strategy, default_strategies
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One strategy's row in the cost table (or its pruning reason)."""
+
+    strategy: Strategy
+    estimate: CostEstimate | None
+    reason: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.strategy.name
+
+    @property
+    def applicable(self) -> bool:
+        return self.estimate is not None
+
+
+@dataclass(frozen=True)
+class ExplainedPlan:
+    """The ranked cost table plus everything needed to execute/justify it.
+
+    ``candidates`` lists applicable strategies in rank order (cheapest
+    predicted load first; ties break to earlier registration), followed
+    by the pruned ones with their reasons.
+    """
+
+    query: ConjunctiveQuery
+    p: int
+    statistics: DataStatistics
+    candidates: tuple[Candidate, ...]
+    lower_bound_bits: float
+
+    @property
+    def ranked(self) -> tuple[Candidate, ...]:
+        return tuple(c for c in self.candidates if c.applicable)
+
+    @property
+    def pruned(self) -> tuple[Candidate, ...]:
+        return tuple(c for c in self.candidates if not c.applicable)
+
+    @property
+    def winner(self) -> Candidate:
+        ranked = self.ranked
+        if not ranked:
+            raise ValueError(f"no applicable strategy for {self.query}")
+        return ranked[0]
+
+    def candidate(self, name: str) -> Candidate:
+        for c in self.candidates:
+            if c.name == name:
+                return c
+        raise KeyError(f"no strategy named {name!r} in this plan")
+
+    def table(self) -> str:
+        """The EXPLAIN cost table, ready to print."""
+        stats = self.statistics.stats
+        lines = [
+            f"EXPLAIN {self.query} at p={self.p} "
+            f"(|I| = {stats.total_bits:.3g} bits, one-round floor "
+            f"L_lower = {self.lower_bound_bits:.3g} bits)"
+        ]
+        header = (
+            f"  {'rank':>4}  {'strategy':<16} {'predicted L':>14} "
+            f"{'rounds':>6} {'servers':>8}  detail"
+        )
+        lines.append(header)
+        for rank, c in enumerate(self.ranked, 1):
+            est = c.estimate
+            lines.append(
+                f"  {rank:>4}  {c.name:<16} {est.load_bits:>9.4g} bits "
+                f"{est.rounds:>6} {est.servers:>8}  {est.detail}"
+            )
+        for c in self.pruned:
+            lines.append(f"     -  {c.name:<16} pruned: {c.reason}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.table()
+
+
+def plan(
+    query: ConjunctiveQuery,
+    stats: DataStatistics | Statistics | Database,
+    p: int,
+    strategies: Sequence[Strategy] | None = None,
+) -> ExplainedPlan:
+    """Rank every strategy for ``query`` at ``p`` servers.
+
+    ``stats`` may be a full :class:`DataStatistics`, a bare
+    :class:`Statistics` (no skew information -- every strategy is priced
+    skew-free), or a :class:`Database` (statistics are collected from
+    it).  Nothing is executed.
+    """
+    dstats = DataStatistics.coerce(query, stats, p)
+    if dstats.query.relation_names != query.relation_names:
+        raise ValueError(
+            "statistics describe a different query "
+            f"({dstats.query.relation_names} vs {query.relation_names})"
+        )
+    pool = tuple(strategies) if strategies is not None else default_strategies()
+
+    applicable: list[tuple[int, Candidate]] = []
+    pruned: list[Candidate] = []
+    for order, strategy in enumerate(pool):
+        reason = strategy.applicable(query, dstats, p)
+        if reason is not None:
+            pruned.append(Candidate(strategy, None, reason))
+            continue
+        estimate = strategy.estimate(query, dstats, p)
+        applicable.append((order, Candidate(strategy, estimate)))
+
+    applicable.sort(key=lambda item: (item[1].estimate.sort_key(), item[0]))
+    candidates = tuple(c for _, c in applicable) + tuple(pruned)
+    floor = lower_bound(query, dstats.stats, p) if p >= 1 else 0.0
+    return ExplainedPlan(
+        query=query,
+        p=p,
+        statistics=dstats,
+        candidates=candidates,
+        lower_bound_bits=floor,
+    )

@@ -1,0 +1,101 @@
+"""Everything the planner knows about the data, without touching it.
+
+The paper's algorithm-selection story is driven by exactly two kinds of
+information, both of which the MPC model assumes every server holds in
+advance:
+
+* cardinality statistics ``m_j`` / ``M_j`` (:class:`Statistics`,
+  Section 3), and
+* per-variable heavy-hitter frequency vectors ``m_j(h)``
+  (:class:`HitterStatistics`, the x-statistics of Section 4.2 -- at
+  most ``p`` values per relation, "an O(p) amount of information").
+
+:class:`DataStatistics` bundles the two.  Cost models consume it; no
+strategy is executed to produce a cost estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.stats import Statistics
+from repro.data.database import Database
+from repro.skew.heavy_hitters import HitterStatistics
+
+
+@dataclass(frozen=True)
+class DataStatistics:
+    """Cardinalities plus per-variable heavy-hitter frequency vectors.
+
+    ``hitters[v]`` holds the frequency vectors ``m_j(h)`` of variable
+    ``v`` over the relations containing it, restricted to values at or
+    above the detection threshold (``m_j / p`` by default).  An empty
+    ``hitters`` map encodes "cardinalities only" -- the planner then
+    prices every strategy with its skew-free formula.
+    """
+
+    stats: Statistics
+    hitters: Mapping[str, HitterStatistics] = field(default_factory=dict)
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self.stats.query
+
+    @classmethod
+    def from_database(
+        cls,
+        query: ConjunctiveQuery,
+        database: Database,
+        p: int,
+        threshold_fraction: float = 1.0,
+    ) -> "DataStatistics":
+        """Collect cardinalities and all per-variable hitter vectors.
+
+        Detection is exact with the per-relation threshold
+        ``threshold_fraction * m_j / p`` -- the same convention the
+        skew-aware executors use, so predictions and executions see the
+        same heavy hitters.
+        """
+        stats = database.statistics(query)
+        hitters = {
+            v: HitterStatistics.from_database(
+                query, database, v, threshold_fraction, p
+            )
+            for v in query.variables
+        }
+        return cls(stats, hitters)
+
+    @classmethod
+    def coerce(
+        cls,
+        query: ConjunctiveQuery,
+        source: "DataStatistics | Statistics | Database",
+        p: int,
+    ) -> "DataStatistics":
+        """Accept any of the three statistics carriers ``plan()`` takes."""
+        if isinstance(source, DataStatistics):
+            return source
+        if isinstance(source, Database):
+            return cls.from_database(query, source, p)
+        if isinstance(source, Statistics):
+            return cls(source)
+        raise TypeError(
+            f"expected DataStatistics, Statistics or Database, got "
+            f"{type(source).__name__}"
+        )
+
+    def frequency(self, variable: str, relation: str, value: int) -> int:
+        """``m_relation(value)`` on ``variable`` (0 when unknown/light)."""
+        stats_v = self.hitters.get(variable)
+        if stats_v is None:
+            return 0
+        return stats_v.frequency(relation, value)
+
+    def frequency_maps(self) -> dict[str, dict[str, dict[int, int]]]:
+        """``variable -> relation -> value -> frequency`` (hitters only)."""
+        return {
+            v: {rel: dict(freqs) for rel, freqs in stats_v.frequencies.items()}
+            for v, stats_v in self.hitters.items()
+        }

@@ -1,0 +1,328 @@
+"""The strategy registry: every executor behind one interface.
+
+A :class:`Strategy` knows three things about one algorithm family:
+
+* whether it *applies* to a query at all (the star algorithm only runs
+  star queries, the triangle algorithm only the paper's ``C3``, ...),
+* what the paper predicts it would *cost* (closed forms from
+  :mod:`repro.planner.cost`; nothing is executed), and
+* how to *run* it on a concrete database, normalizing every executor's
+  result into a :class:`StrategyOutcome`.
+
+:func:`default_strategies` lists the built-in registry in priority
+order (ties in predicted cost resolve to the earlier entry);
+:func:`register` appends project-specific strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import ConjunctiveQuery
+from repro.data.database import Database
+from repro.hypercube.algorithm import run_hypercube
+from repro.hypercube.baselines import (
+    run_broadcast_join,
+    run_parallel_hash_join,
+    run_single_server,
+)
+from repro.mpc.report import LoadReport
+from repro.multiround.executor import run_plan
+from repro.multiround.plans import Plan, candidate_plans
+from repro.planner.cost import (
+    CostEstimate,
+    broadcast_cost,
+    hash_join_cost,
+    hypercube_cost,
+    multiround_plan_cost,
+    single_server_cost,
+    star_cost,
+    triangle_cost,
+)
+from repro.planner.statistics import DataStatistics
+from repro.skew.oblivious import run_skew_oblivious_hypercube
+from repro.skew.star import run_star_skew, star_center
+from repro.skew.triangle import is_triangle_query, run_triangle_skew
+
+
+@dataclass
+class StrategyOutcome:
+    """A finished strategy execution in normalized form."""
+
+    strategy: str
+    answers: set[tuple[int, ...]]
+    report: LoadReport
+    servers_used: int
+    raw: object
+
+    @property
+    def max_load_bits(self) -> float:
+        return self.report.max_load_bits
+
+
+class Strategy:
+    """One algorithm family the planner can choose.
+
+    Subclasses set ``name`` / ``summary`` and implement
+    :meth:`applicable`, :meth:`estimate` and :meth:`run`.
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def applicable(
+        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    ) -> str | None:
+        """None when the strategy applies; otherwise the pruning reason."""
+        if p < 2:
+            return "needs p >= 2"
+        return None
+
+    def estimate(
+        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    ) -> CostEstimate:
+        raise NotImplementedError
+
+    def run(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        p: int,
+        seed: int = 0,
+        dstats: DataStatistics | None = None,
+    ) -> StrategyOutcome:
+        """Execute on ``database``.  ``dstats`` lets a caller that has
+        already collected :class:`DataStatistics` (the engine plans
+        before it runs) pass them in, so strategies that can reuse them
+        (multiround plan choice, star hitter detection) skip a second
+        scan; the triangle executor needs *full* frequency maps the
+        thresholded statistics don't carry, and the rest ignore it."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Strategy {self.name}>"
+
+
+class OneRoundHyperCube(Strategy):
+    """Vanilla HyperCube with LP (10) shares (Section 3.1)."""
+
+    def __init__(self, backend: str = "tuples"):
+        self.backend = backend
+        self.name = "hypercube" if backend == "tuples" else f"hypercube-{backend}"
+        self.summary = (
+            "one-round HyperCube, LP(10) shares"
+            + ("" if backend == "tuples" else f", {backend} backend")
+        )
+
+    def estimate(self, query, dstats, p):
+        return hypercube_cost(query, dstats, p)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_hypercube(query, database, p, seed=seed, backend=self.backend)
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+class SkewObliviousHyperCube(Strategy):
+    """HyperCube with the LP (18) skew-resistant shares (Section 4.1)."""
+
+    name = "skew-oblivious"
+    summary = "HyperCube, LP(18) worst-case-skew shares"
+
+    def estimate(self, query, dstats, p):
+        return hypercube_cost(query, dstats, p, skew_oblivious=True)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_skew_oblivious_hypercube(query, database, p, seed=seed)
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+class SkewAwareStar(Strategy):
+    """The Section 4.2.1 star-query algorithm (per-hitter blocks)."""
+
+    name = "skew-star"
+    summary = "skew-aware star algorithm, Eq. (20) load"
+
+    def applicable(self, query, dstats, p):
+        base = super().applicable(query, dstats, p)
+        if base:
+            return base
+        try:
+            star_center(query)
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+    def estimate(self, query, dstats, p):
+        return star_cost(query, dstats, p)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        hitters = dstats.hitters.get(star_center(query)) if dstats else None
+        result = run_star_skew(query, database, p, seed=seed, hitters=hitters)
+        return StrategyOutcome(
+            self.name, result.answers, result.report, result.servers_used, result
+        )
+
+
+class SkewAwareTriangle(Strategy):
+    """The Section 4.2.2 triangle algorithm (light/case-1/case-2)."""
+
+    name = "skew-triangle"
+    summary = "skew-aware triangle algorithm (Section 4.2.2)"
+
+    def applicable(self, query, dstats, p):
+        base = super().applicable(query, dstats, p)
+        if base:
+            return base
+        if not is_triangle_query(query):
+            return "only the C3 triangle query"
+        return None
+
+    def estimate(self, query, dstats, p):
+        return triangle_cost(query, dstats, p)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_triangle_skew(database, p, seed=seed)
+        return StrategyOutcome(
+            self.name, result.answers, result.report, result.servers_used, result
+        )
+
+
+class MultiRoundPlan(Strategy):
+    """The cheapest enumerated query plan, run round by round (Section 5)."""
+
+    name = "multiround"
+    summary = "multi-round query plan (Proposition 5.1)"
+
+    def applicable(self, query, dstats, p):
+        base = super().applicable(query, dstats, p)
+        if base:
+            return base
+        if not candidate_plans(query):
+            return "no candidate plan (disconnected query)"
+        return None
+
+    def best_plan(
+        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    ) -> tuple[str, Plan, CostEstimate]:
+        """The minimum-predicted-cost plan from :func:`candidate_plans`."""
+        best: tuple[str, Plan, CostEstimate] | None = None
+        for label, plan in candidate_plans(query):
+            estimate = multiround_plan_cost(plan, dstats, p)
+            if best is None or estimate.sort_key() < best[2].sort_key():
+                best = (label, plan, estimate)
+        if best is None:
+            raise ValueError("no candidate plan for this query")
+        label, plan, estimate = best
+        detail = f"plan {label}, {estimate.detail}"
+        return label, plan, CostEstimate(
+            estimate.load_bits, estimate.rounds, estimate.servers, detail
+        )
+
+    def estimate(self, query, dstats, p):
+        return self.best_plan(query, dstats, p)[2]
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        if dstats is None:
+            dstats = DataStatistics.from_database(query, database, p)
+        _, plan, _ = self.best_plan(query, dstats, p)
+        result = run_plan(plan, database, p, seed=seed)
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+class ParallelHashJoin(Strategy):
+    """The textbook parallel hash join on the common variables."""
+
+    name = "hash-join"
+    summary = "parallel hash join on the shared variable(s)"
+
+    @staticmethod
+    def _join_variables(query: ConjunctiveQuery) -> tuple[str, ...]:
+        return tuple(
+            v
+            for v in query.variables
+            if all(v in a.variable_set for a in query.atoms)
+        )
+
+    def applicable(self, query, dstats, p):
+        base = super().applicable(query, dstats, p)
+        if base:
+            return base
+        if not self._join_variables(query):
+            return "no variable common to all atoms"
+        return None
+
+    def estimate(self, query, dstats, p):
+        return hash_join_cost(query, dstats, p, self._join_variables(query))
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_parallel_hash_join(
+            query, database, p,
+            join_variables=self._join_variables(query), seed=seed,
+        )
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+class BroadcastJoin(Strategy):
+    """Partition the largest relation, broadcast the rest (Lemma 3.18)."""
+
+    name = "broadcast"
+    summary = "partition largest relation, broadcast the rest"
+
+    def estimate(self, query, dstats, p):
+        return broadcast_cost(query, dstats, p)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_broadcast_join(query, database, p, seed=seed)
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+class SingleServer(Strategy):
+    """The degenerate ``L = |I|`` baseline (Section 2.1)."""
+
+    name = "single-server"
+    summary = "ship everything to one server"
+
+    def applicable(self, query, dstats, p):
+        if p < 1:
+            return "needs p >= 1"
+        return None
+
+    def estimate(self, query, dstats, p):
+        return single_server_cost(query, dstats, p)
+
+    def run(self, query, database, p, seed=0, dstats=None):
+        result = run_single_server(query, database, p)
+        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+
+
+# Registration order doubles as the cost tie-break (see optimizer.plan).
+# The tuple HyperCube deliberately precedes its columnar twin: the two
+# backends are bit-identical in communication cost -- the model prices
+# bits, not wall-clock -- and the tuple path is the repo's ground truth
+# (making numpy the default is a separate, explicit switch per the
+# ROADMAP).  Force the columnar executor with
+# ``execute(..., strategy="hypercube-numpy")``.
+_REGISTRY: list[Strategy] = [
+    OneRoundHyperCube("tuples"),
+    OneRoundHyperCube("numpy"),
+    SkewObliviousHyperCube(),
+    SkewAwareStar(),
+    SkewAwareTriangle(),
+    MultiRoundPlan(),
+    ParallelHashJoin(),
+    BroadcastJoin(),
+    SingleServer(),
+]
+
+
+def default_strategies() -> tuple[Strategy, ...]:
+    """The built-in registry, in tie-breaking priority order."""
+    return tuple(_REGISTRY)
+
+
+def register(strategy: Strategy) -> Strategy:
+    """Append a strategy to the default registry (returns it)."""
+    if any(s.name == strategy.name for s in _REGISTRY):
+        raise ValueError(f"strategy name {strategy.name!r} already registered")
+    _REGISTRY.append(strategy)
+    return strategy

@@ -25,13 +25,20 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
 
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.hashing.family import GridPartitioner, HashFamily
-from repro.hypercube.algorithm import route_relation
+from repro.hypercube.algorithm import (
+    local_join_arrays,
+    route_relation,
+    route_relation_arrays,
+)
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
@@ -80,6 +87,15 @@ def _star_center(query: ConjunctiveQuery) -> str:
     return center
 
 
+def star_center(query: ConjunctiveQuery) -> str:
+    """The center variable of a binary star query.
+
+    Raises ``ValueError`` when the query is not a star (used by the
+    planner to decide whether the Section 4.2.1 algorithm applies).
+    """
+    return _star_center(query)
+
+
 def _heavy_allocation(
     relations: tuple[str, ...],
     bits_per_hitter: dict[int, dict[str, float]],
@@ -111,6 +127,8 @@ def run_star_skew(
     database: Database,
     p: int,
     seed: int = 0,
+    backend: Literal["tuples", "numpy"] = "tuples",
+    hitters: HitterStatistics | None = None,
 ) -> StarSkewResult:
     """Run the Section 4.2.1 algorithm in one MPC round.
 
@@ -118,13 +136,35 @@ def run_star_skew(
     ``m_j / p`` (the model assumes this information is available to
     every server).  Correctness is unconditional; the load bound is
     Eq. (20) plus the light-part ``O(max_j M_j / p)``.
+
+    ``hitters`` accepts center-variable statistics a caller has already
+    collected with the same ``m_j / p`` threshold (the planner's engine
+    does), skipping the detection scan here; the result is identical to
+    detecting in-place.
+
+    ``backend="numpy"`` routes the *light* part columnar (whole
+    relations as arrays through
+    :func:`~repro.hypercube.algorithm.route_relation_arrays`, vectorized
+    local joins on the light servers) -- bit-identical loads and
+    answers; the per-hitter residual blocks are small by construction
+    and stay on the tuple path.
     """
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
+    if backend not in ("tuples", "numpy"):
+        raise ValueError(f"unknown backend {backend!r}")
     database.validate_for(query)
     center = _star_center(query)
     stats = database.statistics(query)
-    hitters = HitterStatistics.from_database(query, database, center, 1.0, p)
+    if hitters is None:
+        hitters = HitterStatistics.from_database(
+            query, database, center, 1.0, p
+        )
+    elif hitters.variable != center:
+        raise ValueError(
+            f"hitter statistics describe {hitters.variable!r}, "
+            f"not the star center {center!r}"
+        )
     heavy_values = set(hitters.hitters)
 
     leg_of = {
@@ -159,9 +199,20 @@ def run_star_skew(
     dims = query.variables  # (z, x_1, ..., x_l) in head order
     light_shares = [p if v == center else 1 for v in dims]
     light_grid = GridPartitioner(light_shares, family)
+    heavy_array = np.fromiter(sorted(heavy_values), dtype=np.int64,
+                              count=len(heavy_values))
     for atom in query.atoms:
         relation = database[atom.relation]
         zpos = center_pos[atom.relation]
+        if backend == "numpy":
+            rows = relation.to_array()
+            if len(heavy_array):
+                rows = rows[~np.isin(rows[:, zpos], heavy_array)]
+            for server, batch in route_relation_arrays(
+                light_grid, dims, atom.variables, rows
+            ):
+                sim.send_array(server, atom.relation, batch)
+            continue
         light = [t for t in relation if t[zpos] not in heavy_values]
         batches: dict[int, list[tuple[int, ...]]] = {}
         for server, t in route_relation(light_grid, dims, atom.variables, light):
@@ -221,6 +272,9 @@ def run_star_skew(
     head = query.variables
     leg_order = [leg_of[a.relation] for a in query.atoms]
     for server in range(p):
+        if backend == "numpy":
+            local_join_arrays(query, sim, server)
+            continue
         local = evaluate_on_fragments(query, sim.state(server))
         if local:
             sim.output(server, local)
@@ -263,6 +317,26 @@ def star_skew_load_bound(
     center = _star_center(query)
     stats = database.statistics(query)
     hitters = HitterStatistics.from_database(query, database, center, 1.0, p)
+    return star_skew_load_bound_from_stats(query, stats, hitters, p)
+
+
+def star_skew_load_bound_from_stats(
+    query: ConjunctiveQuery,
+    stats: Statistics,
+    hitters: HitterStatistics,
+    p: int,
+) -> float:
+    """Eq. (20) evaluated from statistics alone (no database access).
+
+    Needs only the cardinalities ``M_j`` and the center-variable
+    frequency vectors ``M_j(h)`` of :class:`HitterStatistics` --
+    exactly the information the paper assumes every server knows in
+    advance.  The planner's estimator
+    (:func:`repro.planner.cost.star_cost`) prices the same terms under
+    its sum-form server convention, so the two deliberately differ in
+    per-term constants; this max-form bound matches the paper's
+    statement verbatim.
+    """
     bound = max(stats.bits(r) / p for r in query.relation_names)
     relations = query.relation_names
     heavy = hitters.hitters

@@ -29,13 +29,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Literal, Mapping
+
+import numpy as np
 
 from repro.core.families import triangle_query
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares
+from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.hashing.family import GridPartitioner, HashFamily
-from repro.hypercube.algorithm import route_relation
+from repro.hypercube.algorithm import (
+    local_join_arrays,
+    route_relation,
+    route_relation_arrays,
+)
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
@@ -78,10 +86,21 @@ def run_triangle_skew(
     database: Database,
     p: int,
     seed: int = 0,
+    backend: Literal["tuples", "numpy"] = "tuples",
 ) -> TriangleSkewResult:
-    """Run the Section 4.2.2 algorithm in one MPC round."""
+    """Run the Section 4.2.2 algorithm in one MPC round.
+
+    ``backend="numpy"`` routes the *light* block columnar (array
+    routing through
+    :func:`~repro.hypercube.algorithm.route_relation_arrays`, vectorized
+    local joins on the light servers) -- bit-identical loads and
+    answers.  The case-1/case-2 blocks handle the few heavy values and
+    stay on the tuple path.
+    """
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
+    if backend not in ("tuples", "numpy"):
+        raise ValueError(f"unknown backend {backend!r}")
     query = triangle_query()
     database.validate_for(query)
     stats = database.statistics(query)
@@ -146,6 +165,21 @@ def run_triangle_skew(
     light_grid = GridPartitioner([light_shares[v] for v in dims], family)
     for atom in query.atoms:
         a, b = atom.variables
+        if backend == "numpy":
+            rows = database[atom.relation].to_array()
+            mask = np.ones(len(rows), dtype=bool)
+            for position, variable in ((0, a), (1, b)):
+                heavy = np.fromiter(
+                    sorted(heavy2[variable]), dtype=np.int64,
+                    count=len(heavy2[variable]),
+                )
+                if len(heavy):
+                    mask &= ~np.isin(rows[:, position], heavy)
+            for server, batch in route_relation_arrays(
+                light_grid, dims, atom.variables, rows[mask]
+            ):
+                sim.send_array(server, atom.relation, batch)
+            continue
         light = [
             t
             for t in database[atom.relation]
@@ -228,6 +262,10 @@ def run_triangle_skew(
 
     # ---------------- Computation phase. --------------------------------
     for server in range(4 * p):
+        if backend == "numpy" and server < p:
+            # Light-block servers hold array fragments in this mode.
+            local_join_arrays(query, sim, server)
+            continue
         local = evaluate_on_fragments(query, sim.state(server))
         if local:
             sim.output(server, local)
@@ -293,6 +331,57 @@ def triangle_skew_load_bound(database: Database, p: int) -> float:
         if total > 0:
             bound = max(bound, math.sqrt(total / p))
     return bound
+
+
+def triangle_skew_load_bound_from_stats(
+    stats: Statistics,
+    hitters: Mapping[str, "HitterStatistics"],
+    p: int,
+) -> float:
+    """The Section 4.2.2 load formula from statistics alone, in bits.
+
+    ``hitters`` maps each triangle variable to its
+    :class:`~repro.skew.heavy_hitters.HitterStatistics` (frequency
+    vectors at the ``m_j / p`` threshold).  Frequencies below a
+    relation's own threshold are unknown to the statistics and count as
+    0, so this prediction can sit slightly below the exact
+    :func:`triangle_skew_load_bound`; the dominant term -- values heavy
+    in both adjacent relations -- is identical.
+    """
+    query = triangle_query()
+    m = max(stats.tuples(r) for r in query.relation_names)
+    threshold2 = max(1.0, m / p ** (1.0 / 3.0))
+    bound = max(stats.bits(r) for r in query.relation_names) / p ** (2.0 / 3.0)
+    tuple_bits = 2 * stats.value_bits
+    for variable in query.variables:
+        stats_v = hitters.get(variable)
+        if stats_v is None:
+            continue
+        succ_rel, pred_rel, _mid = _STRUCTURE[variable]
+        total = 0.0
+        for value in stats_v.hitters:
+            freq = max(
+                stats_v.frequency(succ_rel, value),
+                stats_v.frequency(pred_rel, value),
+            )
+            if freq < threshold2:
+                continue
+            mr = stats_v.frequency(succ_rel, value) * tuple_bits
+            mt = stats_v.frequency(pred_rel, value) * tuple_bits
+            total += mr * mt
+        if total > 0:
+            bound = max(bound, math.sqrt(total / p))
+    return bound
+
+
+def is_triangle_query(query: ConjunctiveQuery) -> bool:
+    """True when ``query`` is literally the paper's ``C3`` triangle.
+
+    The Section 4.2.2 executor is hard-wired to the relation/variable
+    naming of :func:`~repro.core.families.triangle_query`; the planner
+    offers it exactly for that query.
+    """
+    return set(query.atoms) == set(triangle_query().atoms)
 
 
 def _other_variable(

@@ -196,3 +196,29 @@ class TestIntegerization:
         shares = integerize_shares({"x": 1.0, "y": 0.0}, 16)
         assert shares["y"] == 1
         assert shares["x"] == 16
+
+
+class TestIntegerLoadBits:
+    def test_at_least_fractional_load(self):
+        for query in (triangle_query(), star_query(3), chain_query(4)):
+            stats = uniform_stats(query)
+            solution = share_exponents(query, stats, 64)
+            assert solution.integer_load_bits(stats) >= solution.load_bits - 1e-6
+
+    def test_exact_on_perfect_cube(self):
+        # Triangle at p=64: integer shares 4x4x4 equal the fractional
+        # optimum, so the integerized load equals p^lambda = M/p^{2/3}.
+        query = triangle_query()
+        stats = uniform_stats(query)
+        solution = share_exponents(query, stats, 64)
+        expected = stats.bits("S1") / 16
+        assert solution.integer_load_bits(stats) == pytest.approx(expected)
+        assert solution.load_bits == pytest.approx(expected)
+
+    def test_rounding_penalty_visible_off_cube(self):
+        # p=50 cannot be split 3 ways evenly; the integerized load is
+        # strictly above the fractional bound.
+        query = triangle_query()
+        stats = uniform_stats(query)
+        solution = share_exponents(query, stats, 50)
+        assert solution.integer_load_bits(stats) > solution.load_bits

@@ -1,0 +1,242 @@
+"""Planner behaviour: ranking, pruning, execution, acceptance margins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import (
+    chain_query,
+    simple_join_query,
+    star_query,
+    triangle_query,
+)
+from repro.core.stats import Statistics
+from repro.data.generators import (
+    matching_database,
+    planted_heavy_hitter_database,
+    zipf_database,
+)
+from repro.hypercube.algorithm import run_hypercube
+from repro.join.multiway import evaluate
+from repro.planner import (
+    DataStatistics,
+    OneRoundHyperCube,
+    Strategy,
+    default_strategies,
+    execute,
+    plan,
+    register,
+)
+
+
+class TestPlanTable:
+    def test_triangle_covers_at_least_five_strategies(self):
+        """Acceptance: ranked cost table >= 5 strategies for C3."""
+        q = triangle_query()
+        stats = Statistics.uniform(q, m=1000, domain_size=4096)
+        explained = plan(q, stats, 64)
+        assert len(explained.ranked) >= 5
+        names = {c.name for c in explained.ranked}
+        assert {"hypercube", "skew-oblivious", "skew-triangle",
+                "multiround"} <= names
+
+    def test_accepts_statistics_database_and_datastatistics(self):
+        q = triangle_query()
+        db = matching_database(q, m=200, n=1024, seed=0)
+        from_stats = plan(q, db.statistics(q), 16)
+        from_db = plan(q, db, 16)
+        from_dstats = plan(q, DataStatistics.from_database(q, db, 16), 16)
+        for explained in (from_stats, from_db, from_dstats):
+            assert explained.winner.applicable
+        # A matching database has no heavy hitters, so all three agree.
+        assert from_db.winner.name == from_dstats.winner.name
+
+    def test_rejects_mismatched_statistics(self):
+        q = triangle_query()
+        other = star_query(2)
+        stats = Statistics.uniform(other, m=100, domain_size=100)
+        with pytest.raises(ValueError, match="different query"):
+            plan(q, stats, 16)
+
+    def test_pruning_reasons(self):
+        q = chain_query(3)
+        stats = Statistics.uniform(q, m=100, domain_size=100)
+        explained = plan(q, stats, 16)
+        pruned = {c.name: c.reason for c in explained.pruned}
+        assert "skew-star" in pruned
+        assert "skew-triangle" in pruned
+        assert "hash-join" in pruned
+        for reason in pruned.values():
+            assert reason
+
+    def test_table_renders(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, m=1000, domain_size=4096)
+        explained = plan(q, stats, 64)
+        table = explained.table()
+        assert "EXPLAIN" in table
+        assert "pruned" in table
+        assert "hypercube" in table
+        assert str(explained) == table
+
+    def test_ranking_is_by_predicted_load(self):
+        q = triangle_query()
+        stats = Statistics.uniform(q, m=1000, domain_size=4096)
+        explained = plan(q, stats, 64)
+        loads = [c.estimate.load_bits for c in explained.ranked]
+        assert loads == sorted(loads)
+        assert explained.lower_bound_bits > 0
+        assert explained.winner.estimate.load_bits >= 0
+
+
+class TestSkewRouting:
+    """The planner switches strategy exactly when skew warrants it."""
+
+    def test_matching_star_prefers_hypercube(self):
+        q = star_query(2)
+        db = matching_database(q, m=1000, n=8192, seed=1)
+        explained = plan(q, db, 16)
+        assert explained.winner.name == "hypercube"
+
+    def test_skewed_star_prefers_skew_aware(self):
+        q = star_query(2)
+        db = zipf_database(q, m=2000, n=2000, skew=1.0, seed=2)
+        explained = plan(q, db, 16)
+        assert explained.winner.name == "skew-star"
+
+    def test_threshold_crossing(self):
+        """Planner flips to skew-star once a hitter crosses m/p."""
+        q = star_query(2)
+        p = 16
+        light = planted_heavy_hitter_database(
+            q, m=1600, n=8192, variable="z", hitter_fraction=0.01, seed=3
+        )
+        heavy = planted_heavy_hitter_database(
+            q, m=1600, n=8192, variable="z", hitter_fraction=0.5, seed=3
+        )
+        assert plan(q, light, p).winner.name == "hypercube"
+        assert plan(q, heavy, p).winner.name == "skew-star"
+
+    def test_skewed_triangle_prefers_skew_triangle(self):
+        q = triangle_query()
+        db = planted_heavy_hitter_database(
+            q, m=2000, n=10000, variable="x1", hitter_fraction=0.5, seed=3
+        )
+        explained = plan(q, db, 64)
+        assert explained.winner.name == "skew-triangle"
+
+
+class TestExecute:
+    @pytest.mark.parametrize(
+        "query,db_seed",
+        [
+            (triangle_query(), 0),
+            (star_query(2), 1),
+            (chain_query(3), 2),
+            (simple_join_query(), 3),
+        ],
+        ids=["triangle", "star", "chain", "join"],
+    )
+    def test_answers_match_sequential_join(self, query, db_seed):
+        """Acceptance: execute() is bit-identical to join.evaluate."""
+        db = matching_database(query, m=300, n=2048, seed=db_seed)
+        result = execute(query, db, 16, seed=db_seed)
+        assert result.answers == evaluate(query, db)
+
+    def test_skewed_answers_match_sequential_join(self):
+        q = star_query(2)
+        db = zipf_database(q, m=1000, n=1000, skew=1.0, seed=5)
+        result = execute(q, db, 16)
+        assert result.answers == evaluate(q, db)
+
+    def test_execute_reuses_precomputed_statistics(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=2048, seed=0)
+        explained = plan(q, db, 16)
+        result = execute(q, db, 16, stats=explained.statistics)
+        assert result.plan.statistics is explained.statistics
+        assert result.answers == evaluate(q, db)
+
+    def test_prediction_attached_to_report(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=2048, seed=0)
+        result = execute(q, db, 16)
+        report = result.report
+        assert report.strategy == result.strategy
+        assert report.predicted_load_bits == result.predicted_load_bits
+        assert report.prediction_ratio() is not None
+        assert "planner" in report.summary()
+
+    def test_forced_strategy(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=2048, seed=0)
+        result = execute(q, db, 16, strategy="hypercube-numpy")
+        assert result.strategy == "hypercube-numpy"
+        assert result.answers == evaluate(q, db)
+
+    def test_forcing_inapplicable_strategy_raises(self):
+        q = chain_query(3)
+        db = matching_database(q, m=100, n=1024, seed=0)
+        with pytest.raises(ValueError, match="not applicable"):
+            execute(q, db, 16, strategy="skew-star")
+
+    def test_summary_renders(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=2048, seed=0)
+        result = execute(q, db, 16)
+        summary = result.summary()
+        assert "EXPLAIN" in summary
+        assert "executed" in summary
+
+
+class TestAcceptanceMargin:
+    def test_zipf_star_beats_hypercube_by_predicted_margin(self):
+        """Acceptance: on a zipf-skewed star join the planner's pick
+        beats vanilla HyperCube's measured max-load by the margin its
+        own cost model predicted, within 2x."""
+        q = star_query(2)
+        p = 16
+        db = zipf_database(q, m=2000, n=2000, skew=1.0, seed=2)
+
+        explained = plan(q, db, p)
+        winner = explained.winner
+        assert winner.name != "hypercube"
+        predicted_margin = (
+            explained.candidate("hypercube").estimate.load_bits
+            / winner.estimate.load_bits
+        )
+        assert predicted_margin > 1.0
+
+        hc = run_hypercube(q, db, p, seed=0)
+        picked = execute(q, db, p, seed=0)
+        measured_margin = hc.max_load_bits / picked.max_load_bits
+        assert measured_margin > 1.0, "planner's pick must actually win"
+        agreement = measured_margin / predicted_margin
+        assert 0.5 <= agreement <= 2.0, (
+            f"measured margin {measured_margin:.2f} vs predicted "
+            f"{predicted_margin:.2f}"
+        )
+
+
+class TestRegistry:
+    def test_default_strategies_have_unique_names(self):
+        names = [s.name for s in default_strategies()]
+        assert len(names) == len(set(names))
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(OneRoundHyperCube("tuples"))
+
+    def test_register_and_use_custom_strategy(self):
+        class Never(Strategy):
+            name = "never"
+            summary = "always pruned"
+
+            def applicable(self, query, dstats, p):
+                return "test strategy, never applicable"
+
+        q = triangle_query()
+        stats = Statistics.uniform(q, m=100, domain_size=128)
+        pool = list(default_strategies()) + [Never()]
+        explained = plan(q, stats, 16, strategies=pool)
+        assert explained.candidate("never").reason
