@@ -37,12 +37,14 @@ def chain_tradeoff() -> None:
     print(f"=== {query.name}: rounds vs load on p={p}, m=n={m} ===")
     for eps, label in ((0.0, "binary bushy tree"), (0.5, "4-ary bushy tree")):
         plan = chain_plan(k, eps)
-        result = run_plan(plan, db, p, seed=2)
-        assert result.answers == truth
+        result = run_plan(plan, db, p, seed=2)  # columnar by default
+        reference = run_plan(plan, db, p, seed=2, backend="tuples")
+        assert result.answers == reference.answers == truth
+        assert result.report.total_bits == reference.report.total_bits
         print(
             f"eps={eps}: {label}: {result.rounds} rounds, "
             f"max load {result.max_load_bits:.0f} bits "
-            f"(M_rel = {stats.bits('S1'):.0f})"
+            f"(M_rel = {stats.bits('S1'):.0f}; tuple backend identical)"
         )
 
     for eps in (0.0, 0.5):

@@ -38,8 +38,15 @@ by hand::
     from repro.planner import execute, plan
     print(plan(q, db, p=64).table())   # EXPLAIN: ranked predicted costs
     result = execute(q, db, p=64)      # runs the predicted winner
+
+Every executor and generator runs the columnar (``"numpy"``) engine by
+default; the tuple-at-a-time reference path is one switch away::
+
+    import repro
+    repro.set_default_backend("tuples")   # system-wide ground-truth mode
 """
 
+from repro.config import default_backend, set_default_backend
 from repro.core import (
     Atom,
     ConjunctiveQuery,
@@ -67,7 +74,7 @@ from repro.planner import DataStatistics, ExplainedPlan, PlannedExecution
 from repro.planner import execute as execute_query
 from repro.planner import plan as plan_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",
@@ -87,6 +94,8 @@ __all__ = [
     "uniform_database",
     "zipf_database",
     "run_hypercube",
+    "default_backend",
+    "set_default_backend",
     "MPCSimulation",
     "lower_bound",
     "upper_bound",

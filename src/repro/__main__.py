@@ -20,7 +20,13 @@ import argparse
 import re
 import sys
 
-from repro import matching_database, triangle_query, zipf_database
+from repro import (
+    default_backend,
+    matching_database,
+    set_default_backend,
+    triangle_query,
+    zipf_database,
+)
 from repro.bounds import lower_bound, upper_bound
 from repro.core.families import (
     binom_query,
@@ -97,7 +103,9 @@ def parse_query(name: str) -> ConjunctiveQuery:
 
 def run_tour() -> None:
     print("repro: Beame-Koutris-Suciu, Communication Cost in Parallel")
-    print("Query Processing (EDBT 2015) -- reproduction smoke tour\n")
+    print("Query Processing (EDBT 2015) -- reproduction smoke tour")
+    print(f"execution backend: {default_backend()} "
+          "(see --backend / repro.set_default_backend)\n")
 
     print("Table 2 (tau*, one-round space exponent):")
     for query in (cycle_query(3), cycle_query(6), star_query(3),
@@ -192,6 +200,12 @@ def main(argv: list[str] | None = None) -> None:
         prog="python -m repro",
         description="Reproduction smoke tour and cost-based planner CLI.",
     )
+    parser.add_argument(
+        "--backend", choices=("tuples", "numpy"), default=None,
+        help="system-wide execution backend for this run "
+             "(default: numpy, the columnar engine; tuples is the "
+             "tuple-at-a-time reference path)",
+    )
     sub = parser.add_subparsers(dest="command")
     plan_parser = sub.add_parser(
         "plan", help="print the planner's EXPLAIN cost table for a query"
@@ -210,7 +224,15 @@ def main(argv: list[str] | None = None) -> None:
     plan_parser.add_argument("--seed", type=int, default=0)
     plan_parser.add_argument("--execute", action="store_true",
                              help="also run the winning strategy")
+    # Accept the global flag after the subcommand too; SUPPRESS keeps a
+    # pre-subcommand value from being clobbered by a subparser default.
+    plan_parser.add_argument(
+        "--backend", choices=("tuples", "numpy"), default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_default_backend(args.backend)
     if args.command == "plan":
         if args.n is None:
             args.n = 4 * args.m

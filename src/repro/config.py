@@ -1,0 +1,99 @@
+"""The system-wide execution-backend switch.
+
+Every executor and generator in the package takes ``backend=None`` and
+resolves it here, so one module-level default decides whether the whole
+system runs columnar (``"numpy"``: vectorized routing, array payloads
+in the simulator, vectorized local joins) or tuple-at-a-time
+(``"tuples"``: the original, obviously-correct reference path).  The
+two are bit-identical in answers and per-server/per-round loads -- the
+property suites in ``tests/hypercube/test_backends.py`` and
+``tests/multiround/test_executor_backends.py`` enforce it -- so the
+default is the fast one, and the reference path stays one flag away::
+
+    import repro
+    repro.set_default_backend("tuples")   # system-wide ground-truth mode
+    ...
+    repro.set_default_backend("numpy")    # back to fast-by-default
+
+Generators are deliberately *not* coupled to the execution switch:
+their two streams (``"python"`` / ``"numpy"``) draw different --
+equally distributed -- instances for the same seed, so if switching
+engines also switched the generator stream, regenerating the same
+database under ``set_default_backend("tuples")`` would silently change
+the data and masquerade as a backend bit-identity violation.  They
+default to the vectorized ``"numpy"`` stream
+(:data:`DEFAULT_GENERATOR_BACKEND`) and take an explicit ``backend=``
+per call.
+
+This module is a leaf: it imports nothing from :mod:`repro`, so any
+submodule may consult it without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+Backend = Literal["tuples", "numpy"]
+GeneratorBackend = Literal["python", "numpy"]
+
+#: The shipped default: columnar execution everywhere.
+DEFAULT_BACKEND: Backend = "numpy"
+
+#: The generator-stream default: vectorized draws, independent of the
+#: execution switch (see the module docstring for why).
+DEFAULT_GENERATOR_BACKEND: GeneratorBackend = "numpy"
+
+_EXECUTION_BACKENDS = ("tuples", "numpy")
+_GENERATOR_BACKENDS = ("python", "numpy")
+
+_default_backend: Backend = DEFAULT_BACKEND
+
+
+def default_backend() -> Backend:
+    """The currently active system-wide execution backend."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> Backend:
+    """Set the system-wide default backend; returns the previous one.
+
+    Affects every executor and generator called with ``backend=None``
+    (the HyperCube driver, the skew-aware star/triangle algorithms, the
+    multi-round plan executor, and the matching/zipf generators).
+    """
+    global _default_backend
+    if backend not in _EXECUTION_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {_EXECUTION_BACKENDS})"
+        )
+    previous = _default_backend
+    _default_backend = backend  # type: ignore[assignment]
+    return previous
+
+
+def resolve_backend(backend: str | None) -> Backend:
+    """An explicit execution backend, or the system-wide default."""
+    if backend is None:
+        return _default_backend
+    if backend not in _EXECUTION_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (expected one of {_EXECUTION_BACKENDS})"
+        )
+    return backend  # type: ignore[return-value]
+
+
+def resolve_generator_backend(backend: str | None) -> GeneratorBackend:
+    """An explicit generator stream, or :data:`DEFAULT_GENERATOR_BACKEND`.
+
+    Deliberately independent of :func:`set_default_backend`: the
+    streams draw different instances per seed, and the same database
+    must be reproducible regardless of the execution engine.
+    """
+    if backend is None:
+        return DEFAULT_GENERATOR_BACKEND
+    if backend not in _GENERATOR_BACKENDS:
+        raise ValueError(
+            f"unknown generator backend {backend!r} "
+            f"(expected one of {_GENERATOR_BACKENDS})"
+        )
+    return backend  # type: ignore[return-value]

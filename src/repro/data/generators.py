@@ -22,14 +22,19 @@
 Every generator takes an explicit integer ``seed`` (or an already-seeded
 ``random.Random``), so all experiments replay deterministically.
 
-The matching and zipf generators additionally accept
-``backend="numpy"``: the same distribution families drawn with a
-vectorized ``numpy.random.Generator`` stream, building relations
-column-wise (array-born via :meth:`Relation.from_array`, no Python
-tuples).  This is what makes ``n = 10^7`` planner/skew benchmark setups
-take seconds instead of minutes.  The two backends are each
-deterministic per seed but draw from *different* streams, so for equal
-seeds they produce different (equally distributed) instances.
+The matching and zipf generators additionally accept a ``backend``:
+``"python"`` draws from a ``random.Random`` stream, ``"numpy"`` draws
+the same distribution families with a vectorized
+``numpy.random.Generator`` stream, building relations column-wise
+(array-born via :meth:`Relation.from_array`, no Python tuples).  The
+columnar stream is what makes ``n = 10^7`` planner/skew benchmark
+setups take seconds instead of minutes; ``backend=None`` resolves to
+``repro.config.DEFAULT_GENERATOR_BACKEND`` (``"numpy"``), which is
+deliberately independent of the execution-engine switch.  The two
+backends are each deterministic per seed but draw from *different*
+streams, so for equal seeds they produce different (equally
+distributed) instances -- which is exactly why switching execution
+engines must not silently switch the generator stream.
 """
 
 from __future__ import annotations
@@ -40,12 +45,11 @@ from typing import Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 
+from repro.config import GeneratorBackend, resolve_generator_backend
 from repro.core.query import ConjunctiveQuery
 from repro.data.arrays import encode_rows
 from repro.data.database import Database
 from repro.data.relation import Relation
-
-GeneratorBackend = Literal["python", "numpy"]
 
 
 def _rng(seed_or_rng: int | random.Random) -> random.Random:
@@ -65,11 +69,6 @@ def _np_rng(
     return np.random.default_rng(seed_or_rng)
 
 
-def _check_backend(backend: str) -> None:
-    if backend not in ("python", "numpy"):
-        raise ValueError(f"unknown generator backend {backend!r}")
-
-
 # --------------------------------------------------------------------------
 # Matching databases (Section 3.2's probability space)
 # --------------------------------------------------------------------------
@@ -81,7 +80,7 @@ def matching_relation(
     m: int,
     n: int,
     seed: int | random.Random | np.random.Generator = 0,
-    backend: GeneratorBackend = "python",
+    backend: GeneratorBackend | None = None,
 ) -> Relation:
     """A uniform random ``arity``-dimensional matching of size ``m``.
 
@@ -90,7 +89,7 @@ def matching_relation(
     condition.  Requires ``m <= n``.  ``backend="numpy"`` draws the
     columns vectorized and returns an array-born relation.
     """
-    _check_backend(backend)
+    backend = resolve_generator_backend(backend)
     if m > n:
         raise ValueError(f"matching needs m <= n (got m={m}, n={n})")
     if backend == "numpy":
@@ -112,10 +111,10 @@ def matching_database(
     m: int | Mapping[str, int],
     n: int,
     seed: int | random.Random = 0,
-    backend: GeneratorBackend = "python",
+    backend: GeneratorBackend | None = None,
 ) -> Database:
     """A matching database for ``query`` with cardinalities ``m``."""
-    _check_backend(backend)
+    backend = resolve_generator_backend(backend)
     rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
     sizes = _size_map(query, m)
     relations = [
@@ -175,7 +174,7 @@ def zipf_relation(
     seed: int | random.Random | np.random.Generator = 0,
     skew_positions: Sequence[int] | None = None,
     max_attempts_factor: int = 50,
-    backend: GeneratorBackend = "python",
+    backend: GeneratorBackend | None = None,
 ) -> Relation:
     """Up to ``m`` distinct tuples with Zipf(``skew``)-distributed values.
 
@@ -187,7 +186,7 @@ def zipf_relation(
     draws whole batches vectorized (inverse-CDF via ``searchsorted``)
     and keeps the first ``m`` distinct rows in draw order.
     """
-    _check_backend(backend)
+    backend = resolve_generator_backend(backend)
     if backend == "numpy":
         return _zipf_relation_numpy(
             name, arity, m, n, skew, _np_rng(seed), skew_positions,
@@ -278,9 +277,9 @@ def zipf_database(
     n: int,
     skew: float = 1.0,
     seed: int | random.Random = 0,
-    backend: GeneratorBackend = "python",
+    backend: GeneratorBackend | None = None,
 ) -> Database:
-    _check_backend(backend)
+    backend = resolve_generator_backend(backend)
     rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
     sizes = _size_map(query, m)
     relations = [
@@ -323,7 +322,13 @@ def planted_heavy_hitter_database(
         ]
         if not positions:
             relations.append(
-                matching_relation(atom.relation, atom.arity, size, n, rng)
+                # Pin the python stream: this generator draws from a
+                # shared random.Random and must not change output when
+                # the generator default flips.
+                matching_relation(
+                    atom.relation, atom.arity, size, n, rng,
+                    backend="python",
+                )
             )
             continue
         heavy_count = int(round(size * hitter_fraction))

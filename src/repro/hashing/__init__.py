@@ -12,7 +12,12 @@ them empirically, including the HyperCube grid partition of Theorems
 A.5/A.6.
 """
 
-from repro.hashing.family import HashFamily, HashFunction, GridPartitioner
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    HashFunction,
+    derive_seed,
+)
 from repro.hashing.balls import (
     bennett_h,
     kl_bernoulli,
@@ -27,6 +32,7 @@ __all__ = [
     "HashFamily",
     "HashFunction",
     "GridPartitioner",
+    "derive_seed",
     "bennett_h",
     "kl_bernoulli",
     "max_load_exceed_probability",

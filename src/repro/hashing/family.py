@@ -60,6 +60,20 @@ def _mix64_array(x: np.ndarray) -> np.ndarray:
     return x ^ (x >> np.uint64(31))
 
 
+def derive_seed(seed: int, salt: int) -> int:
+    """Mix a ``(seed, salt)`` pair into one 64-bit family seed.
+
+    Affine schemes like ``seed * K + salt`` are hazardous: ``seed=0``
+    collapses onto the bare salt, and distinct ``(seed, salt)`` pairs
+    collide whenever their affine combinations coincide.  Here each
+    component passes through its own splitmix64 round before being
+    folded in, so distinct pairs produce independent-looking seeds
+    (collisions only at the 2^-64 level of the mixer itself).
+    """
+    acc = _mix64((seed & _MASK64) ^ _GOLDEN)
+    return _mix64(acc ^ (salt & _MASK64))
+
+
 class HashFunction:
     """A deterministic pseudo-random function ``int -> [0, buckets)``."""
 

@@ -28,6 +28,7 @@ from typing import Iterator, Literal, Mapping, Sequence
 
 import numpy as np
 
+from repro.config import resolve_backend
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
@@ -208,7 +209,7 @@ def run_hypercube(
     capacity_bits: float | None = None,
     on_overflow: Literal["fail", "drop"] = "fail",
     skip_local_join: bool = False,
-    backend: Literal["tuples", "numpy"] = "tuples",
+    backend: Literal["tuples", "numpy"] | None = None,
     hash_method: HashMethod = "splitmix64",
 ) -> HyperCubeResult:
     """Run the one-round HyperCube algorithm on ``p`` servers.
@@ -222,11 +223,12 @@ def run_hypercube(
 
     ``backend`` selects the execution engine: ``"tuples"`` (the
     reference tuple-at-a-time path) or ``"numpy"`` (columnar, ~10-100x
-    faster on large inputs, identical answers and loads).
-    ``hash_method`` selects the routing PRF for either backend.
+    faster on large inputs, identical answers and loads); ``None``
+    follows the system-wide default
+    (:func:`repro.config.set_default_backend`).  ``hash_method``
+    selects the routing PRF for either backend.
     """
-    if backend not in ("tuples", "numpy"):
-        raise ValueError(f"unknown backend {backend!r}")
+    backend = resolve_backend(backend)
     database.validate_for(query)
     stats = database.statistics(query)
     resolved = resolve_shares(query, stats, p, shares, exponents)
@@ -304,30 +306,42 @@ def _communicate_arrays(
     sim.end_round()
 
 
-def local_join_arrays(
-    query: ConjunctiveQuery, sim: MPCSimulation, server: int
-) -> None:
-    """Vectorized local join on one server's array fragments.
+def local_join_fragments(
+    query: ConjunctiveQuery, fragments: Mapping[str, np.ndarray]
+) -> np.ndarray:
+    """Vectorized multiway join over array fragments, with tuple fallback.
 
-    Falls back to the backtracking tuple join for queries the
-    vectorized evaluator cannot handle; outputs (if any) are recorded
-    on the simulation.  Shared by every columnar computation phase
-    (HyperCube, and the skew-aware algorithms' light parts).
+    Returns the distinct local answers as a ``(n, k)`` int64 array in
+    the query's head order.  Queries the vectorized evaluator cannot
+    handle fall back to the backtracking tuple join and are converted
+    back to array form.  Shared by every columnar computation phase
+    (HyperCube, the skew-aware algorithms' light parts, and the
+    multi-round executor's per-operator joins).
     """
-    fragments = sim.array_state(server)
-    if not fragments:
-        return
     try:
-        local = evaluate_arrays(query, fragments)
+        return evaluate_arrays(query, fragments)
     except UnsupportedVectorizedQuery:
         tuple_fragments = {
             tag: set(map(tuple, rows.tolist()))
             for tag, rows in fragments.items()
         }
         fallback = evaluate_on_fragments(query, tuple_fragments)
-        if fallback:
-            sim.output(server, fallback)
+        width = query.num_variables
+        if not fallback:
+            return np.empty((0, width), dtype=np.int64)
+        return np.array(sorted(fallback), dtype=np.int64).reshape(
+            len(fallback), width
+        )
+
+
+def local_join_arrays(
+    query: ConjunctiveQuery, sim: MPCSimulation, server: int
+) -> None:
+    """Join one server's array fragments, recording outputs (if any)."""
+    fragments = sim.array_state(server)
+    if not fragments:
         return
+    local = local_join_fragments(query, fragments)
     if len(local):
         sim.output_array(server, local)
 

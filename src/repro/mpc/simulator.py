@@ -275,18 +275,26 @@ class MPCSimulation:
         """The server's stored fragments (local computation phase)."""
         return self._servers[server].fragments
 
-    def array_state(self, server: int) -> dict[str, np.ndarray]:
+    def array_state(
+        self, server: int, prefix: str | None = None
+    ) -> dict[str, np.ndarray]:
         """The server's array-form fragments (columnar local phase).
 
         Only tags that received array batches appear; each maps to one
-        deduplicated ``(n, arity)`` array.
+        deduplicated ``(n, arity)`` array.  With ``prefix``, only tags
+        starting with it are merged (co-resident operators' fragments
+        stay untouched) and the keys are returned with the prefix
+        stripped -- the namespaced-tag convention of the multi-round
+        executor.
         """
         state = self._servers[server]
         out: dict[str, np.ndarray] = {}
         for tag in state.array_fragments:
+            if prefix is not None and not tag.startswith(prefix):
+                continue
             merged = state.array_fragment(tag)
             if merged is not None and len(merged):
-                out[tag] = merged
+                out[tag if prefix is None else tag[len(prefix):]] = merged
         return out
 
     def server(self, server: int) -> ServerState:

@@ -11,39 +11,113 @@ join tuples whose destinations depend only on the tuple).
 
 Nodes sharing a round share the ``p`` servers, so per-round loads add
 across the (constantly many) parallel operators -- the constant-factor
-regime of Proposition 5.1.
+regime of Proposition 5.1.  Each send is tagged
+``"<node name>/<input name>"``: fragments belong to the *consuming*
+operator, never to the bare relation, so two same-round operators
+reading the same base relation or view keep their differently-routed
+fragments apart on every server.
+
+Two execution backends share the driver (``backend=None`` follows
+:func:`repro.config.default_backend`):
+
+* ``backend="tuples"`` routes and joins one Python tuple at a time --
+  the original reference path and the repo's ground truth.
+* ``backend="numpy"`` keeps every intermediate view as one
+  ``(n, arity)`` int64 array per server between rounds, routes base
+  relations and view fragments with
+  :func:`~repro.hypercube.algorithm.route_relation_arrays`, ships array
+  payloads through :meth:`MPCSimulation.send_array` (identical bit
+  accounting), and joins each server's fragments with the vectorized
+  evaluator.  Answers and per-server/per-round loads are bit-identical
+  to the tuple path; ``tests/multiround/test_executor_backends.py``
+  enforces it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from typing import Literal
 
-from repro.core.query import Atom, ConjunctiveQuery
+import numpy as np
+
+from repro.config import resolve_backend
+from repro.core.query import Atom
+from repro.data.arrays import unique_rows
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
-from repro.hashing.family import GridPartitioner, HashFamily
-from repro.hypercube.algorithm import route_relation
+from repro.hashing.family import GridPartitioner, HashFamily, derive_seed
+from repro.hypercube.algorithm import (
+    local_join_fragments,
+    route_relation,
+    route_relation_arrays,
+)
 from repro.join.binary import reorder
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
-from repro.multiround.plans import Plan, PlanNode
+from repro.multiround.plans import Plan
 
 
-@dataclass
 class MultiRoundResult:
-    """Answers plus per-round load accounting for a plan execution."""
+    """Answers plus per-round load accounting for a plan execution.
 
-    plan: Plan
-    answers: set[tuple[int, ...]]
-    report: LoadReport
-    simulation: MPCSimulation
-    rounds: int
+    ``answers`` materializes the Python answer set lazily from the
+    simulation's outputs (converting millions of array-backed answers
+    into tuples dominates a columnar run, so it only happens when asked);
+    ``answers_array`` exposes the columnar form directly.
+
+    ``view_fragments`` maps plan-node names to their per-server result
+    fragments in node-schema order (tuple sets on the tuple backend,
+    ``(n, arity)`` arrays on the columnar one).  By default only the
+    root's fragments are retained -- holding every intermediate view of
+    a large columnar run alive would pin all of its memory to the
+    result object; ``run_plan(..., keep_view_fragments=True)`` keeps
+    them all (tests use this to pin down per-operator routing).
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        schema: tuple[str, ...],
+        report: LoadReport,
+        simulation: MPCSimulation,
+        rounds: int,
+        view_fragments: dict[str, list],
+    ):
+        self.plan = plan
+        self.schema = schema
+        self.report = report
+        self.simulation = simulation
+        self.rounds = rounds
+        self.view_fragments = view_fragments
+        self._answers: set[tuple[int, ...]] | None = None
+
+    @property
+    def answers(self) -> set[tuple[int, ...]]:
+        """The distinct answers, reordered to the plan query's head."""
+        if self._answers is None:
+            self._answers = reorder(
+                self.simulation.outputs(), self.schema, self.plan.query.variables
+            )
+        return self._answers
+
+    def answers_array(self) -> np.ndarray:
+        """The distinct answers as a canonical ``(n, k)`` int64 array."""
+        rows = self.simulation.outputs_array(len(self.schema))
+        head = self.plan.query.variables
+        permuted = rows[:, [self.schema.index(v) for v in head]]
+        return unique_rows(permuted)
 
     @property
     def max_load_bits(self) -> float:
         return self.report.max_load_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiRoundResult(query={self.plan.query.name or 'q'!r}, "
+            f"rounds={self.rounds}, L={self.report.max_load_bits:.0f} bits)"
+        )
 
 
 def run_plan(
@@ -51,12 +125,20 @@ def run_plan(
     database: Database,
     p: int,
     seed: int = 0,
+    backend: Literal["tuples", "numpy"] | None = None,
+    keep_view_fragments: bool = False,
 ) -> MultiRoundResult:
     """Execute ``plan`` in ``plan.depth`` rounds on ``p`` servers.
 
     The final answers are reordered to the plan query's head order, so
     results compare directly against the sequential evaluator.
+    ``backend`` selects the execution engine (``None``: the system
+    default, see :func:`repro.config.set_default_backend`); both
+    backends produce bit-identical answers and loads.
+    ``keep_view_fragments`` retains every intermediate view's
+    per-server fragments on the result (default: root only).
     """
+    backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("plan execution needs p >= 2")
     database.validate_for(plan.query)
@@ -64,8 +146,28 @@ def run_plan(
     sim = MPCSimulation(p, value_bits=stats.value_bits)
 
     by_depth = plan.root.nodes_by_depth()
-    # view name -> (schema, per-server fragments)
-    produced: dict[str, list[set[tuple[int, ...]]]] = {}
+    # Fragments are tagged "<node>/<input>"; a "/" inside a node name
+    # (or a reused name) would let one operator absorb another's
+    # differently-routed fragments -- exactly the mixing the
+    # namespacing prevents.
+    seen_names: set[str] = set()
+    last_consumed: dict[str, int] = {}  # view name -> last consuming round
+    for node_depth, nodes in by_depth.items():
+        for node in nodes:
+            if "/" in node.name:
+                raise ValueError(
+                    f"plan node name {node.name!r} must not contain '/'"
+                )
+            if node.name in seen_names:
+                raise ValueError(f"duplicate plan node name {node.name!r}")
+            seen_names.add(node.name)
+            for child in node.children:
+                if not isinstance(child, Atom):
+                    last_consumed[child.name] = max(
+                        last_consumed.get(child.name, 0), node_depth
+                    )
+    # view name -> per-server fragments (tuple sets or (n, arity) arrays)
+    produced: dict[str, list] = {}
     schema_of: dict[str, tuple[str, ...]] = {}
 
     for depth in sorted(by_depth):
@@ -87,18 +189,32 @@ def run_plan(
             shares = integerize_shares(exponents, p)
             grid = GridPartitioner(
                 [shares[v] for v in operator.variables],
-                HashFamily(seed * 7919 + _stable_salt(node.name)),
+                HashFamily(derive_seed(seed, _stable_salt(node.name))),
             )
             grids[node.name] = grid
             for child in node.children:
                 if isinstance(child, Atom):
-                    tag = child.relation
+                    name = child.relation
                     child_schema = child.variables
-                    sources = [database[child.relation].tuples]
+                    if backend == "numpy":
+                        sources = [database[child.relation].to_array()]
+                    else:
+                        sources = [database[child.relation].tuples]
                 else:
-                    tag = child.name
+                    name = child.name
                     child_schema = schema_of[child.name]
                     sources = produced[child.name]
+                # Tag fragments by the consuming node: two same-round
+                # operators reading the same input route it under
+                # different grids and must not share server state.
+                tag = f"{node.name}/{name}"
+                if backend == "numpy":
+                    for rows in sources:
+                        for server, batch in route_relation_arrays(
+                            grid, operator.variables, child_schema, rows
+                        ):
+                            sim.send_array(server, tag, batch)
+                    continue
                 batches: dict[int, list[tuple[int, ...]]] = {}
                 for source in sources:
                     for server, t in route_relation(
@@ -109,37 +225,74 @@ def run_plan(
                     sim.send(server, tag, batch)
         sim.end_round()
 
-        # Computation phase: evaluate each operator on every server.
+        # Computation phase: evaluate each operator on every server of
+        # its grid (servers beyond ``num_bins`` receive nothing and
+        # produce nothing -- they are padded with empty fragments).
         for node in nodes:
             operator = node.operator
-            fragments = [
-                evaluate_on_fragments(operator, sim.state(server))
-                for server in range(grids[node.name].num_bins)
-            ]
-            fragments += [set()] * (p - len(fragments))
+            width = len(operator.variables)
+            prefix = f"{node.name}/"
+            fragments: list = []
+            for server in range(grids[node.name].num_bins):
+                if backend == "numpy":
+                    local_inputs = sim.array_state(server, prefix=prefix)
+                    fragments.append(
+                        local_join_fragments(operator, local_inputs)
+                    )
+                else:
+                    state = sim.state(server)
+                    local_inputs = {
+                        tag[len(prefix):]: tuples
+                        for tag, tuples in state.items()
+                        if tag.startswith(prefix)
+                    }
+                    fragments.append(
+                        evaluate_on_fragments(operator, local_inputs)
+                    )
+            if backend == "numpy":
+                empty = np.empty((0, width), dtype=np.int64)
+                fragments += [empty] * (p - len(fragments))
+            else:
+                fragments += [set()] * (p - len(fragments))
             produced[node.name] = fragments
             schema_of[node.name] = operator.variables
         # Free delivered fragments: the next round re-routes views anyway.
         sim.clear_all()
+        # Free views past their last consumer, so a deep columnar run
+        # holds at most the live generations, not every intermediate.
+        if not keep_view_fragments:
+            for name, last in last_consumed.items():
+                if last == depth and name != plan.root.name:
+                    produced.pop(name, None)
 
     root = plan.root
-    union: set[tuple[int, ...]] = set()
     for server, chunk in enumerate(produced[root.name]):
-        if chunk:
+        if len(chunk) == 0:
+            continue
+        if backend == "numpy":
+            sim.output_array(server, chunk)
+        else:
             sim.output(server, chunk)
-            union |= chunk
-    answers = reorder(union, schema_of[root.name], plan.query.variables)
+    retained = (
+        produced if keep_view_fragments else {root.name: produced[root.name]}
+    )
     return MultiRoundResult(
         plan=plan,
-        answers=answers,
+        schema=schema_of[root.name],
         report=sim.report,
         simulation=sim,
         rounds=sim.rounds_executed,
+        view_fragments=retained,
     )
 
 
 def _stable_salt(name: str) -> int:
-    out = 0
-    for ch in name:
-        out = (out * 131 + ord(ch)) % 1_000_003
-    return out + 1
+    """A full-width 64-bit salt for a node name.
+
+    Feeds :func:`~repro.hashing.family.derive_seed`; a small residue
+    space here (the old ``mod 1_000_003`` rolling hash) would bottleneck
+    the 64-bit seed mixing and let distinct node names share a hash
+    family at birthday-collision rates.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")

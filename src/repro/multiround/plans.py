@@ -66,14 +66,24 @@ class PlanNode:
         return 1 + max(child_depths, default=0)
 
     def nodes_by_depth(self) -> dict[int, list["PlanNode"]]:
-        """All plan nodes grouped by the round in which they execute."""
+        """All plan nodes grouped by the round in which they execute.
+
+        A node shared by several parents (a DAG-shaped plan, e.g. one
+        view feeding two same-round consumers) appears exactly once:
+        it executes once and each consumer routes its result fragments
+        separately in the consumer's round.
+        """
         out: dict[int, list[PlanNode]] = {}
+        depth_of: dict[PlanNode, int] = {}
 
         def visit(node: "PlanNode") -> int:
+            if node in depth_of:
+                return depth_of[node]
             depths = [
                 visit(c) for c in node.children if isinstance(c, PlanNode)
             ]
             depth = 1 + max(depths, default=0)
+            depth_of[node] = depth
             out.setdefault(depth, []).append(node)
             return depth
 

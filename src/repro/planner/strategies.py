@@ -16,7 +16,9 @@ order (ties in predicted cost resolve to the earlier entry);
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
@@ -45,15 +47,50 @@ from repro.skew.star import run_star_skew, star_center
 from repro.skew.triangle import is_triangle_query, run_triangle_skew
 
 
+# One plan() pass prices the bare "hypercube"/"multiround" strategies
+# and their pinned -tuples/-numpy twins; the twins share one cost model
+# (the backends are bit-identical), so the expensive estimation work --
+# plan enumeration + per-round costing, share-LP solves -- is shared
+# through a per-DataStatistics memo instead of repeated per twin.  The
+# cache evicts itself when the statistics object is garbage-collected.
+_ESTIMATE_CACHE: dict[int, dict] = {}
+
+
+def _memoized(dstats, key, compute):
+    bucket = _ESTIMATE_CACHE.get(id(dstats))
+    if bucket is None:
+        try:
+            weakref.finalize(dstats, _ESTIMATE_CACHE.pop, id(dstats), None)
+        except TypeError:
+            return compute()
+        bucket = _ESTIMATE_CACHE[id(dstats)] = {}
+    if key not in bucket:
+        bucket[key] = compute()
+    return bucket[key]
+
+
 @dataclass
 class StrategyOutcome:
-    """A finished strategy execution in normalized form."""
+    """A finished strategy execution in normalized form.
+
+    ``answers`` accepts either the materialized set or a zero-argument
+    supplier: the columnar executors materialize Python answer tuples
+    lazily (the conversion dominates a large run), and the outcome
+    preserves that laziness until somebody actually reads
+    :attr:`answers`.
+    """
 
     strategy: str
-    answers: set[tuple[int, ...]]
+    answers_source: "set[tuple[int, ...]] | Callable[[], set[tuple[int, ...]]]"
     report: LoadReport
     servers_used: int
     raw: object
+
+    @property
+    def answers(self) -> set[tuple[int, ...]]:
+        if callable(self.answers_source):
+            self.answers_source = self.answers_source()
+        return self.answers_source
 
     @property
     def max_load_bits(self) -> float:
@@ -104,22 +141,34 @@ class Strategy:
 
 
 class OneRoundHyperCube(Strategy):
-    """Vanilla HyperCube with LP (10) shares (Section 3.1)."""
+    """Vanilla HyperCube with LP (10) shares (Section 3.1).
 
-    def __init__(self, backend: str = "tuples"):
+    ``backend=None`` (the bare ``"hypercube"`` strategy) follows the
+    system-wide default backend; the explicit ``hypercube-tuples`` /
+    ``hypercube-numpy`` twins pin one engine for ablations.  All three
+    are bit-identical in answers and loads.
+    """
+
+    def __init__(self, backend: str | None = None):
         self.backend = backend
-        self.name = "hypercube" if backend == "tuples" else f"hypercube-{backend}"
+        self.name = "hypercube" if backend is None else f"hypercube-{backend}"
         self.summary = (
             "one-round HyperCube, LP(10) shares"
-            + ("" if backend == "tuples" else f", {backend} backend")
+            + (", default backend" if backend is None else f", {backend} backend")
         )
 
     def estimate(self, query, dstats, p):
-        return hypercube_cost(query, dstats, p)
+        return _memoized(
+            dstats,
+            ("hypercube", query, p),
+            lambda: hypercube_cost(query, dstats, p),
+        )
 
     def run(self, query, database, p, seed=0, dstats=None):
         result = run_hypercube(query, database, p, seed=seed, backend=self.backend)
-        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+        return StrategyOutcome(
+            self.name, lambda: result.answers, result.report, p, result
+        )
 
 
 class SkewObliviousHyperCube(Strategy):
@@ -188,10 +237,22 @@ class SkewAwareTriangle(Strategy):
 
 
 class MultiRoundPlan(Strategy):
-    """The cheapest enumerated query plan, run round by round (Section 5)."""
+    """The cheapest enumerated query plan, run round by round (Section 5).
 
-    name = "multiround"
-    summary = "multi-round query plan (Proposition 5.1)"
+    ``backend=None`` (the bare ``"multiround"`` strategy) follows the
+    system-wide default backend of
+    :func:`~repro.multiround.executor.run_plan`; ``multiround-tuples``
+    / ``multiround-numpy`` pin one engine.  Cost estimates are shared:
+    the model prices bits, and the backends are bit-identical.
+    """
+
+    def __init__(self, backend: str | None = None):
+        self.backend = backend
+        self.name = "multiround" if backend is None else f"multiround-{backend}"
+        self.summary = (
+            "multi-round query plan (Proposition 5.1)"
+            + ("" if backend is None else f", {backend} backend")
+        )
 
     def applicable(self, query, dstats, p):
         base = super().applicable(query, dstats, p)
@@ -205,6 +266,15 @@ class MultiRoundPlan(Strategy):
         self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
     ) -> tuple[str, Plan, CostEstimate]:
         """The minimum-predicted-cost plan from :func:`candidate_plans`."""
+        return _memoized(
+            dstats,
+            ("multiround", query, p),
+            lambda: self._compute_best_plan(query, dstats, p),
+        )
+
+    def _compute_best_plan(
+        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    ) -> tuple[str, Plan, CostEstimate]:
         best: tuple[str, Plan, CostEstimate] | None = None
         for label, plan in candidate_plans(query):
             estimate = multiround_plan_cost(plan, dstats, p)
@@ -225,8 +295,10 @@ class MultiRoundPlan(Strategy):
         if dstats is None:
             dstats = DataStatistics.from_database(query, database, p)
         _, plan, _ = self.best_plan(query, dstats, p)
-        result = run_plan(plan, database, p, seed=seed)
-        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+        result = run_plan(plan, database, p, seed=seed, backend=self.backend)
+        return StrategyOutcome(
+            self.name, lambda: result.answers, result.report, p, result
+        )
 
 
 class ParallelHashJoin(Strategy):
@@ -296,19 +368,23 @@ class SingleServer(Strategy):
 
 
 # Registration order doubles as the cost tie-break (see optimizer.plan).
-# The tuple HyperCube deliberately precedes its columnar twin: the two
-# backends are bit-identical in communication cost -- the model prices
-# bits, not wall-clock -- and the tuple path is the repo's ground truth
-# (making numpy the default is a separate, explicit switch per the
-# ROADMAP).  Force the columnar executor with
-# ``execute(..., strategy="hypercube-numpy")``.
+# The bare "hypercube" / "multiround" strategies run whatever backend
+# :func:`repro.config.default_backend` selects (numpy as shipped, so
+# the planner is fast by default); the explicit "-tuples" / "-numpy"
+# twins pin one engine for ablations and ground-truth runs, e.g.
+# ``execute(..., strategy="hypercube-tuples")``.  All twins share one
+# cost estimate -- the model prices bits, not wall-clock -- so the
+# default-backend strategy wins ties by preceding its twins.
 _REGISTRY: list[Strategy] = [
+    OneRoundHyperCube(),
     OneRoundHyperCube("tuples"),
     OneRoundHyperCube("numpy"),
     SkewObliviousHyperCube(),
     SkewAwareStar(),
     SkewAwareTriangle(),
     MultiRoundPlan(),
+    MultiRoundPlan("tuples"),
+    MultiRoundPlan("numpy"),
     ParallelHashJoin(),
     BroadcastJoin(),
     SingleServer(),

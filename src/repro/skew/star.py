@@ -29,6 +29,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.config import resolve_backend
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
@@ -127,7 +128,7 @@ def run_star_skew(
     database: Database,
     p: int,
     seed: int = 0,
-    backend: Literal["tuples", "numpy"] = "tuples",
+    backend: Literal["tuples", "numpy"] | None = None,
     hitters: HitterStatistics | None = None,
 ) -> StarSkewResult:
     """Run the Section 4.2.1 algorithm in one MPC round.
@@ -147,12 +148,12 @@ def run_star_skew(
     :func:`~repro.hypercube.algorithm.route_relation_arrays`, vectorized
     local joins on the light servers) -- bit-identical loads and
     answers; the per-hitter residual blocks are small by construction
-    and stay on the tuple path.
+    and stay on the tuple path.  ``backend=None`` follows the
+    system-wide default (:func:`repro.config.set_default_backend`).
     """
+    backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
-    if backend not in ("tuples", "numpy"):
-        raise ValueError(f"unknown backend {backend!r}")
     database.validate_for(query)
     center = _star_center(query)
     stats = database.statistics(query)

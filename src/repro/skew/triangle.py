@@ -33,6 +33,7 @@ from typing import Literal, Mapping
 
 import numpy as np
 
+from repro.config import resolve_backend
 from repro.core.families import triangle_query
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares
@@ -86,7 +87,7 @@ def run_triangle_skew(
     database: Database,
     p: int,
     seed: int = 0,
-    backend: Literal["tuples", "numpy"] = "tuples",
+    backend: Literal["tuples", "numpy"] | None = None,
 ) -> TriangleSkewResult:
     """Run the Section 4.2.2 algorithm in one MPC round.
 
@@ -95,12 +96,12 @@ def run_triangle_skew(
     :func:`~repro.hypercube.algorithm.route_relation_arrays`, vectorized
     local joins on the light servers) -- bit-identical loads and
     answers.  The case-1/case-2 blocks handle the few heavy values and
-    stay on the tuple path.
+    stay on the tuple path.  ``backend=None`` follows the system-wide
+    default (:func:`repro.config.set_default_backend`).
     """
+    backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
-    if backend not in ("tuples", "numpy"):
-        raise ValueError(f"unknown backend {backend!r}")
     query = triangle_query()
     database.validate_for(query)
     stats = database.statistics(query)
