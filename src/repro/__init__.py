@@ -31,6 +31,7 @@ Package map (see DESIGN.md for the paper-section correspondence):
 * :mod:`repro.multiround` -- plans, (eps, r)-plans, connected components
 * :mod:`repro.bounds` -- one-round lower bounds, replication, entropy
 * :mod:`repro.planner` -- cost-based strategy selection (`plan`/`execute`)
+* :mod:`repro.storage` -- out-of-core chunked relations + spill files
 
 The planner is the front door when you don't want to pick an algorithm
 by hand::
@@ -44,9 +45,19 @@ default; the tuple-at-a-time reference path is one switch away::
 
     import repro
     repro.set_default_backend("tuples")   # system-wide ground-truth mode
+    with repro.use_backend("tuples"):     # scoped, exception-safe form
+        ...
+
+When the data outgrows RAM, attach a storage manager and everything
+streams through disk-backed chunks with bit-identical results::
+
+    from repro.storage import StorageManager
+    with StorageManager.from_budget(2 * 1024**3) as storage:
+        db = matching_database(q, m=10**8, n=4 * 10**8, storage=storage)
+        result = run_hypercube(q, db, p=64, storage=storage)
 """
 
-from repro.config import default_backend, set_default_backend
+from repro.config import default_backend, set_default_backend, use_backend
 from repro.core import (
     Atom,
     ConjunctiveQuery,
@@ -73,8 +84,9 @@ from repro.bounds import lower_bound, upper_bound
 from repro.planner import DataStatistics, ExplainedPlan, PlannedExecution
 from repro.planner import execute as execute_query
 from repro.planner import plan as plan_query
+from repro.storage import ChunkedRelation, StorageManager
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Atom",
@@ -96,6 +108,9 @@ __all__ = [
     "run_hypercube",
     "default_backend",
     "set_default_backend",
+    "use_backend",
+    "ChunkedRelation",
+    "StorageManager",
     "MPCSimulation",
     "lower_bound",
     "upper_bound",

@@ -130,6 +130,10 @@ def run_tour() -> None:
     print(f"  HyperCube shares {result.shares}: measured "
           f"L = {result.max_load_bits:.0f} bits, "
           f"{len(result.answers)} answers (= sequential join)")
+    pct = result.report.load_percentiles()
+    print(f"  {result.report.percentile_line()}")
+    _check(pct["max"] == result.max_load_bits,
+           "percentile summary max equals L")
 
     print(f"\nCost-based planner, same triangle at p={p}:")
     explained = planner_plan(q, db, p)
@@ -166,6 +170,19 @@ def run_tour() -> None:
           "--benchmark-only` for all reproduction tables.")
 
 
+def _positive_mb(text: str) -> float:
+    """argparse type for ``--memory-budget-mb``: a positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive, got {value:g}"
+        )
+    return value
+
+
 def run_plan_command(args: argparse.Namespace) -> None:
     query = args.query
     if args.skew > 0:
@@ -183,16 +200,44 @@ def run_plan_command(args: argparse.Namespace) -> None:
     explained = planner_plan(query, db, args.p)
     print(explained.table())
     if args.execute:
+        budget_bytes = (
+            int(args.memory_budget_mb * 2**20)
+            if args.memory_budget_mb is not None
+            else None
+        )
         planned = planner_execute(
-            query, db, args.p, seed=args.seed, stats=explained.statistics
+            query, db, args.p, seed=args.seed, stats=explained.statistics,
+            memory_budget_bytes=budget_bytes,
         )
         ratio = planned.report.prediction_ratio()
         print(f"\nexecuted {planned.strategy}: measured "
               f"L = {planned.max_load_bits:.0f} bits, "
               f"{len(planned.answers)} answers"
               + (f" (measured/predicted = {ratio:.2f})" if ratio else ""))
+        print(f"{planned.report.percentile_line()}")
+        if planned.budget_outcome == "chunked":
+            print(
+                f"out-of-core: budget {args.memory_budget_mb:g} MiB -> "
+                f"chunked execution, spilled "
+                f"{planned.storage.bytes_spilled / 2**20:.1f} MiB in "
+                f"{planned.storage.chunks_spilled} chunks "
+                f"(chunk_rows={planned.storage.chunk_rows})"
+            )
+        elif planned.budget_outcome == "fits":
+            print(
+                f"in-memory: input fits the "
+                f"{args.memory_budget_mb:g} MiB budget"
+            )
+        elif planned.budget_outcome == "not-enforced":
+            print(
+                f"in-memory: {planned.strategy} cannot stream chunks "
+                f"(the {args.memory_budget_mb:g} MiB budget was not "
+                f"enforced)"
+            )
         _check(planned.answers == evaluate(query, db),
                "planned execution equals the sequential join")
+        if planned.storage is not None:
+            planned.storage.close()
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -224,6 +269,12 @@ def main(argv: list[str] | None = None) -> None:
     plan_parser.add_argument("--seed", type=int, default=0)
     plan_parser.add_argument("--execute", action="store_true",
                              help="also run the winning strategy")
+    plan_parser.add_argument(
+        "--memory-budget-mb", type=_positive_mb, default=None, metavar="MB",
+        help="resident-set budget for --execute; when the in-memory "
+             "footprint would exceed it, the winner runs out-of-core "
+             "(chunked relations spilled to disk, identical results)",
+    )
     # Accept the global flag after the subcommand too; SUPPRESS keeps a
     # pre-subcommand value from being clobbered by a subparser default.
     plan_parser.add_argument(

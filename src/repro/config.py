@@ -31,7 +31,8 @@ submodule may consult it without import cycles.
 
 from __future__ import annotations
 
-from typing import Literal
+from contextlib import contextmanager
+from typing import Iterator, Literal
 
 Backend = Literal["tuples", "numpy"]
 GeneratorBackend = Literal["python", "numpy"]
@@ -69,6 +70,28 @@ def set_default_backend(backend: str) -> Backend:
     previous = _default_backend
     _default_backend = backend  # type: ignore[assignment]
     return previous
+
+
+@contextmanager
+def use_backend(backend: str) -> Iterator[Backend]:
+    """Temporarily override the system-wide default backend.
+
+    The exception-safe form of :func:`set_default_backend` for scoped
+    overrides (tests, one ground-truth block inside a columnar
+    program)::
+
+        with repro.config.use_backend("tuples"):
+            reference = run_hypercube(q, db, p)   # tuple path
+        fast = run_hypercube(q, db, p)            # back to the default
+
+    Restores the previous default on exit even when the body raises.
+    Yields the backend now in force.
+    """
+    previous = set_default_backend(backend)
+    try:
+        yield _default_backend
+    finally:
+        set_default_backend(previous)
 
 
 def resolve_backend(backend: str | None) -> Backend:

@@ -64,6 +64,19 @@ def unique_rows(rows: np.ndarray) -> np.ndarray:
     return sorted_rows[_row_changed(sorted_rows)]
 
 
+def unique_rows_with_counts(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct rows plus multiplicities, in lexicographic order."""
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise ValueError(f"need a 2-D (n, arity) array, got shape {rows.shape}")
+    if len(rows) == 0:
+        return rows.copy(), np.empty(0, dtype=np.int64)
+    sorted_rows = rows[_row_order(rows)]
+    starts = np.flatnonzero(_row_changed(sorted_rows))
+    counts = np.diff(np.append(starts, len(sorted_rows)))
+    return sorted_rows[starts], counts
+
+
 def encode_rows(rows: np.ndarray) -> tuple[np.ndarray, int]:
     """Dictionary-encode rows: ``(ids, num_distinct)``.
 

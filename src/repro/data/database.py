@@ -34,22 +34,7 @@ class Database:
         self._relations: dict[str, Relation] = rels
         self.domain_size = domain_size
         for rel in rels.values():
-            arr = rel._array
-            if arr is not None:
-                if len(arr) and (arr.min() < 0 or arr.max() >= domain_size):
-                    bad = int(arr[(arr < 0) | (arr >= domain_size)].flat[0])
-                    raise ValueError(
-                        f"value {bad} in {rel.name} outside domain "
-                        f"[0, {domain_size})"
-                    )
-                continue
-            for t in rel:
-                for v in t:
-                    if not 0 <= v < domain_size:
-                        raise ValueError(
-                            f"value {v} in {rel.name} outside domain "
-                            f"[0, {domain_size})"
-                        )
+            rel.validate_domain(domain_size)
 
     # ------------------------------------------------------------- container
 
@@ -125,6 +110,15 @@ class Database:
 
     def total_tuples(self) -> int:
         return sum(len(rel) for rel in self)
+
+    def total_bytes(self) -> int:
+        """Payload bytes of every relation as int64 columns.
+
+        The figure memory budgets compare against: an in-memory
+        columnar execution holds at least this much for the inputs
+        alone, before routing replicates anything.
+        """
+        return sum(len(rel) * rel.arity * 8 for rel in self)
 
     def with_relation(self, relation: Relation) -> "Database":
         """A copy with one relation added or replaced."""

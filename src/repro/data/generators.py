@@ -35,6 +35,19 @@ backends are each deterministic per seed but draw from *different*
 streams, so for equal seeds they produce different (equally
 distributed) instances -- which is exactly why switching execution
 engines must not silently switch the generator stream.
+
+The matching and zipf generators also take ``storage=`` (a
+:class:`~repro.storage.manager.StorageManager`) and ``chunk_rows=``:
+they then build :class:`~repro.storage.chunked.ChunkedRelation`\\ s,
+writing ``(chunk_rows, arity)`` chunks straight to spill files.  The
+matching generator is fully streaming -- each column is a keyed Feistel
+permutation of ``[0, n)`` (:mod:`repro.hashing.permutation`) evaluated
+chunk-by-chunk, so ``n = 10^8`` relations materialize without ever
+holding ``n`` rows (``rng.choice(n, m, replace=False)`` would allocate
+the length-``n`` permutation the out-of-core path exists to avoid).
+The storage variants are their own deterministic per-seed streams,
+distinct from both in-memory streams for the same reason the two
+in-memory streams are distinct from each other.
 """
 
 from __future__ import annotations
@@ -50,6 +63,9 @@ from repro.core.query import ConjunctiveQuery
 from repro.data.arrays import encode_rows
 from repro.data.database import Database
 from repro.data.relation import Relation
+from repro.hashing.permutation import PseudorandomPermutation
+from repro.storage.chunked import ChunkedRelation
+from repro.storage.manager import StorageManager
 
 
 def _rng(seed_or_rng: int | random.Random) -> random.Random:
@@ -81,6 +97,8 @@ def matching_relation(
     n: int,
     seed: int | random.Random | np.random.Generator = 0,
     backend: GeneratorBackend | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> Relation:
     """A uniform random ``arity``-dimensional matching of size ``m``.
 
@@ -88,10 +106,22 @@ def matching_relation(
     has degree exactly 1 in every column -- the paper's matching
     condition.  Requires ``m <= n``.  ``backend="numpy"`` draws the
     columns vectorized and returns an array-born relation.
+
+    With ``storage`` the relation is born chunked: each column is a
+    keyed Feistel permutation of ``[0, n)`` restricted to ``[0, m)``
+    (still an injection, hence still a matching) evaluated one
+    ``chunk_rows`` block at a time and written straight to spill files,
+    so peak memory is one chunk no matter how large ``m`` is.  The
+    storage stream is deterministic per seed but distinct from the
+    in-memory streams.
     """
     backend = resolve_generator_backend(backend)
     if m > n:
         raise ValueError(f"matching needs m <= n (got m={m}, n={n})")
+    if storage is not None:
+        return _matching_relation_storage(
+            name, arity, m, n, _np_rng(seed), storage, chunk_rows
+        )
     if backend == "numpy":
         rng = _np_rng(seed)
         if m == 0:
@@ -106,21 +136,56 @@ def matching_relation(
     return Relation(name, arity, set(zip(*columns)) if m else set())
 
 
+def _matching_relation_storage(
+    name: str,
+    arity: int,
+    m: int,
+    n: int,
+    rng: np.random.Generator,
+    storage: StorageManager,
+    chunk_rows: int | None,
+) -> ChunkedRelation:
+    """Streaming matching generation: O(chunk) memory for any ``m``."""
+    out = ChunkedRelation(name, arity, storage=storage, chunk_rows=chunk_rows)
+    permutations = [
+        PseudorandomPermutation.from_rng(n, rng) for _ in range(arity)
+    ]
+    step = out.chunk_rows
+    for start in range(0, m, step):
+        index = np.arange(start, min(start + step, m), dtype=np.int64)
+        out.append(
+            np.stack(
+                [perm.apply_array(index) for perm in permutations], axis=1
+            )
+        )
+    return out
+
+
 def matching_database(
     query: ConjunctiveQuery,
     m: int | Mapping[str, int],
     n: int,
     seed: int | random.Random = 0,
     backend: GeneratorBackend | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> Database:
-    """A matching database for ``query`` with cardinalities ``m``."""
+    """A matching database for ``query`` with cardinalities ``m``.
+
+    With ``storage`` every relation is generated streaming into
+    disk-backed chunks (see :func:`matching_relation`).
+    """
     backend = resolve_generator_backend(backend)
-    rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
+    rng = (
+        _np_rng(seed)
+        if backend == "numpy" or storage is not None
+        else _rng(seed)
+    )
     sizes = _size_map(query, m)
     relations = [
         matching_relation(
             atom.relation, atom.arity, sizes[atom.relation], n, rng,
-            backend=backend,
+            backend=backend, storage=storage, chunk_rows=chunk_rows,
         )
         for atom in query.atoms
     ]
@@ -175,6 +240,8 @@ def zipf_relation(
     skew_positions: Sequence[int] | None = None,
     max_attempts_factor: int = 50,
     backend: GeneratorBackend | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> Relation:
     """Up to ``m`` distinct tuples with Zipf(``skew``)-distributed values.
 
@@ -185,8 +252,19 @@ def zipf_relation(
     stops after ``max_attempts_factor * m`` draws.  ``backend="numpy"``
     draws whole batches vectorized (inverse-CDF via ``searchsorted``)
     and keeps the first ``m`` distinct rows in draw order.
+
+    With ``storage`` accepted rows stream to disk-backed chunks as they
+    are drawn; when a whole row packs into 63 bits the global dedup
+    holds only one ``int64`` key per distinct row instead of the rows
+    themselves.  (Unlike the matching generator, zipf draws are
+    inherently O(m) in dedup state and O(n) in the CDF table.)
     """
     backend = resolve_generator_backend(backend)
+    if storage is not None:
+        return _zipf_relation_storage(
+            name, arity, m, n, skew, _np_rng(seed), skew_positions,
+            max_attempts_factor, storage, chunk_rows,
+        )
     if backend == "numpy":
         return _zipf_relation_numpy(
             name, arity, m, n, skew, _np_rng(seed), skew_positions,
@@ -222,6 +300,46 @@ def zipf_relation(
     return Relation(name, arity, tuples)
 
 
+def _zipf_cdf(n: int, skew: float) -> tuple[np.ndarray, float]:
+    """The cumulative Zipf(``skew``) weights over ``[0, n)``."""
+    cumulative = np.cumsum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** skew)
+    return cumulative, float(cumulative[-1])
+
+
+def _zipf_batch_size(accepted: int, attempts: int, m: int, budget: int) -> int:
+    """How many rows to draw next, sized by the acceptance rate.
+
+    Under heavy skew most draws repeat, so sizing by the observed rate
+    instead of the optimistic ``m - accepted`` (which shrinks to O(1)
+    near saturation) keeps the draw loop linear.
+    """
+    rate = accepted / attempts if attempts else 1.0
+    need = m - accepted
+    batch = int(need / max(rate, 0.01)) + 1
+    return min(batch, max(4 * m, 1), budget - attempts)
+
+
+def _zipf_draw_block(
+    rng: np.random.Generator,
+    batch: int,
+    arity: int,
+    positions: set[int],
+    cumulative: np.ndarray,
+    total: float,
+    n: int,
+) -> np.ndarray:
+    """One ``(batch, arity)`` block: inverse-CDF on skewed positions."""
+    block = np.empty((batch, arity), dtype=np.int64)
+    for pos in range(arity):
+        if pos in positions:
+            block[:, pos] = np.searchsorted(
+                cumulative, rng.random(batch) * total
+            )
+        else:
+            block[:, pos] = rng.integers(0, n, size=batch)
+    return block
+
+
 def _zipf_relation_numpy(
     name: str,
     arity: int,
@@ -234,8 +352,7 @@ def _zipf_relation_numpy(
 ) -> Relation:
     """Vectorized zipf draws: batched inverse-CDF, incremental dedup."""
     positions = set(range(arity) if skew_positions is None else skew_positions)
-    cumulative = np.cumsum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** skew)
-    total = cumulative[-1]
+    cumulative, total = _zipf_cdf(n, skew)
 
     # ``drawn`` always holds only the distinct rows seen so far, in draw
     # order (matching the tuple-path semantics of "stop once m distinct
@@ -245,23 +362,11 @@ def _zipf_relation_numpy(
     attempts = 0
     budget = max_attempts_factor * m
     while len(drawn) < m and attempts < budget:
-        # Under heavy skew most draws repeat, so size the next batch by
-        # the observed acceptance rate instead of the optimistic
-        # ``m - distinct`` (which shrinks to O(1) near saturation and
-        # makes the loop quadratic).
-        rate = len(drawn) / attempts if attempts else 1.0
-        need = m - len(drawn)
-        batch = int(need / max(rate, 0.01)) + 1
-        batch = min(batch, max(4 * m, 1), budget - attempts)
+        batch = _zipf_batch_size(len(drawn), attempts, m, budget)
         attempts += batch
-        block = np.empty((batch, arity), dtype=np.int64)
-        for pos in range(arity):
-            if pos in positions:
-                block[:, pos] = np.searchsorted(
-                    cumulative, rng.random(batch) * total
-                )
-            else:
-                block[:, pos] = rng.integers(0, n, size=batch)
+        block = _zipf_draw_block(
+            rng, batch, arity, positions, cumulative, total, n
+        )
         merged = np.concatenate([drawn, block], axis=0)
         ids, _ = encode_rows(merged)
         # Rows of ``drawn`` are distinct and precede the block, so first
@@ -271,6 +376,66 @@ def _zipf_relation_numpy(
     return Relation.from_array(name, drawn[:m])
 
 
+def _zipf_relation_storage(
+    name: str,
+    arity: int,
+    m: int,
+    n: int,
+    skew: float,
+    rng: np.random.Generator,
+    skew_positions: Sequence[int] | None,
+    max_attempts_factor: int,
+    storage: StorageManager,
+    chunk_rows: int | None,
+) -> ChunkedRelation:
+    """Spooled zipf draws: batched inverse-CDF, compact global dedup.
+
+    Accepted rows go straight to the chunked spool in draw order.  The
+    distinct-row check keeps packed 63-bit keys when the row width
+    allows (8 bytes per distinct row), falling back to the full
+    in-memory drawn-rows array otherwise.
+    """
+    positions = set(range(arity) if skew_positions is None else skew_positions)
+    cumulative, total = _zipf_cdf(n, skew)
+    out = ChunkedRelation(name, arity, storage=storage, chunk_rows=chunk_rows)
+
+    value_bits = max(1, (n - 1).bit_length()) if n > 1 else 1
+    if arity * value_bits > 63:
+        # Rows do not pack exactly; reuse the in-memory dedup stream
+        # and spool its result (correctness over footprint here).
+        dense = _zipf_relation_numpy(
+            name, arity, m, n, skew, rng, skew_positions, max_attempts_factor
+        )
+        out.append(dense.to_array())
+        return out
+
+    shifts = np.array(
+        [(arity - 1 - pos) * value_bits for pos in range(arity)],
+        dtype=np.int64,
+    )
+    seen = np.empty(0, dtype=np.int64)  # sorted packed keys
+    attempts = 0
+    budget = max_attempts_factor * m
+    while len(out) < m and attempts < budget:
+        batch = _zipf_batch_size(len(out), attempts, m, budget)
+        attempts += batch
+        block = _zipf_draw_block(
+            rng, batch, arity, positions, cumulative, total, n
+        )
+        keys = (block << shifts[None, :]).sum(axis=1)
+        # First occurrence of each key within the batch, in draw order.
+        _, first_index = np.unique(keys, return_index=True)
+        first_index.sort()
+        fresh = first_index[
+            ~np.isin(keys[first_index], seen, assume_unique=False)
+        ]
+        fresh = fresh[: m - len(out)]
+        if len(fresh):
+            out.append(block[fresh])
+            seen = np.union1d(seen, keys[fresh])
+    return out
+
+
 def zipf_database(
     query: ConjunctiveQuery,
     m: int | Mapping[str, int],
@@ -278,14 +443,20 @@ def zipf_database(
     skew: float = 1.0,
     seed: int | random.Random = 0,
     backend: GeneratorBackend | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> Database:
     backend = resolve_generator_backend(backend)
-    rng = _np_rng(seed) if backend == "numpy" else _rng(seed)
+    rng = (
+        _np_rng(seed)
+        if backend == "numpy" or storage is not None
+        else _rng(seed)
+    )
     sizes = _size_map(query, m)
     relations = [
         zipf_relation(
             atom.relation, atom.arity, sizes[atom.relation], n, skew, rng,
-            backend=backend,
+            backend=backend, storage=storage, chunk_rows=chunk_rows,
         )
         for atom in query.atoms
     ]

@@ -266,6 +266,25 @@ class Relation:
 
     # ------------------------------------------------------------- invariants
 
+    def validate_domain(self, domain_size: int) -> None:
+        """Raise ``ValueError`` when any value falls outside ``[0, n)``.
+
+        Array-born relations check vectorized; chunked relations
+        (:class:`repro.storage.chunked.ChunkedRelation`) override this
+        to check one chunk at a time without materializing.
+        """
+        arr = self._array
+        if arr is not None:
+            validate_array_domain(arr, self.name, domain_size)
+            return
+        for t in self._tuples:
+            for v in t:
+                if not 0 <= v < domain_size:
+                    raise ValueError(
+                        f"value {v} in {self.name} outside domain "
+                        f"[0, {domain_size})"
+                    )
+
     def is_matching(self) -> bool:
         """True when every value has degree exactly 1 in every column.
 
@@ -289,6 +308,17 @@ class Relation:
             raise IndexError(
                 f"position {position} out of range for arity {self.arity}"
             )
+
+
+def validate_array_domain(
+    arr: np.ndarray, name: str, domain_size: int
+) -> None:
+    """Vectorized ``[0, n)`` bounds check for one relation-shaped array."""
+    if len(arr) and (arr.min() < 0 or arr.max() >= domain_size):
+        bad = int(arr[(arr < 0) | (arr >= domain_size)].flat[0])
+        raise ValueError(
+            f"value {bad} in {name} outside domain [0, {domain_size})"
+        )
 
 
 def relation_from_pairs(name: str, pairs: Iterable[tuple[int, int]]) -> Relation:

@@ -20,6 +20,15 @@ Two execution backends share this driver:
   ``argsort``) and runs the vectorized local join.  It produces
   bit-identical answers and loads; the property tests in
   ``tests/hypercube/test_backends.py`` enforce that.
+
+The columnar backend additionally streams: with ``chunk_rows`` (or a
+:class:`~repro.storage.manager.StorageManager` via ``storage=``)
+relations are routed chunk-by-chunk through the same vectorized router,
+per-server fragments accumulate in disk-spilling spools, and each
+server's fragment is materialized only for its own local join -- so
+``n`` is bounded by disk, not RAM, while answers, per-server loads and
+even capacity truncation stay bit-identical
+(``tests/storage/test_streaming_execution.py`` enforces that).
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ from repro.join.multiway import evaluate_on_fragments
 from repro.join.vectorized import UnsupportedVectorizedQuery, evaluate_arrays
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
+from repro.storage.chunked import iter_array_chunks
+from repro.storage.manager import StorageManager
 
 
 class HyperCubeResult:
@@ -211,6 +222,8 @@ def run_hypercube(
     skip_local_join: bool = False,
     backend: Literal["tuples", "numpy"] | None = None,
     hash_method: HashMethod = "splitmix64",
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> HyperCubeResult:
     """Run the one-round HyperCube algorithm on ``p`` servers.
 
@@ -227,8 +240,23 @@ def run_hypercube(
     follows the system-wide default
     (:func:`repro.config.set_default_backend`).  ``hash_method``
     selects the routing PRF for either backend.
+
+    ``storage`` switches the columnar backend to out-of-core mode:
+    relations stream through the router chunk-by-chunk, received
+    fragments spill to the manager's chunked spools, answers spill to
+    output spools, and each server's fragment is freed right after its
+    local join -- bit-identical results at a resident set bounded by a
+    few chunks plus one server's fragment.  ``chunk_rows`` controls the
+    routing granularity alone (defaults to the manager's; chunked
+    routing without a manager keeps fragments in memory).  Lazy result
+    accessors (``answers``, ``answers_array()``) read the spooled
+    outputs, so materialize them *before* closing the manager.
     """
     backend = resolve_backend(backend)
+    if storage is not None and backend != "numpy":
+        raise ValueError(
+            "out-of-core execution (storage=...) requires the numpy backend"
+        )
     database.validate_for(query)
     stats = database.statistics(query)
     resolved = resolve_shares(query, stats, p, shares, exponents)
@@ -237,15 +265,20 @@ def run_hypercube(
         [resolved[v] for v in dimension_variables],
         HashFamily(seed, method=hash_method),
     )
+    if chunk_rows is None and storage is not None:
+        chunk_rows = storage.chunk_rows
 
     sim = MPCSimulation(
         p,
         value_bits=stats.value_bits,
         capacity_bits=capacity_bits,
         on_overflow=on_overflow,
+        storage=storage,
     )
     if backend == "numpy":
-        _communicate_arrays(query, database, partitioner, dimension_variables, sim)
+        _communicate_arrays(
+            query, database, partitioner, dimension_variables, sim, chunk_rows
+        )
     else:
         _communicate_tuples(query, database, partitioner, dimension_variables, sim)
 
@@ -294,15 +327,23 @@ def _communicate_arrays(
     partitioner: GridPartitioner,
     dimension_variables: Sequence[str],
     sim: MPCSimulation,
+    chunk_rows: int | None = None,
 ) -> None:
-    """The communication phase, whole relations as arrays."""
+    """The communication phase, relations as arrays (chunk-streamed).
+
+    With ``chunk_rows=None`` and in-memory relations this is the
+    one-chunk-per-relation monolith route; chunked relations and an
+    explicit granularity stream the same rows in the same order, which
+    delivers every server the identical row sequence (hence identical
+    loads and capacity truncation).
+    """
     sim.begin_round()
     for atom in query.atoms:
-        rows = database[atom.relation].to_array()
-        for server, batch in route_relation_arrays(
-            partitioner, dimension_variables, atom.variables, rows
-        ):
-            sim.send_array(server, atom.relation, batch)
+        for rows in iter_array_chunks(database[atom.relation], chunk_rows):
+            for server, batch in route_relation_arrays(
+                partitioner, dimension_variables, atom.variables, rows
+            ):
+                sim.send_array(server, atom.relation, batch)
     sim.end_round()
 
 
@@ -351,6 +392,13 @@ def _local_joins_arrays(
     partitioner: GridPartitioner,
     sim: MPCSimulation,
 ) -> None:
-    """The computation phase on array fragments, with tuple fallback."""
+    """The computation phase on array fragments, with tuple fallback.
+
+    In out-of-core mode each server's spooled fragments are freed the
+    moment its join finishes, so at most one server's data is resident
+    at a time.
+    """
     for server in range(partitioner.num_bins):
         local_join_arrays(query, sim, server)
+        if sim.storage is not None:
+            sim.server(server).clear()

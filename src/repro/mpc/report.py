@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class RoundLoad:
@@ -27,6 +29,21 @@ class RoundLoad:
 
     def drop(self, server: int, bits: float) -> None:
         self.dropped_bits[server] = self.dropped_bits.get(server, 0.0) + bits
+
+    def bits_array(self, p: int) -> np.ndarray:
+        """Per-server received bits as a dense length-``p`` array.
+
+        Servers that received nothing this round appear as 0 -- they
+        are real servers and belong in every percentile.
+        """
+        out = np.zeros(p, dtype=np.float64)
+        if self.bits:
+            index = np.fromiter(self.bits.keys(), dtype=np.int64,
+                                count=len(self.bits))
+            values = np.fromiter(self.bits.values(), dtype=np.float64,
+                                 count=len(self.bits))
+            out[index] = values
+        return out
 
     @property
     def max_bits(self) -> float:
@@ -110,6 +127,48 @@ class LoadReport:
             raise ValueError("input size must be positive")
         return self.total_bits / input_bits
 
+    def server_bits_array(self, round_index: int | None = None) -> np.ndarray:
+        """Per-server bits, dense over all ``p`` servers.
+
+        For one round when ``round_index`` is given; otherwise each
+        server's *worst* round (element-wise max), so the array's
+        maximum is exactly :attr:`max_load_bits`.
+        """
+        if round_index is not None:
+            return self.rounds[round_index].bits_array(self.p)
+        out = np.zeros(self.p, dtype=np.float64)
+        for r in self.rounds:
+            np.maximum(out, r.bits_array(self.p), out=out)
+        return out
+
+    def load_percentiles(
+        self, quantiles: tuple[int, ...] = (50, 90, 99)
+    ) -> dict[str, float]:
+        """Distribution of per-server worst-round loads, vectorized.
+
+        Returns ``{"p50": ..., "p90": ..., "p99": ..., "max": ...}``
+        (keys follow ``quantiles``); ``max`` always equals
+        :attr:`max_load_bits`.  The spread between p50 and max is the
+        skew signal the paper's Section 4 algorithms exist to flatten:
+        a balanced HyperCube run has p99 close to the median, a heavy
+        hitter shows up as max detaching from p99.
+        """
+        bits = self.server_bits_array()
+        out = {
+            f"p{q}": float(np.percentile(bits, q)) if len(bits) else 0.0
+            for q in quantiles
+        }
+        out["max"] = float(bits.max()) if len(bits) else 0.0
+        return out
+
+    def percentile_line(self) -> str:
+        """The one-line p50/p90/p99/max rendering used by summaries."""
+        pct = self.load_percentiles()
+        return (
+            f"per-server bits: p50 {pct['p50']:.0f}, p90 {pct['p90']:.0f}, "
+            f"p99 {pct['p99']:.0f}, max {pct['max']:.0f}"
+        )
+
     @property
     def dropped_bits(self) -> float:
         """Bits discarded by capacity truncation (0 in normal runs)."""
@@ -123,6 +182,7 @@ class LoadReport:
                 f" ({r.max_tuples} tuples), total {r.total_bits:.0f} bits"
             )
         lines.append(f"  L = {self.max_load_bits:.0f} bits")
+        lines.append(f"  {self.percentile_line()}")
         if self.predicted_load_bits is not None:
             ratio = self.prediction_ratio()
             lines.append(

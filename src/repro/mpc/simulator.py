@@ -7,7 +7,7 @@ An :class:`MPCSimulation` is driven imperatively by algorithm code:
     sim = MPCSimulation(p=8, value_bits=20)
     sim.begin_round()
     sim.send(dest=3, tag="S1", tuples=[(1, 2), (5, 6)])
-    sim.end_round()                   # barrier: deliver + account loads
+    sim.end_round()                   # barrier: close the round's loads
     fragment = sim.state(3)["S1"]     # local computation phase
     sim.output(3, answers)
 
@@ -15,6 +15,12 @@ Bits are accounted on *receipt*, exactly as the model defines load
 (Section 2.1: "the load is the amount of data received by a server
 during a particular round").  A tuple of arity ``a`` costs
 ``a * value_bits`` bits unless the sender overrides ``bits_per_tuple``.
+Delivery is streaming: each ``send`` is accounted and stored the moment
+it is issued (in send order, which is all capacity truncation depends
+on), so a round never buffers its full traffic -- the property that
+lets out-of-core executions route terabytes through a constant-memory
+simulator.  ``end_round`` is purely the accounting barrier closing the
+round's :class:`RoundLoad`.
 
 Setting ``capacity_bits`` models a hard per-round load cap ``L``:
 ``on_overflow="fail"`` aborts the execution (the paper's randomized
@@ -22,17 +28,26 @@ algorithms "abort the computation if the amount of data received during
 a round would exceed the maximum load L"), while ``on_overflow="drop"``
 silently discards the excess -- the device used to *run* load-capped
 algorithms for the Theorem 3.5 answer-fraction experiments.
+
+With a :class:`~repro.storage.manager.StorageManager` attached
+(``storage=``), every server's received array batches and array outputs
+accumulate in chunked spools that spill to disk past the chunk size, so
+per-server fragments of an out-of-core run never sum up in RAM; the
+bit accounting is identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal, Sequence
+from typing import TYPE_CHECKING, Iterable, Literal
 
 import numpy as np
 
 from repro.data.arrays import unique_rows
 from repro.mpc.report import LoadReport, RoundLoad
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.storage.manager import StorageManager
 
 
 class LoadExceededError(RuntimeError):
@@ -56,24 +71,49 @@ class ServerState:
     The columnar backend stores received batches as arrays instead
     (``array_fragments``); :meth:`array_fragment` canonicalizes them
     into one deduplicated ``(n, arity)`` array per tag.  Both stores
-    share the same bit accounting at the round barrier.
+    share the same bit accounting at delivery time.  With a storage
+    manager attached, array batches go to per-tag chunked spools
+    (``array_spools``) that spill to disk instead of accumulating in
+    RAM.
     """
 
     server_id: int
+    storage: "StorageManager | None" = None
     fragments: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
     array_fragments: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    array_spools: dict[str, object] = field(default_factory=dict)
 
     def add(self, tag: str, tuples: Iterable[tuple[int, ...]]) -> None:
         self.fragments.setdefault(tag, set()).update(tuples)
 
     def add_array(self, tag: str, rows: np.ndarray) -> None:
+        if self.storage is not None:
+            spool = self.array_spools.get(tag)
+            if spool is None:
+                spool = self.storage.spool(
+                    f"srv{self.server_id}-{tag}", rows.shape[1]
+                )
+                self.array_spools[tag] = spool
+            spool.append(rows)
+            return
         self.array_fragments.setdefault(tag, []).append(rows)
 
     def get(self, tag: str) -> set[tuple[int, ...]]:
         return self.fragments.get(tag, set())
 
     def array_fragment(self, tag: str) -> np.ndarray | None:
-        """The deduplicated array stored under ``tag`` (None if absent)."""
+        """The deduplicated array stored under ``tag`` (None if absent).
+
+        In-memory batches are merged once and cached back; spooled
+        batches are merged per call and deliberately *not* cached (the
+        caller is about to join and discard them -- pinning the merge
+        would hold every server's fragment at once again).
+        """
+        spool = self.array_spools.get(tag)
+        if spool is not None:
+            if not len(spool):
+                return None
+            return unique_rows(spool.to_array())
         batches = self.array_fragments.get(tag)
         if not batches:
             return None
@@ -88,6 +128,7 @@ class ServerState:
     def tags(self) -> tuple[str, ...]:
         seen = dict.fromkeys(self.fragments)
         seen.update(dict.fromkeys(self.array_fragments))
+        seen.update(dict.fromkeys(self.array_spools))
         return tuple(seen)
 
     def clear(self, tag: str | None = None) -> None:
@@ -95,9 +136,15 @@ class ServerState:
         if tag is None:
             self.fragments.clear()
             self.array_fragments.clear()
+            for spool in self.array_spools.values():
+                spool.drop()
+            self.array_spools.clear()
         else:
             self.fragments.pop(tag, None)
             self.array_fragments.pop(tag, None)
+            spool = self.array_spools.pop(tag, None)
+            if spool is not None:
+                spool.drop()
 
 
 class MPCSimulation:
@@ -109,6 +156,7 @@ class MPCSimulation:
         value_bits: int,
         capacity_bits: float | None = None,
         on_overflow: Literal["fail", "drop"] = "fail",
+        storage: "StorageManager | None" = None,
     ):
         if p < 1:
             raise ValueError("need at least one server")
@@ -120,14 +168,15 @@ class MPCSimulation:
         self.value_bits = value_bits
         self.capacity_bits = capacity_bits
         self.on_overflow = on_overflow
-        self._servers = [ServerState(s) for s in range(p)]
+        self.storage = storage
+        self._servers = [ServerState(s, storage) for s in range(p)]
         self._report = LoadReport(p)
         self._in_round = False
-        self._pending: list[
-            tuple[int, str, tuple[tuple[int, ...], ...] | np.ndarray, float]
-        ] = []
+        self._round_load: RoundLoad | None = None
+        self._received_bits: list[float] = []
         self._outputs: list[set[tuple[int, ...]]] = [set() for _ in range(p)]
         self._array_outputs: list[list[np.ndarray]] = [[] for _ in range(p)]
+        self._output_spools: list[object | None] = [None] * p
 
     # ------------------------------------------------------------- lifecycle
 
@@ -135,52 +184,54 @@ class MPCSimulation:
         if self._in_round:
             raise RuntimeError("already inside a round; call end_round first")
         self._in_round = True
-        self._pending = []
+        self._round_load = RoundLoad()
+        self._received_bits = [0.0] * self.p
 
     def end_round(self) -> RoundLoad:
-        """The synchronization barrier: deliver sends, account loads."""
+        """The synchronization barrier: close the round's accounting."""
         if not self._in_round:
             raise RuntimeError("no round in progress; call begin_round first")
-        round_load = RoundLoad()
-        received_bits = [0.0] * self.p
-        for dest, tag, payload, bits_per_tuple in self._pending:
-            if isinstance(payload, np.ndarray):
-                self._deliver_array(
-                    round_load, received_bits, dest, tag, payload, bits_per_tuple
-                )
-                continue
-            accepted: list[tuple[int, ...]] = []
-            for t in payload:
-                cost = bits_per_tuple
-                if (
-                    self.capacity_bits is not None
-                    and received_bits[dest] + cost > self.capacity_bits
-                ):
-                    if self.on_overflow == "fail":
-                        raise LoadExceededError(
-                            dest,
-                            self._report.num_rounds + 1,
-                            received_bits[dest] + cost,
-                            self.capacity_bits,
-                        )
-                    round_load.drop(dest, cost)
-                    continue
-                received_bits[dest] += cost
-                accepted.append(t)
-            if accepted:
-                self._servers[dest].add(tag, accepted)
-                round_load.add(
-                    dest, len(accepted) * bits_per_tuple, len(accepted)
-                )
+        round_load = self._round_load
         self._report.rounds.append(round_load)
         self._in_round = False
-        self._pending = []
+        self._round_load = None
+        self._received_bits = []
         return round_load
+
+    def _deliver_tuples(
+        self,
+        dest: int,
+        tag: str,
+        batch: tuple[tuple[int, ...], ...],
+        bits_per_tuple: float,
+    ) -> None:
+        """Deliver a tuple batch with per-tuple capacity accounting."""
+        round_load = self._round_load
+        received_bits = self._received_bits
+        accepted: list[tuple[int, ...]] = []
+        for t in batch:
+            cost = bits_per_tuple
+            if (
+                self.capacity_bits is not None
+                and received_bits[dest] + cost > self.capacity_bits
+            ):
+                if self.on_overflow == "fail":
+                    raise LoadExceededError(
+                        dest,
+                        self._report.num_rounds + 1,
+                        received_bits[dest] + cost,
+                        self.capacity_bits,
+                    )
+                round_load.drop(dest, cost)
+                continue
+            received_bits[dest] += cost
+            accepted.append(t)
+        if accepted:
+            self._servers[dest].add(tag, accepted)
+            round_load.add(dest, len(accepted) * bits_per_tuple, len(accepted))
 
     def _deliver_array(
         self,
-        round_load: RoundLoad,
-        received_bits: list[float],
         dest: int,
         tag: str,
         rows: np.ndarray,
@@ -193,6 +244,8 @@ class MPCSimulation:
         per-tuple loop accepts exactly that prefix, since all rows of a
         batch share one cost).
         """
+        round_load = self._round_load
+        received_bits = self._received_bits
         accept = len(rows)
         if self.capacity_bits is not None and bits_per_tuple > 0:
             headroom = self.capacity_bits - received_bits[dest]
@@ -221,7 +274,7 @@ class MPCSimulation:
         tuples: Iterable[tuple[int, ...]],
         bits_per_tuple: float | None = None,
     ) -> None:
-        """Queue tuples for delivery to ``dest`` at the round barrier."""
+        """Account and store tuples at ``dest`` (streaming delivery)."""
         if not self._in_round:
             raise RuntimeError("send outside a round; call begin_round first")
         if not 0 <= dest < self.p:
@@ -231,7 +284,7 @@ class MPCSimulation:
             return
         if bits_per_tuple is None:
             bits_per_tuple = len(batch[0]) * self.value_bits
-        self._pending.append((dest, tag, batch, float(bits_per_tuple)))
+        self._deliver_tuples(dest, tag, batch, float(bits_per_tuple))
 
     def send_array(
         self,
@@ -240,7 +293,7 @@ class MPCSimulation:
         rows: np.ndarray,
         bits_per_tuple: float | None = None,
     ) -> None:
-        """Queue a ``(n, arity)`` array batch for delivery at the barrier.
+        """Account and store a ``(n, arity)`` array batch at ``dest``.
 
         Accounting is identical to :meth:`send`: each row costs
         ``arity * value_bits`` bits on receipt unless overridden.
@@ -256,7 +309,7 @@ class MPCSimulation:
             return
         if bits_per_tuple is None:
             bits_per_tuple = rows.shape[1] * self.value_bits
-        self._pending.append((dest, tag, rows, float(bits_per_tuple)))
+        self._deliver_array(dest, tag, rows, float(bits_per_tuple))
 
     def broadcast(
         self,
@@ -288,8 +341,10 @@ class MPCSimulation:
         executor.
         """
         state = self._servers[server]
+        tags = list(state.array_fragments)
+        tags += [t for t in state.array_spools if t not in state.array_fragments]
         out: dict[str, np.ndarray] = {}
-        for tag in state.array_fragments:
+        for tag in tags:
             if prefix is not None and not tag.startswith(prefix):
                 continue
             merged = state.array_fragment(tag)
@@ -310,20 +365,59 @@ class MPCSimulation:
         self._outputs[server].update(tuple(t) for t in tuples)
 
     def output_array(self, server: int, rows: np.ndarray) -> None:
-        """Record locally-produced answers given as a ``(n, k)`` array."""
+        """Record locally-produced answers given as a ``(n, k)`` array.
+
+        With a storage manager attached the rows go to a per-server
+        output spool, so huge answer sets spill instead of pinning RAM.
+        """
         rows = np.asarray(rows)
         if rows.ndim != 2:
             raise ValueError(f"need a 2-D (n, k) answer array, got {rows.shape}")
-        if len(rows):
-            self._array_outputs[server].append(rows)
+        if not len(rows):
+            return
+        if self.storage is not None:
+            spool = self._output_spools[server]
+            if spool is None:
+                spool = self.storage.spool(f"out{server}", rows.shape[1])
+                self._output_spools[server] = spool
+            spool.append(rows)
+            return
+        self._array_outputs[server].append(rows)
+
+    def adopt_output_spool(self, server: int, spool) -> None:
+        """Hand an existing chunked spool over as ``server``'s outputs.
+
+        Out-of-core executors whose final per-server results already
+        live in manager-owned spools (the multi-round root view) avoid
+        re-reading and re-spilling every chunk through
+        :meth:`output_array`.
+        """
+        if self.storage is None:
+            raise RuntimeError("adopt_output_spool needs storage mode")
+        if (
+            self._output_spools[server] is not None
+            or self._outputs[server]
+            or self._array_outputs[server]
+        ):
+            raise RuntimeError(f"server {server} already holds outputs")
+        self._output_spools[server] = spool
+
+    def _array_output_batches(self, server: int) -> list[np.ndarray]:
+        batches = list(self._array_outputs[server])
+        spool = self._output_spools[server]
+        if spool is not None:
+            # Copy memmap chunks so each file descriptor closes as the
+            # next chunk is read (see ServerState.array_fragment).
+            batches.extend(np.array(c) for c in spool.chunks())
+        return batches
 
     def outputs(self) -> set[tuple[int, ...]]:
         """The union of all servers' outputs -- the algorithm's answer."""
         out: set[tuple[int, ...]] = set()
         for chunk in self._outputs:
             out |= chunk
-        for batches in self._array_outputs:
-            for rows in batches:
+        for server in range(self.p):
+            for rows in self._array_output_batches(server):
                 out.update(map(tuple, rows.tolist()))
         return out
 
@@ -335,7 +429,9 @@ class MPCSimulation:
         deduplicated row-wise.
         """
         batches = [
-            rows for per_server in self._array_outputs for rows in per_server
+            rows
+            for server in range(self.p)
+            for rows in self._array_output_batches(server)
         ]
         merged_sets = set()
         for chunk in self._outputs:
@@ -350,9 +446,26 @@ class MPCSimulation:
             return np.empty((0, width), dtype=np.int64)
         return unique_rows(np.concatenate(batches, axis=0))
 
+    def output_rows_total(self) -> int:
+        """Rows recorded across all servers, duplicates included.
+
+        A streaming-friendly size signal: unlike :meth:`outputs` it
+        never materializes the union, so out-of-core benches can report
+        answer volumes without holding them.
+        """
+        total = sum(len(chunk) for chunk in self._outputs)
+        for server in range(self.p):
+            total += sum(
+                len(rows) for rows in self._array_outputs[server]
+            )
+            spool = self._output_spools[server]
+            if spool is not None:
+                total += len(spool)
+        return total
+
     def outputs_of(self, server: int) -> set[tuple[int, ...]]:
         out = set(self._outputs[server])
-        for rows in self._array_outputs[server]:
+        for rows in self._array_output_batches(server):
             out.update(map(tuple, rows.tolist()))
         return out
 

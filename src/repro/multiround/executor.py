@@ -31,6 +31,22 @@ Two execution backends share the driver (``backend=None`` follows
   evaluator.  Answers and per-server/per-round loads are bit-identical
   to the tuple path; ``tests/multiround/test_executor_backends.py``
   enforces it.
+
+``capacity_bits`` imposes the same hard per-server per-round cap ``L``
+that :func:`~repro.hypercube.algorithm.run_hypercube` supports: every
+round of the plan enforces it, and because both backends (and the
+chunked path) route each relation and view in canonical row order, a
+binding cap with ``on_overflow="drop"`` truncates the identical
+per-server prefix everywhere -- dropped tuples then propagate
+identically through later rounds.
+
+``storage`` switches the columnar backend to out-of-core mode: base
+relations and view fragments stream through the router chunk-by-chunk,
+delivered fragments spill to per-server chunked spools, and the
+inter-round views themselves are kept as
+:class:`~repro.storage.chunked.ChunkedRelation` spools -- so an
+intermediate blow-up spills to disk instead of pinning RAM, and views
+past their last consumer delete their spill files eagerly.
 """
 
 from __future__ import annotations
@@ -57,6 +73,8 @@ from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
 from repro.multiround.plans import Plan
+from repro.storage.chunked import ChunkedRelation, iter_array_chunks
+from repro.storage.manager import StorageManager
 
 
 class MultiRoundResult:
@@ -127,6 +145,10 @@ def run_plan(
     seed: int = 0,
     backend: Literal["tuples", "numpy"] | None = None,
     keep_view_fragments: bool = False,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> MultiRoundResult:
     """Execute ``plan`` in ``plan.depth`` rounds on ``p`` servers.
 
@@ -137,13 +159,36 @@ def run_plan(
     backends produce bit-identical answers and loads.
     ``keep_view_fragments`` retains every intermediate view's
     per-server fragments on the result (default: root only).
+
+    ``capacity_bits`` applies :class:`MPCSimulation`'s per-server
+    per-round cap ``L`` to every round of the plan --
+    ``on_overflow="fail"`` raises
+    :class:`~repro.mpc.simulator.LoadExceededError`, ``"drop"``
+    truncates the same canonical per-server prefix under every backend.
+    ``storage`` (numpy backend only) spools delivered fragments and
+    inter-round views to disk-backed chunks; ``chunk_rows`` sets the
+    routing granularity (defaults to the manager's).  Lazy result
+    accessors (``answers``, ``answers_array()``) read the spooled
+    outputs, so materialize them *before* closing the manager.
     """
     backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("plan execution needs p >= 2")
+    if storage is not None and backend != "numpy":
+        raise ValueError(
+            "out-of-core execution (storage=...) requires the numpy backend"
+        )
+    if chunk_rows is None and storage is not None:
+        chunk_rows = storage.chunk_rows
     database.validate_for(plan.query)
     stats = database.statistics(plan.query)
-    sim = MPCSimulation(p, value_bits=stats.value_bits)
+    sim = MPCSimulation(
+        p,
+        value_bits=stats.value_bits,
+        capacity_bits=capacity_bits,
+        on_overflow=on_overflow,
+        storage=storage,
+    )
 
     by_depth = plan.root.nodes_by_depth()
     # Fragments are tagged "<node>/<input>"; a "/" inside a node name
@@ -197,23 +242,32 @@ def run_plan(
                     name = child.relation
                     child_schema = child.variables
                     if backend == "numpy":
-                        sources = [database[child.relation].to_array()]
+                        sources = [database[child.relation]]
                     else:
-                        sources = [database[child.relation].tuples]
+                        # Canonical order, so a binding capacity cap
+                        # truncates the same per-server prefix as the
+                        # columnar (sorted-array) path.
+                        sources = [database[child.relation].sorted_tuples()]
                 else:
                     name = child.name
                     child_schema = schema_of[child.name]
-                    sources = produced[child.name]
+                    if backend == "numpy":
+                        sources = produced[child.name]
+                    else:
+                        sources = [
+                            sorted(chunk) for chunk in produced[child.name]
+                        ]
                 # Tag fragments by the consuming node: two same-round
                 # operators reading the same input route it under
                 # different grids and must not share server state.
                 tag = f"{node.name}/{name}"
                 if backend == "numpy":
-                    for rows in sources:
-                        for server, batch in route_relation_arrays(
-                            grid, operator.variables, child_schema, rows
-                        ):
-                            sim.send_array(server, tag, batch)
+                    for fragment in sources:
+                        for rows in iter_array_chunks(fragment, chunk_rows):
+                            for server, batch in route_relation_arrays(
+                                grid, operator.variables, child_schema, rows
+                            ):
+                                sim.send_array(server, tag, batch)
                     continue
                 batches: dict[int, list[tuple[int, ...]]] = {}
                 for source in sources:
@@ -236,9 +290,17 @@ def run_plan(
             for server in range(grids[node.name].num_bins):
                 if backend == "numpy":
                     local_inputs = sim.array_state(server, prefix=prefix)
-                    fragments.append(
-                        local_join_fragments(operator, local_inputs)
-                    )
+                    local = local_join_fragments(operator, local_inputs)
+                    if storage is not None:
+                        # Inter-round views spill too: an intermediate
+                        # blow-up lands on disk, not in RAM.
+                        spool = storage.spool(
+                            f"{node.name}-s{server}", width
+                        )
+                        spool.append(local)
+                        fragments.append(spool)
+                    else:
+                        fragments.append(local)
                 else:
                     state = sim.state(server)
                     local_inputs = {
@@ -263,13 +325,21 @@ def run_plan(
         if not keep_view_fragments:
             for name, last in last_consumed.items():
                 if last == depth and name != plan.root.name:
-                    produced.pop(name, None)
+                    stale = produced.pop(name, None)
+                    if stale is not None and storage is not None:
+                        for fragment in stale:
+                            if isinstance(fragment, ChunkedRelation):
+                                fragment.drop()
 
     root = plan.root
     for server, chunk in enumerate(produced[root.name]):
         if len(chunk) == 0:
             continue
-        if backend == "numpy":
+        if isinstance(chunk, ChunkedRelation):
+            # The root view already lives in manager-owned spools;
+            # adopting them avoids re-spilling the whole result.
+            sim.adopt_output_spool(server, chunk)
+        elif backend == "numpy":
             sim.output_array(server, chunk)
         else:
             sim.output(server, chunk)

@@ -20,6 +20,13 @@ from repro.planner.cost import CostEstimate
 from repro.planner.optimizer import ExplainedPlan, plan
 from repro.planner.statistics import DataStatistics
 from repro.planner.strategies import Strategy, StrategyOutcome
+from repro.storage.manager import StorageManager
+
+#: How many times the input's bytes an in-memory columnar execution is
+#: assumed to touch at peak (input + routed replicas + fragments +
+#: join intermediates).  A memory budget below this footprint selects
+#: chunked execution.
+IN_MEMORY_FOOTPRINT_FACTOR = 4
 
 
 @dataclass
@@ -29,6 +36,17 @@ class PlannedExecution:
     plan: ExplainedPlan
     outcome: StrategyOutcome
     estimate: CostEstimate
+    #: The storage manager the engine opened for an over-budget run
+    #: (None for in-memory executions).  Owned by this object: spill
+    #: files live until it is closed or garbage-collected, so lazily
+    #: materialized answers stay readable.
+    storage: StorageManager | None = None
+    #: Why the memory budget was or was not enforced -- ``None`` (no
+    #: budget given), ``"chunked"`` (over budget, ran out-of-core),
+    #: ``"fits"`` (footprint within budget), or ``"not-enforced"``
+    #: (over budget but the winner cannot stream).  The CLI prints
+    #: this instead of re-deriving the engine's decision.
+    budget_outcome: str | None = None
 
     @property
     def strategy(self) -> str:
@@ -58,7 +76,15 @@ class PlannedExecution:
             f"  executed {self.strategy}: measured L = "
             f"{self.max_load_bits:.4g} bits"
             + (f" (measured/predicted = {ratio:.2f})" if ratio else ""),
+            f"  {self.report.percentile_line()}",
         ]
+        if self.storage is not None:
+            lines.append(
+                f"  out-of-core: spilled "
+                f"{self.storage.bytes_spilled / 2**20:.1f} MiB in "
+                f"{self.storage.chunks_spilled} chunks "
+                f"(chunk_rows={self.storage.chunk_rows})"
+            )
         return "\n".join(lines)
 
 
@@ -70,6 +96,8 @@ def execute(
     strategy: str | None = None,
     strategies: Sequence[Strategy] | None = None,
     stats: DataStatistics | None = None,
+    storage: StorageManager | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> PlannedExecution:
     """Plan ``query`` against ``database`` and run the chosen strategy.
 
@@ -81,26 +109,89 @@ def execute(
     ``plan(...).statistics`` from a prior call), so the common
     plan-then-execute pattern scans the database for heavy-hitter
     frequencies once, not twice.
+
+    ``memory_budget_bytes`` makes the engine memory-aware: when the
+    assumed in-memory footprint (input bytes times
+    :data:`IN_MEMORY_FOOTPRINT_FACTOR`) exceeds the budget, it opens a
+    :class:`StorageManager` sized by
+    :meth:`StorageManager.from_budget` and runs the winner chunked.
+    Under an active manager the statistics default to the *sampled*
+    estimator (:meth:`DataStatistics.from_sample`) rather than the
+    exact frequency scan, whose per-value counters would themselves
+    blow the budget at out-of-core scales (pass ``stats`` explicitly
+    to override).  A winner that cannot stream (its
+    :meth:`~repro.planner.strategies.Strategy.streams` is false, e.g.
+    a pinned ``-tuples`` twin or an in-memory baseline) runs without
+    the manager, which is closed and *not* attached -- callers can
+    tell from ``.storage is None`` that the budget was not enforced.
+    The attached manager cleans up on garbage collection or an
+    explicit ``close()``.
+
+    Passing an explicit ``storage`` *demands* chunked execution: if the
+    chosen strategy cannot stream (``streams()`` is false), the engine
+    raises ``ValueError`` rather than silently ignoring the caller's
+    memory constraint.  (``.storage`` on the result stays reserved for
+    the engine-owned manager; an explicit manager remains owned by the
+    caller.)
     """
-    dstats = (
-        stats
-        if stats is not None
-        else DataStatistics.from_database(query, database, p)
-    )
-    explained = plan(query, dstats, p, strategies=strategies)
-    if strategy is None:
-        candidate = explained.winner
-    else:
-        candidate = explained.candidate(strategy)
-        if not candidate.applicable:
-            raise ValueError(
-                f"strategy {strategy!r} is not applicable here: "
-                f"{candidate.reason}"
-            )
-    outcome = candidate.strategy.run(query, database, p, seed=seed, dstats=dstats)
+    owned: StorageManager | None = None
+    budget_outcome: str | None = None
+    if storage is None and memory_budget_bytes is not None:
+        footprint = database.total_bytes() * IN_MEMORY_FOOTPRINT_FACTOR
+        if footprint > memory_budget_bytes:
+            owned = storage = StorageManager.from_budget(memory_budget_bytes)
+            budget_outcome = "chunked"
+        else:
+            budget_outcome = "fits"
+    try:
+        if stats is not None:
+            dstats = stats
+        elif storage is not None:
+            dstats = DataStatistics.from_sample(query, database, p)
+        else:
+            dstats = DataStatistics.from_database(query, database, p)
+        explained = plan(query, dstats, p, strategies=strategies)
+        if strategy is None:
+            candidate = explained.winner
+        else:
+            candidate = explained.candidate(strategy)
+            if not candidate.applicable:
+                raise ValueError(
+                    f"strategy {strategy!r} is not applicable here: "
+                    f"{candidate.reason}"
+                )
+        if storage is not None and not candidate.strategy.streams():
+            if owned is None:
+                # The caller demanded chunked execution; refusing is
+                # better than silently dropping a memory constraint.
+                raise ValueError(
+                    f"strategy {candidate.name!r} cannot stream through "
+                    f"a storage manager (tuple backend or in-memory "
+                    f"baseline); pick a streaming strategy or use "
+                    f"memory_budget_bytes"
+                )
+            # The budget-opened manager would be ignored: run
+            # in-memory and report that honestly via .storage = None.
+            owned.close()
+            owned = None
+            storage = None
+            budget_outcome = "not-enforced"
+        outcome = candidate.strategy.run(
+            query, database, p, seed=seed, dstats=dstats, storage=storage
+        )
+    except Exception:
+        if owned is not None:
+            owned.close()
+        raise
     outcome.report.attach_prediction(
         candidate.name,
         candidate.estimate.load_bits,
         candidate.estimate.rounds,
     )
-    return PlannedExecution(explained, outcome, candidate.estimate)
+    return PlannedExecution(
+        explained,
+        outcome,
+        candidate.estimate,
+        storage=owned,
+        budget_outcome=budget_outcome,
+    )

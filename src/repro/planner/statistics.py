@@ -19,10 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from repro.core.query import ConjunctiveQuery
 from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.skew.heavy_hitters import HitterStatistics
+from repro.storage.chunked import iter_array_chunks
 
 
 @dataclass(frozen=True)
@@ -68,6 +71,38 @@ class DataStatistics:
         return cls(stats, hitters)
 
     @classmethod
+    def from_sample(
+        cls,
+        query: ConjunctiveQuery,
+        database: Database,
+        p: int,
+        sample_rows: int = 4096,
+        seed: int = 0,
+        threshold_fraction: float = 1.0,
+        safety: float = 0.5,
+    ) -> "DataStatistics":
+        """Cardinalities exact, hitter vectors estimated from samples.
+
+        The sampled counterpart of :meth:`from_database` for when a
+        full frequency scan is too expensive (the paper notes the
+        x-statistics "can be easily obtained from small samples of the
+        input").  One uniform row sample of ``sample_rows`` rows per
+        relation feeds every variable's estimate.
+        """
+        stats = database.statistics(query)
+        hitters = {
+            v: sample_heavy_hitters(
+                query, database, v, p,
+                sample_rows=sample_rows,
+                seed=seed,
+                threshold_fraction=threshold_fraction,
+                safety=safety,
+            )
+            for v in query.variables
+        }
+        return cls(stats, hitters)
+
+    @classmethod
     def coerce(
         cls,
         query: ConjunctiveQuery,
@@ -99,3 +134,76 @@ class DataStatistics:
             v: {rel: dict(freqs) for rel, freqs in stats_v.frequencies.items()}
             for v, stats_v in self.hitters.items()
         }
+
+
+def sample_heavy_hitters(
+    query: ConjunctiveQuery,
+    database: Database,
+    variable: str,
+    p: int,
+    sample_rows: int = 4096,
+    seed: int = 0,
+    threshold_fraction: float = 1.0,
+    safety: float = 0.5,
+) -> HitterStatistics:
+    """Estimate one variable's :class:`HitterStatistics` from row samples.
+
+    For every relation containing ``variable``, draw ``sample_rows``
+    rows uniformly with replacement (chunk-aware, so chunked relations
+    are never materialized), scale each sampled value's count by
+    ``m / sample_rows``, and keep values whose estimate reaches
+    ``safety *`` the exact detector's threshold
+    ``threshold_fraction * m / p``.  The ``safety`` slack trades a few
+    false positives (light values that cost a constant factor of
+    servers downstream) for a low false-negative rate: a value exactly
+    at the threshold has expected sample count ``sample_rows / p``,
+    and Chernoff puts its chance of estimating below half of that at
+    ``exp(-sample_rows / (8 p))``.
+
+    Estimated frequencies are rounded to ints so the result is a
+    drop-in for the exact :meth:`HitterStatistics.from_database` --
+    the planner's cost models and the skew-aware executors consume
+    either interchangeably.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if sample_rows < 1:
+        raise ValueError("sample_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+    frequencies: dict[str, dict[int, int]] = {}
+    for atom in query.atoms:
+        if variable not in atom.variable_set:
+            continue
+        relation = database[atom.relation]
+        m = len(relation)
+        if m == 0:
+            frequencies[atom.relation] = {}
+            continue
+        position = atom.variables.index(variable)
+        index = np.sort(rng.integers(0, m, size=sample_rows))
+        sampled = _gather_column(relation, position, index)
+        values, counts = np.unique(sampled, return_counts=True)
+        estimates = counts * (m / sample_rows)
+        threshold = max(threshold_fraction * m / p, 1e-12)
+        keep = estimates >= safety * threshold
+        frequencies[atom.relation] = {
+            int(v): int(round(e))
+            for v, e in zip(values[keep], estimates[keep])
+        }
+    return HitterStatistics(query, variable, frequencies)
+
+
+def _gather_column(relation, position: int, sorted_index: np.ndarray) -> np.ndarray:
+    """Values of one column at sorted row indices, one chunk at a time."""
+    out = np.empty(len(sorted_index), dtype=np.int64)
+    start = 0  # first row id of the current chunk
+    taken = 0
+    for chunk in iter_array_chunks(relation, None):
+        stop = start + len(chunk)
+        hi = np.searchsorted(sorted_index, stop, side="left")
+        if hi > taken:
+            rows = sorted_index[taken:hi] - start
+            out[taken:hi] = np.asarray(chunk[:, position])[rows]
+            taken = hi
+        start = stop
+    return out

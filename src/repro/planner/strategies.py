@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.config import resolve_backend
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hypercube.algorithm import run_hypercube
@@ -45,6 +46,9 @@ from repro.planner.statistics import DataStatistics
 from repro.skew.oblivious import run_skew_oblivious_hypercube
 from repro.skew.star import run_star_skew, star_center
 from repro.skew.triangle import is_triangle_query, run_triangle_skew
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.manager import StorageManager
 
 
 # One plan() pass prices the bare "hypercube"/"multiround" strategies
@@ -127,14 +131,30 @@ class Strategy:
         p: int,
         seed: int = 0,
         dstats: DataStatistics | None = None,
+        storage: "StorageManager | None" = None,
     ) -> StrategyOutcome:
         """Execute on ``database``.  ``dstats`` lets a caller that has
         already collected :class:`DataStatistics` (the engine plans
         before it runs) pass them in, so strategies that can reuse them
         (multiround plan choice, star hitter detection) skip a second
         scan; the triangle executor needs *full* frequency maps the
-        thresholded statistics don't carry, and the rest ignore it."""
+        thresholded statistics don't carry, and the rest ignore it.
+        ``storage`` requests out-of-core execution; strategies whose
+        executor streams (hypercube, skew star/triangle, multiround on
+        a columnar backend) forward it, the in-memory baselines accept
+        and ignore it -- :meth:`streams` tells callers which case they
+        are in before running."""
         raise NotImplementedError
+
+    def streams(self) -> bool:
+        """Whether :meth:`run` would honor a storage manager right now.
+
+        Depends on the resolved backend for the backend-switchable
+        strategies (the tuple path cannot stream chunks); the planner
+        engine consults this to avoid opening a spill directory no one
+        will use -- and to report honestly that a memory budget could
+        not be enforced."""
+        return False
 
     def __repr__(self) -> str:
         return f"<Strategy {self.name}>"
@@ -164,11 +184,21 @@ class OneRoundHyperCube(Strategy):
             lambda: hypercube_cost(query, dstats, p),
         )
 
-    def run(self, query, database, p, seed=0, dstats=None):
-        result = run_hypercube(query, database, p, seed=seed, backend=self.backend)
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
+        result = run_hypercube(
+            query, database, p, seed=seed, backend=self.backend,
+            storage=self._usable(storage),
+        )
         return StrategyOutcome(
             self.name, lambda: result.answers, result.report, p, result
         )
+
+    def _usable(self, storage):
+        """Out-of-core needs the columnar engine; -tuples twins decline."""
+        return storage if self.streams() else None
+
+    def streams(self) -> bool:
+        return resolve_backend(self.backend) == "numpy"
 
 
 class SkewObliviousHyperCube(Strategy):
@@ -180,7 +210,7 @@ class SkewObliviousHyperCube(Strategy):
     def estimate(self, query, dstats, p):
         return hypercube_cost(query, dstats, p, skew_oblivious=True)
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         result = run_skew_oblivious_hypercube(query, database, p, seed=seed)
         return StrategyOutcome(self.name, result.answers, result.report, p, result)
 
@@ -204,9 +234,15 @@ class SkewAwareStar(Strategy):
     def estimate(self, query, dstats, p):
         return star_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def streams(self) -> bool:
+        return resolve_backend(None) == "numpy"
+
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         hitters = dstats.hitters.get(star_center(query)) if dstats else None
-        result = run_star_skew(query, database, p, seed=seed, hitters=hitters)
+        result = run_star_skew(
+            query, database, p, seed=seed, hitters=hitters,
+            storage=storage if self.streams() else None,
+        )
         return StrategyOutcome(
             self.name, result.answers, result.report, result.servers_used, result
         )
@@ -229,8 +265,14 @@ class SkewAwareTriangle(Strategy):
     def estimate(self, query, dstats, p):
         return triangle_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None):
-        result = run_triangle_skew(database, p, seed=seed)
+    def streams(self) -> bool:
+        return resolve_backend(None) == "numpy"
+
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
+        result = run_triangle_skew(
+            database, p, seed=seed,
+            storage=storage if self.streams() else None,
+        )
         return StrategyOutcome(
             self.name, result.answers, result.report, result.servers_used, result
         )
@@ -262,6 +304,9 @@ class MultiRoundPlan(Strategy):
             return "no candidate plan (disconnected query)"
         return None
 
+    def streams(self) -> bool:
+        return resolve_backend(self.backend) == "numpy"
+
     def best_plan(
         self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
     ) -> tuple[str, Plan, CostEstimate]:
@@ -291,11 +336,14 @@ class MultiRoundPlan(Strategy):
     def estimate(self, query, dstats, p):
         return self.best_plan(query, dstats, p)[2]
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         if dstats is None:
             dstats = DataStatistics.from_database(query, database, p)
         _, plan, _ = self.best_plan(query, dstats, p)
-        result = run_plan(plan, database, p, seed=seed, backend=self.backend)
+        result = run_plan(
+            plan, database, p, seed=seed, backend=self.backend,
+            storage=storage if self.streams() else None,
+        )
         return StrategyOutcome(
             self.name, lambda: result.answers, result.report, p, result
         )
@@ -326,7 +374,7 @@ class ParallelHashJoin(Strategy):
     def estimate(self, query, dstats, p):
         return hash_join_cost(query, dstats, p, self._join_variables(query))
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         result = run_parallel_hash_join(
             query, database, p,
             join_variables=self._join_variables(query), seed=seed,
@@ -343,7 +391,7 @@ class BroadcastJoin(Strategy):
     def estimate(self, query, dstats, p):
         return broadcast_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         result = run_broadcast_join(query, database, p, seed=seed)
         return StrategyOutcome(self.name, result.answers, result.report, p, result)
 
@@ -362,7 +410,7 @@ class SingleServer(Strategy):
     def estimate(self, query, dstats, p):
         return single_server_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None):
+    def run(self, query, database, p, seed=0, dstats=None, storage=None):
         result = run_single_server(query, database, p)
         return StrategyOutcome(self.name, result.answers, result.report, p, result)
 

@@ -44,6 +44,8 @@ from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
 from repro.skew.heavy_hitters import HitterStatistics
+from repro.storage.chunked import iter_array_chunks
+from repro.storage.manager import StorageManager
 
 
 @dataclass
@@ -130,6 +132,8 @@ def run_star_skew(
     seed: int = 0,
     backend: Literal["tuples", "numpy"] | None = None,
     hitters: HitterStatistics | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> StarSkewResult:
     """Run the Section 4.2.1 algorithm in one MPC round.
 
@@ -150,10 +154,22 @@ def run_star_skew(
     answers; the per-hitter residual blocks are small by construction
     and stay on the tuple path.  ``backend=None`` follows the
     system-wide default (:func:`repro.config.set_default_backend`).
+
+    ``storage`` (numpy backend only) streams the light part
+    chunk-by-chunk and spills the light servers' fragments and outputs
+    to the manager's chunked spools -- bit-identical loads and answers;
+    the per-hitter heavy blocks are ``O(p)``-sized by construction and
+    stay in memory.  ``chunk_rows`` sets the routing granularity alone.
     """
     backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
+    if storage is not None and backend != "numpy":
+        raise ValueError(
+            "out-of-core execution (storage=...) requires the numpy backend"
+        )
+    if chunk_rows is None and storage is not None:
+        chunk_rows = storage.chunk_rows
     database.validate_for(query)
     center = _star_center(query)
     stats = database.statistics(query)
@@ -192,7 +208,9 @@ def run_star_skew(
     )
 
     total_servers = p + sum(allocation.values())
-    sim = MPCSimulation(total_servers, value_bits=stats.value_bits)
+    sim = MPCSimulation(
+        total_servers, value_bits=stats.value_bits, storage=storage
+    )
     family = HashFamily(seed)
     sim.begin_round()
 
@@ -206,13 +224,16 @@ def run_star_skew(
         relation = database[atom.relation]
         zpos = center_pos[atom.relation]
         if backend == "numpy":
-            rows = relation.to_array()
-            if len(heavy_array):
-                rows = rows[~np.isin(rows[:, zpos], heavy_array)]
-            for server, batch in route_relation_arrays(
-                light_grid, dims, atom.variables, rows
-            ):
-                sim.send_array(server, atom.relation, batch)
+            # Filter-then-route per chunk: filtering commutes with
+            # chunking, so the light rows reach every server in the
+            # same order as the monolithic route.
+            for rows in iter_array_chunks(relation, chunk_rows):
+                if len(heavy_array):
+                    rows = rows[~np.isin(rows[:, zpos], heavy_array)]
+                for server, batch in route_relation_arrays(
+                    light_grid, dims, atom.variables, rows
+                ):
+                    sim.send_array(server, atom.relation, batch)
             continue
         light = [t for t in relation if t[zpos] not in heavy_values]
         batches: dict[int, list[tuple[int, ...]]] = {}
@@ -275,6 +296,8 @@ def run_star_skew(
     for server in range(p):
         if backend == "numpy":
             local_join_arrays(query, sim, server)
+            if storage is not None:
+                sim.server(server).clear()
             continue
         local = evaluate_on_fragments(query, sim.state(server))
         if local:

@@ -49,6 +49,8 @@ from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
 from repro.skew.heavy_hitters import variable_frequencies
+from repro.storage.chunked import iter_array_chunks
+from repro.storage.manager import StorageManager
 
 
 @dataclass
@@ -88,6 +90,8 @@ def run_triangle_skew(
     p: int,
     seed: int = 0,
     backend: Literal["tuples", "numpy"] | None = None,
+    storage: StorageManager | None = None,
+    chunk_rows: int | None = None,
 ) -> TriangleSkewResult:
     """Run the Section 4.2.2 algorithm in one MPC round.
 
@@ -98,10 +102,22 @@ def run_triangle_skew(
     answers.  The case-1/case-2 blocks handle the few heavy values and
     stay on the tuple path.  ``backend=None`` follows the system-wide
     default (:func:`repro.config.set_default_backend`).
+
+    ``storage`` (numpy backend only) streams the light block
+    chunk-by-chunk and spills the light servers' fragments and outputs
+    to the manager's chunked spools; the case-1/case-2 blocks are
+    bounded by the heavy-hitter structure and stay in memory.
+    ``chunk_rows`` sets the routing granularity alone.
     """
     backend = resolve_backend(backend)
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
+    if storage is not None and backend != "numpy":
+        raise ValueError(
+            "out-of-core execution (storage=...) requires the numpy backend"
+        )
+    if chunk_rows is None and storage is not None:
+        chunk_rows = storage.chunk_rows
     query = triangle_query()
     database.validate_for(query)
     stats = database.statistics(query)
@@ -156,7 +172,9 @@ def run_triangle_skew(
     case2_plan = planned
 
     total_servers = p + 3 * p + sum(size for *_, size in case2_plan)
-    sim = MPCSimulation(total_servers, value_bits=stats.value_bits)
+    sim = MPCSimulation(
+        total_servers, value_bits=stats.value_bits, storage=storage
+    )
     family = HashFamily(seed)
     sim.begin_round()
 
@@ -167,19 +185,25 @@ def run_triangle_skew(
     for atom in query.atoms:
         a, b = atom.variables
         if backend == "numpy":
-            rows = database[atom.relation].to_array()
-            mask = np.ones(len(rows), dtype=bool)
-            for position, variable in ((0, a), (1, b)):
-                heavy = np.fromiter(
+            heavy_of = {
+                position: np.fromiter(
                     sorted(heavy2[variable]), dtype=np.int64,
                     count=len(heavy2[variable]),
                 )
-                if len(heavy):
-                    mask &= ~np.isin(rows[:, position], heavy)
-            for server, batch in route_relation_arrays(
-                light_grid, dims, atom.variables, rows[mask]
-            ):
-                sim.send_array(server, atom.relation, batch)
+                for position, variable in ((0, a), (1, b))
+            }
+            # Filter-then-route per chunk: filtering commutes with
+            # chunking, so light rows reach every server in the same
+            # order as the monolithic route.
+            for rows in iter_array_chunks(database[atom.relation], chunk_rows):
+                mask = np.ones(len(rows), dtype=bool)
+                for position, heavy in heavy_of.items():
+                    if len(heavy):
+                        mask &= ~np.isin(rows[:, position], heavy)
+                for server, batch in route_relation_arrays(
+                    light_grid, dims, atom.variables, rows[mask]
+                ):
+                    sim.send_array(server, atom.relation, batch)
             continue
         light = [
             t
@@ -266,6 +290,8 @@ def run_triangle_skew(
         if backend == "numpy" and server < p:
             # Light-block servers hold array fragments in this mode.
             local_join_arrays(query, sim, server)
+            if storage is not None:
+                sim.server(server).clear()
             continue
         local = evaluate_on_fragments(query, sim.state(server))
         if local:

@@ -1,0 +1,314 @@
+"""Chunked relations: fixed-size numpy chunks with ``.npy`` spill files.
+
+A :class:`ChunkedRelation` stores a relation (or an append-mode spool of
+row batches) as a sequence of ``(chunk_rows, arity)`` int64 chunks.
+Full chunks spill to ``.npy`` files owned by a
+:class:`~repro.storage.manager.StorageManager` and are read back as
+read-only memory maps, so a relation of ``n`` rows is never resident in
+full; the partial tail chunk stays in memory, which doubles as the
+small-relation fast path (a spool below ``chunk_rows`` rows never
+touches disk).  Without a manager, full chunks stay as in-memory arrays
+-- the chunk *iteration* contract is identical either way, which is
+what lets the property suites exercise chunked execution without a
+filesystem.
+
+Unlike :class:`~repro.data.relation.Relation` (whose canonical array is
+sorted and deduplicated), a chunked relation stores rows in **append
+order** and trusts the writer on distinctness: executors append
+already-deduplicated fragments, :meth:`from_array` canonicalizes
+through :func:`~repro.data.arrays.unique_rows` first, and the streaming
+generators produce injective columns.  Set-style APIs inherited from
+``Relation`` materialize the tuples on first use, exactly like an
+array-born relation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.arrays import unique_rows, unique_rows_with_counts
+from repro.data.relation import Relation, validate_array_domain
+from repro.storage.manager import DEFAULT_CHUNK_ROWS, StorageManager
+
+
+class ChunkedRelation(Relation):
+    """A relation stored as fixed-size chunks, spilled past ``chunk_rows``.
+
+    Created empty and filled through :meth:`append` (the spool form the
+    executors use for per-server fragments and inter-round views), or
+    from an existing array via :meth:`from_array` /
+    :meth:`from_relation`.  Reading is by :meth:`chunks`; the inherited
+    set-semantics API works but materializes.
+    """
+
+    __slots__ = ("chunk_rows", "_storage", "_parts", "_tail", "_tail_rows",
+                 "_num_rows")
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        storage: StorageManager | None = None,
+        chunk_rows: int | None = None,
+    ):
+        if arity < 1:
+            raise ValueError("relation arity must be >= 1")
+        if chunk_rows is None:
+            chunk_rows = storage.chunk_rows if storage else DEFAULT_CHUNK_ROWS
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self.name = name
+        self.arity = arity
+        self.chunk_rows = int(chunk_rows)
+        self._storage = storage
+        self._parts: list[np.ndarray | pathlib.Path] = []
+        self._tail: list[np.ndarray] = []
+        self._tail_rows = 0
+        self._num_rows = 0
+        # Base-class caches (set semantics materializes lazily).
+        self._tuples_cache = None
+        self._hash = None
+        self._array = None
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_array(
+        cls,
+        name: str,
+        array: np.ndarray,
+        storage: StorageManager | None = None,
+        chunk_rows: int | None = None,
+    ) -> "ChunkedRelation":
+        """Canonicalize ``array`` (sorted, distinct) and chunk it.
+
+        The chunk stream then enumerates exactly the rows of
+        ``Relation.from_array(name, array).to_array()`` in the same
+        order, which is what makes chunked execution bit-identical to
+        the in-memory path.
+        """
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValueError(
+                f"need a 2-D (n, arity) array, got shape {array.shape}"
+            )
+        if array.dtype.kind not in "iu":
+            raise TypeError(f"need an integer array, got dtype {array.dtype}")
+        canonical = unique_rows(array.astype(np.int64, copy=False))
+        out = cls(name, array.shape[1], storage=storage, chunk_rows=chunk_rows)
+        out.append(canonical)
+        return out
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: Relation,
+        storage: StorageManager | None = None,
+        chunk_rows: int | None = None,
+    ) -> "ChunkedRelation":
+        """The chunked twin of an in-memory relation (canonical order)."""
+        return cls.from_array(
+            relation.name,
+            relation.to_array(),
+            storage=storage,
+            chunk_rows=chunk_rows,
+        )
+
+    def append(self, rows: np.ndarray) -> None:
+        """Append a ``(k, arity)`` batch; full chunks spill immediately."""
+        rows = np.asarray(rows)
+        if rows.ndim != 2 or rows.shape[1] != self.arity:
+            raise ValueError(
+                f"need a (k, {self.arity}) batch, got shape {rows.shape}"
+            )
+        if len(rows) == 0:
+            return
+        rows = rows.astype(np.int64, copy=False)
+        if self._tuples_cache is not None:
+            # Keep the lazily-materialized set view coherent.
+            self._tuples_cache = None
+            self._hash = None
+        self._tail.append(rows)
+        self._tail_rows += len(rows)
+        self._num_rows += len(rows)
+        if self._tail_rows >= self.chunk_rows:
+            self._flush_full_chunks()
+
+    def _flush_full_chunks(self) -> None:
+        """Close every full ``chunk_rows`` block of the buffer.
+
+        The leftover rows are *copied* into the new tail: a view into
+        the appended batch would keep the whole batch alive (a 1-row
+        tail pinning a gigabyte view fragment), silently turning an
+        out-of-core spool back into an in-memory one.
+        """
+        merged = (
+            self._tail[0]
+            if len(self._tail) == 1
+            else np.concatenate(self._tail, axis=0)
+        )
+        full = (len(merged) // self.chunk_rows) * self.chunk_rows
+        for start in range(0, full, self.chunk_rows):
+            self._store(
+                np.ascontiguousarray(merged[start:start + self.chunk_rows])
+            )
+        rest = merged[full:]
+        self._tail = [rest.copy()] if len(rest) else []
+        self._tail_rows = len(rest)
+
+    def _store(self, chunk: np.ndarray) -> None:
+        if self._storage is None:
+            self._parts.append(chunk)
+            return
+        path = self._storage.new_chunk_path(f"{self.name}-{len(self._parts)}")
+        np.save(path, chunk, allow_pickle=False)
+        self._storage.account_spill(chunk.nbytes)
+        self._parts.append(path)
+
+    def drop(self) -> None:
+        """Discard all rows, deleting this spool's spill files."""
+        for part in self._parts:
+            if isinstance(part, pathlib.Path):
+                part.unlink(missing_ok=True)
+        self._parts = []
+        self._tail = []
+        self._tail_rows = 0
+        self._num_rows = 0
+        self._tuples_cache = None
+        self._hash = None
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def num_chunks(self) -> int:
+        """Closed chunks plus the in-memory tail (if any)."""
+        return len(self._parts) + (1 if self._tail_rows else 0)
+
+    @property
+    def spilled_chunks(self) -> int:
+        """Chunks currently backed by ``.npy`` files."""
+        return sum(1 for part in self._parts if isinstance(part, pathlib.Path))
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        """Yield every chunk in append order.
+
+        Spilled chunks come back as read-only memory maps: only the
+        pages a consumer touches become resident, and they are released
+        when the chunk array goes out of scope.
+        """
+        for part in self._parts:
+            if isinstance(part, pathlib.Path):
+                if (
+                    self._storage is not None
+                    and self._storage.closed
+                    and not self._storage.keep
+                ):
+                    raise RuntimeError(
+                        f"spill files of {self.name!r} are gone: its "
+                        f"StorageManager is closed -- materialize "
+                        f"results (answers, to_array()) before closing "
+                        f"the manager"
+                    )
+                yield np.load(part, mmap_mode="r", allow_pickle=False)
+            else:
+                yield part
+        if self._tail_rows:
+            if len(self._tail) > 1:
+                self._tail = [np.concatenate(self._tail, axis=0)]
+            yield self._tail[0]
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across all chunks."""
+        return self._num_rows * self.arity * 8
+
+    def to_array(self) -> np.ndarray:
+        """Materialize every chunk into one in-memory array.
+
+        Deliberately **not** cached on the relation (unlike the base
+        class): holding the full array would defeat the point of
+        chunked storage, so each call pays the concatenation.
+        """
+        if self._num_rows == 0:
+            return np.empty((0, self.arity), dtype=np.int64)
+        # np.array (not asarray): copy each memmap chunk so its file
+        # descriptor closes before the next chunk opens.
+        return np.concatenate([np.array(c) for c in self.chunks()], axis=0)
+
+    @property
+    def _tuples(self):
+        if self._tuples_cache is None:
+            self._tuples_cache = frozenset(
+                map(tuple, self.to_array().tolist())
+            )
+        return self._tuples_cache
+
+    # --------------------------------------------------- chunk-wise queries
+
+    def validate_domain(self, domain_size: int) -> None:
+        """Domain check, one chunk at a time (never materializes)."""
+        for chunk in self.chunks():
+            validate_array_domain(np.asarray(chunk), self.name, domain_size)
+
+    def degrees(self, positions: Sequence[int]) -> Counter:
+        """Chunk-wise, vectorized ``d_J`` histogram over ``positions``."""
+        positions = tuple(positions)
+        for p in positions:
+            self._check_position(p)
+        out: Counter = Counter()
+        for chunk in self.chunks():
+            arr = np.asarray(chunk)[:, positions]
+            if len(positions) == 1:
+                values, counts = np.unique(arr[:, 0], return_counts=True)
+                keys: Iterable = ((int(v),) for v in values)
+            else:
+                values, counts = unique_rows_with_counts(arr)
+                keys = map(tuple, values.tolist())
+            for key, count in zip(keys, counts):
+                out[key] += int(count)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedRelation({self.name!r}, arity={self.arity}, "
+            f"rows={self._num_rows}, chunks={self.num_chunks}, "
+            f"spilled={self.spilled_chunks})"
+        )
+
+
+def iter_array_chunks(
+    source: "Relation | np.ndarray",
+    chunk_rows: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield ``(k, arity)`` chunks of any relation-shaped source.
+
+    The single seam the streaming executors route through:
+
+    * a :class:`ChunkedRelation` yields its own chunks (its stored
+      granularity wins -- rows must not be re-buffered to re-chunk);
+    * an in-memory :class:`Relation` yields canonical-array slices of
+      ``chunk_rows`` rows (one whole-array chunk when ``None``);
+    * a bare ``(n, arity)`` array is sliced the same way.
+
+    Concatenating the yielded chunks always reproduces the source's
+    rows in order, so routing chunk-by-chunk delivers every server the
+    same row sequence as routing the monolith -- the invariant behind
+    bit-identical loads, answers, and capacity truncation.
+    """
+    if isinstance(source, ChunkedRelation):
+        yield from source.chunks()
+        return
+    array = source.to_array() if isinstance(source, Relation) else np.asarray(source)
+    if chunk_rows is None or chunk_rows >= len(array):
+        if len(array):
+            yield array
+        return
+    for start in range(0, len(array), chunk_rows):
+        yield array[start:start + chunk_rows]

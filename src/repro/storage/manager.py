@@ -1,0 +1,171 @@
+"""Spill-directory ownership and chunk budgets for out-of-core runs.
+
+A :class:`StorageManager` is the capability every out-of-core execution
+path shares: it owns one spill directory of ``.npy`` chunk files,
+hands out append-mode :class:`~repro.storage.chunked.ChunkedRelation`
+spools with a common ``chunk_rows`` granularity, accounts the bytes and
+chunk files written, and removes the directory at :meth:`close` (also
+on garbage collection and on context-manager exit), so a crashed or
+interrupted run cannot leak gigabytes of spill files.
+
+``from_budget`` derives a chunk granularity from a byte budget: the
+executors stream one chunk at a time and materialize at most one
+per-server fragment, so keeping individual chunks a small fraction of
+the budget keeps the peak resident set under it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import shutil
+import tempfile
+
+#: Rows per chunk when neither the caller nor a budget says otherwise
+#: (1M rows = 16 MB per binary int64 chunk).
+DEFAULT_CHUNK_ROWS = 1 << 20
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+class StorageManager:
+    """Owns a spill directory, a chunk budget, and spool lifecycle.
+
+    Parameters
+    ----------
+    root:
+        Directory for the ``.npy`` chunk files.  ``None`` (the default)
+        creates a private temporary directory that :meth:`close`
+        removes.  An explicit ``root`` is created if missing and removed
+        on close unless ``keep=True``.
+    chunk_rows:
+        Rows per spilled chunk for every spool this manager creates.
+    memory_budget_bytes:
+        The advisory resident-set budget this manager was sized for
+        (recorded for reporting; :meth:`from_budget` derives
+        ``chunk_rows`` from it).
+    keep:
+        When true, :meth:`close` leaves the spill files on disk.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        memory_budget_bytes: int | None = None,
+        keep: bool = False,
+    ):
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be >= 1")
+        self.chunk_rows = int(chunk_rows)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.keep = keep
+        if root is None:
+            self.root = pathlib.Path(
+                tempfile.mkdtemp(prefix="repro-spill-")
+            )
+        else:
+            self.root = pathlib.Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._counter = 0
+        self._closed = False
+        #: Bytes written to spill files over the manager's lifetime
+        #: (monotonic; deleting a spool does not subtract).
+        self.bytes_spilled = 0
+        #: Spill files written over the manager's lifetime.
+        self.chunks_spilled = 0
+
+    @classmethod
+    def from_budget(
+        cls,
+        memory_budget_bytes: int,
+        root: str | pathlib.Path | None = None,
+        keep: bool = False,
+    ) -> "StorageManager":
+        """Size a manager for a resident-set byte budget.
+
+        The dominant resident cost of a streaming run is not the chunk
+        being routed but the *tails*: every per-server per-tag spool
+        keeps up to one partial chunk in memory (p servers times a few
+        tags), so chunks are sized to ~1/512 of the budget (clamped to
+        [1024, 2^22] rows for an arity-4 int64 row).  Hundreds of
+        concurrent spool tails then sum to well under the budget, and
+        the remaining headroom absorbs the largest single per-server
+        fragment at join time.
+        """
+        if memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be >= 1")
+        target_chunk_bytes = memory_budget_bytes // 512
+        chunk_rows = target_chunk_bytes // (4 * 8)
+        chunk_rows = max(1024, min(DEFAULT_CHUNK_ROWS * 4, chunk_rows))
+        return cls(
+            root=root,
+            chunk_rows=chunk_rows,
+            memory_budget_bytes=memory_budget_bytes,
+            keep=keep,
+        )
+
+    # ------------------------------------------------------------- spools
+
+    def spool(
+        self, name: str, arity: int, chunk_rows: int | None = None
+    ) -> "ChunkedRelation":
+        """A new empty append-mode chunked relation backed by this manager."""
+        from repro.storage.chunked import ChunkedRelation
+
+        return ChunkedRelation(
+            name, arity, storage=self, chunk_rows=chunk_rows
+        )
+
+    def new_chunk_path(self, hint: str) -> pathlib.Path:
+        """A fresh spill-file path (unique per manager, safe name)."""
+        if self._closed:
+            raise RuntimeError("storage manager is closed")
+        self._counter += 1
+        safe = _SAFE_NAME.sub("_", hint)[:80] or "chunk"
+        return self.root / f"{self._counter:08d}-{safe}.npy"
+
+    def account_spill(self, nbytes: int) -> None:
+        """Record one spilled chunk (called by spools on every write)."""
+        self.bytes_spilled += int(nbytes)
+        self.chunks_spilled += 1
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Remove the spill directory (idempotent; kept if ``keep``)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.keep:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "StorageManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        budget = (
+            f", budget={self.memory_budget_bytes:,}B"
+            if self.memory_budget_bytes
+            else ""
+        )
+        return (
+            f"StorageManager(root={str(self.root)!r}, "
+            f"chunk_rows={self.chunk_rows}{budget}, "
+            f"spilled={self.bytes_spilled:,}B/{self.chunks_spilled} chunks)"
+        )

@@ -1,0 +1,159 @@
+"""Sampled heavy-hitter statistics (`sample_heavy_hitters`).
+
+The paper's remark that x-statistics "can be easily obtained from small
+samples of the input", quantified: on zipf data the sampled estimator
+must find every comfortably-heavy value, bound the relative error on
+their frequencies, and slot into the planner exactly where the exact
+statistics go.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.families import star_query
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.data.generators import zipf_database, zipf_relation
+from repro.data.database import Database
+from repro.planner import plan as planner_plan
+from repro.planner.statistics import DataStatistics, sample_heavy_hitters
+from repro.skew.heavy_hitters import HitterStatistics
+from repro.storage import ChunkedRelation, StorageManager
+
+P = 16
+M = 20_000
+N = 5_000
+SAMPLE = 4_000
+
+
+@pytest.fixture(scope="module")
+def zipf_db():
+    query = star_query(2)
+    return query, zipf_database(query, m=M, n=N, skew=1.1, seed=7)
+
+
+class TestErrorBounds:
+    def test_zipf_estimation_error_bounded(self, zipf_db):
+        query, db = zipf_db
+        exact = HitterStatistics.from_database(query, db, "z", 1.0, P)
+        sampled = sample_heavy_hitters(
+            query, db, "z", P, sample_rows=SAMPLE, seed=0
+        )
+        assert sampled.variable == "z"
+        for relation in exact.frequencies:
+            m = len(db[relation])
+            threshold = m / P
+            for value, frequency in exact.frequencies[relation].items():
+                estimate = sampled.frequency(relation, value)
+                if frequency >= 2 * threshold:
+                    # Comfortably heavy: must be detected, and the
+                    # estimate must be within 25% relative error
+                    # (expected sample count >= 2 * SAMPLE / P = 500,
+                    # so 25% is ~5 sigma).
+                    assert estimate > 0, (
+                        f"missed hitter {value} ({frequency}) in {relation}"
+                    )
+                    assert abs(estimate - frequency) <= 0.25 * frequency
+                if estimate > 0:
+                    # Anything reported is at least borderline: no
+                    # estimate may exceed 2x its true frequency.
+                    assert estimate <= 2 * frequency + threshold
+
+    def test_no_wild_false_positives(self, zipf_db):
+        query, db = zipf_db
+        sampled = sample_heavy_hitters(
+            query, db, "z", P, sample_rows=SAMPLE, seed=1
+        )
+        for relation, estimates in sampled.frequencies.items():
+            m = len(db[relation])
+            position = query.atom(relation).variables.index("z")
+            degrees = db[relation].degrees((position,))
+            for value in estimates:
+                # Reported values are genuinely at least half-heavy.
+                assert degrees[(value,)] >= 0.25 * m / P
+
+    def test_seed_determinism(self, zipf_db):
+        query, db = zipf_db
+        a = sample_heavy_hitters(query, db, "z", P, sample_rows=512, seed=3)
+        b = sample_heavy_hitters(query, db, "z", P, sample_rows=512, seed=3)
+        assert a.frequencies == b.frequencies
+
+
+class TestPlannerIntegration:
+    def test_from_sample_feeds_the_planner(self, zipf_db):
+        query, db = zipf_db
+        sampled = DataStatistics.from_sample(
+            query, db, P, sample_rows=SAMPLE, seed=0
+        )
+        exact = DataStatistics.from_database(query, db, P)
+        assert set(sampled.hitters) == set(exact.hitters)
+        ranked_sampled = planner_plan(query, sampled, P)
+        ranked_exact = planner_plan(query, exact, P)
+        # Same strategy universe (sampling must not change which
+        # strategies apply), and the sampled winner's predicted cost
+        # stays within 2x of the exact winner's -- near-ties may flip
+        # the pick, but never to something the exact model prices off
+        # by more than the sampling noise.
+        applicable = lambda ranked: {c.name for c in ranked.ranked}
+        assert applicable(ranked_sampled) == applicable(ranked_exact)
+        ratio = (
+            ranked_sampled.winner.estimate.load_bits
+            / ranked_exact.winner.estimate.load_bits
+        )
+        assert 0.5 <= ratio <= 2.0
+
+    def test_exact_stays_the_default(self, zipf_db):
+        query, db = zipf_db
+        default = DataStatistics.from_database(query, db, P)
+        exact = HitterStatistics.from_database(query, db, "z", 1.0, P)
+        assert default.hitters["z"].frequencies == exact.frequencies
+
+
+class TestEdgeCases:
+    def test_empty_relation(self):
+        query = ConjunctiveQuery(
+            (Atom("R", ("x", "z")), Atom("S", ("z", "y"))), name="j"
+        )
+        db = Database.from_arrays(
+            {
+                "R": np.empty((0, 2), dtype=np.int64),
+                "S": np.array([[1, 2]], dtype=np.int64),
+            },
+            10,
+        )
+        sampled = sample_heavy_hitters(query, db, "z", 4, sample_rows=16)
+        assert sampled.frequencies["R"] == {}
+
+    def test_variable_not_in_relation_skipped(self, zipf_db):
+        query, db = zipf_db
+        sampled = sample_heavy_hitters(query, db, "x1", P, sample_rows=256)
+        assert set(sampled.frequencies) == {"S1"}
+
+    def test_chunked_relation_sampled_without_materializing(self, tmp_path):
+        query = star_query(2)
+        with StorageManager(root=tmp_path, chunk_rows=512) as storage:
+            rel = zipf_relation(
+                "S1", 2, 8_000, 2_000, skew=1.2, seed=5, storage=storage
+            )
+            db = Database(
+                [rel, zipf_relation("S2", 2, 8_000, 2_000, skew=1.2, seed=6,
+                                    storage=storage)],
+                2_000,
+            )
+            sampled = sample_heavy_hitters(
+                query, db, "z", 8, sample_rows=2_000, seed=0
+            )
+            exact = HitterStatistics.from_database(query, db, "z", 1.0, 8)
+            for relation in exact.frequencies:
+                threshold = len(db[relation]) / 8
+                for value, frequency in exact.frequencies[relation].items():
+                    if frequency >= 2 * threshold:
+                        assert sampled.frequency(relation, value) > 0
+
+    def test_validation(self, zipf_db):
+        query, db = zipf_db
+        with pytest.raises(ValueError, match="sample_rows"):
+            sample_heavy_hitters(query, db, "z", P, sample_rows=0)
+        with pytest.raises(ValueError, match="p must be"):
+            sample_heavy_hitters(query, db, "z", 0)

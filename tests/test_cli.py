@@ -63,6 +63,27 @@ class TestPlanSubcommand:
         out = capsys.readouterr().out
         assert "executed" in out
         assert "answers" in out
+        assert "p50" in out and "p99" in out  # per-server percentiles
+
+    def test_memory_budget_selects_out_of_core(self, capsys):
+        # 4000 tuples * 2 cols * 8 bytes * 2 relations = 128 KiB of
+        # input; a 0.1 MiB budget forces chunked execution.
+        main([
+            "plan", "join", "--p", "8", "--m", "4000", "--n", "16000",
+            "--execute", "--memory-budget-mb", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert "out-of-core" in out
+        assert "chunked execution" in out
+
+    def test_memory_budget_large_stays_in_memory(self, capsys):
+        main([
+            "plan", "join", "--p", "8", "--m", "200", "--n", "800",
+            "--execute", "--memory-budget-mb", "512",
+        ])
+        out = capsys.readouterr().out
+        assert "in-memory" in out
+        assert "fits" in out
 
 
 class TestBackendFlag:

@@ -10,6 +10,7 @@ from repro.config import (
     resolve_backend,
     resolve_generator_backend,
     set_default_backend,
+    use_backend,
 )
 from repro.core.families import triangle_query
 from repro.data.generators import matching_database
@@ -65,6 +66,51 @@ class TestSwitch:
     def test_exported_at_package_level(self):
         assert repro.default_backend is default_backend
         assert repro.set_default_backend is set_default_backend
+        assert repro.use_backend is use_backend
+
+
+class TestUseBackendContextManager:
+    def test_restores_on_exit(self):
+        assert default_backend() == "numpy"
+        with use_backend("tuples") as active:
+            assert active == "tuples"
+            assert default_backend() == "tuples"
+        assert default_backend() == "numpy"
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("tuples"):
+                assert default_backend() == "tuples"
+                raise RuntimeError("boom")
+        assert default_backend() == "numpy"
+
+    def test_nests(self):
+        with use_backend("tuples"):
+            with use_backend("numpy"):
+                assert default_backend() == "numpy"
+            assert default_backend() == "tuples"
+        assert default_backend() == "numpy"
+
+    def test_rejects_unknown_without_clobbering(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            with use_backend("pandas"):
+                pass  # pragma: no cover
+        assert default_backend() == "numpy"
+
+    def test_governs_executors_in_scope(self):
+        q = triangle_query()
+        db = matching_database(q, m=30, n=150, seed=1)
+        with use_backend("tuples"):
+            reference = run_hypercube(q, db, p=4, seed=0)
+        columnar = run_hypercube(q, db, p=4, seed=0)
+        assert reference.answers == columnar.answers
+        assert all(
+            not reference.simulation.server(s).array_fragments
+            for s in range(4)
+        )
+        assert any(
+            columnar.simulation.server(s).array_fragments for s in range(4)
+        )
 
 
 class TestSwitchGovernsExecutors:
