@@ -7,17 +7,31 @@ HyperCube algorithm with LP-optimal shares, skew-aware star/triangle
 algorithms, multi-round query plans, and every load / round / replication
 bound the paper proves.
 
-Quickstart::
+Quickstart -- configure the cluster once, run anything on it::
 
-    from repro import triangle_query, matching_database, run_hypercube
+    from repro import Session, triangle_query, matching_database
     from repro.join import evaluate
 
     q = triangle_query()
     db = matching_database(q, m=1000, n=10_000, seed=0)
-    result = run_hypercube(q, db, p=64)
-    assert result.answers == evaluate(q, db)
-    print(result.shares)          # {'x1': 4, 'x2': 4, 'x3': 4}
-    print(result.max_load_bits)   # ~ M / p^{2/3}
+    with Session(p=64, seed=0) as session:
+        result = session.run(q, db)          # planner picks the strategy
+        assert result.answers == evaluate(q, db)
+        print(result.strategy, result.rounds, result.load_report.max_load_bits)
+        print(session.plan(q, db).table())   # EXPLAIN: ranked predictions
+
+A :class:`~repro.session.Session` wraps the paper's fixed machine
+configuration (:class:`~repro.session.ClusterConfig`: ``p`` servers,
+backend, seed, per-server capacity ``L``, memory budget) and exposes
+one verb: ``session.run(query, db)`` routes through the cost-based
+planner, ``session.run(query, db, strategy="skew-star")`` pins a named
+algorithm, ``session.run_many([...])`` executes a batch of independent
+jobs concurrently over shared storage, and ``session.history``
+accumulates per-run load records for workload-level reporting.  Every
+result -- whichever executor produced it -- satisfies the
+:class:`~repro.session.RunResult` protocol (``answers``,
+``answers_array()``, ``load_report``, ``rounds``, ``strategy``,
+``predicted_bits``).
 
 Package map (see DESIGN.md for the paper-section correspondence):
 
@@ -32,13 +46,14 @@ Package map (see DESIGN.md for the paper-section correspondence):
 * :mod:`repro.bounds` -- one-round lower bounds, replication, entropy
 * :mod:`repro.planner` -- cost-based strategy selection (`plan`/`execute`)
 * :mod:`repro.storage` -- out-of-core chunked relations + spill files
+* :mod:`repro.session` -- `Session`/`ClusterConfig`, the unified front
+  door and the shared run path behind every executor
 
-The planner is the front door when you don't want to pick an algorithm
-by hand::
-
-    from repro.planner import execute, plan
-    print(plan(q, db, p=64).table())   # EXPLAIN: ranked predicted costs
-    result = execute(q, db, p=64)      # runs the predicted winner
+The low-level layer stays available: the free functions
+``run_hypercube`` / ``run_star_skew`` / ``run_triangle_skew`` /
+``run_plan`` and ``planner.execute`` take the same knobs per call and
+are thin wrappers over the session's shared run path (bit-identical
+results either way).
 
 Every executor and generator runs the columnar (``"numpy"``) engine by
 default; the tuple-at-a-time reference path is one switch away::
@@ -84,9 +99,16 @@ from repro.bounds import lower_bound, upper_bound
 from repro.planner import DataStatistics, ExplainedPlan, PlannedExecution
 from repro.planner import execute as execute_query
 from repro.planner import plan as plan_query
+from repro.session import (
+    ClusterConfig,
+    Job,
+    RunRecord,
+    RunResult,
+    Session,
+)
 from repro.storage import ChunkedRelation, StorageManager
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Atom",
@@ -106,6 +128,11 @@ __all__ = [
     "uniform_database",
     "zipf_database",
     "run_hypercube",
+    "ClusterConfig",
+    "Job",
+    "RunRecord",
+    "RunResult",
+    "Session",
     "default_backend",
     "set_default_backend",
     "use_backend",

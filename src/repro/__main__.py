@@ -1,15 +1,23 @@
-"""``python -m repro``: a 30-second tour, plus the planner CLI.
+"""``python -m repro``: a 30-second tour, plus the planner/session CLI.
 
 Without arguments, the tour prints the paper's headline numbers live
 (Table 2 rows, the tight one-round bound for the triangle query, a real
-HyperCube run, the cost-based planner's EXPLAIN table, the multi-round
-tradeoff for L16) and **exits nonzero if any check fails**, so CI can
-smoke-run it.
+HyperCube run, the cost-based planner's EXPLAIN table, a Session
+workload, the multi-round tradeoff for L16) and **exits nonzero if any
+check fails**, so CI can smoke-run it.
 
 ``python -m repro plan QUERY`` prints the planner's EXPLAIN cost table
 for a named query (``triangle``, ``L5``, ``T3``, ``C4``, ``SP2``,
 ``K4``, ``join``) on a generated database, and with ``--execute`` runs
 the winning strategy and reports predicted vs measured load.
+
+``python -m repro run QUERY`` runs a workload on a configured
+:class:`repro.Session`: ``--repeat K`` executes K seed-derived jobs
+(``--max-workers`` of them concurrently), ``--strategy`` pins an
+algorithm instead of the planner's winner, and the accumulated
+``session.history`` percentiles print at the end.  Answers are checked
+against the sequential join, so the command exits nonzero on any
+mismatch.
 
 For the full harness run ``pytest benchmarks/ --benchmark-only``.
 """
@@ -21,6 +29,10 @@ import re
 import sys
 
 from repro import (
+    ClusterConfig,
+    DataStatistics,
+    Job,
+    Session,
     default_backend,
     matching_database,
     set_default_backend,
@@ -157,8 +169,22 @@ def run_tour() -> None:
     print(f"\nZipf-skewed star join T2 (m=2000, skew=1.0, p=16): planner "
           f"picks {zplanned.strategy}, measured "
           f"L = {zplanned.max_load_bits:.0f} bits")
-    _check(zplanned.answers == evaluate(zq, zdb),
+    zexpected = evaluate(zq, zdb)
+    _check(zplanned.answers == zexpected,
            "skewed star execution equals the sequential join")
+
+    print("\nSession workload (one configured cluster, many queries):")
+    with Session(p=16, seed=0) as session:
+        batch = session.run_many(
+            [Job(q, db, label="triangle"), Job(zq, zdb, label="T2-zipf")],
+            max_workers=2,
+        )
+        _check(batch[0].answers == expected,
+               "session triangle job equals the sequential join")
+        _check(batch[1].answers == zexpected,
+               "session star job equals the sequential join")
+        for line in session.workload_summary().splitlines():
+            print(f"  {line}")
 
     print("\nMulti-round tradeoff for L16 (Cor 5.15, tight):")
     for eps in (0.0, 0.5):
@@ -185,18 +211,7 @@ def _positive_mb(text: str) -> float:
 
 def run_plan_command(args: argparse.Namespace) -> None:
     query = args.query
-    if args.skew > 0:
-        db = zipf_database(
-            query, m=args.m, n=args.n, skew=args.skew, seed=args.seed,
-            backend="numpy",
-        )
-        flavour = f"zipf(skew={args.skew:g})"
-    else:
-        db = matching_database(
-            query, m=args.m, n=args.n, seed=args.seed, backend="numpy"
-        )
-        flavour = "matching"
-    print(f"{flavour} database: m={args.m}, n={args.n}, seed={args.seed}\n")
+    db = _generate_database(args)
     explained = planner_plan(query, db, args.p)
     print(explained.table())
     if args.execute:
@@ -240,6 +255,70 @@ def run_plan_command(args: argparse.Namespace) -> None:
             planned.storage.close()
 
 
+def _generate_database(args: argparse.Namespace):
+    """The plan/run subcommands' shared database generation."""
+    if args.skew > 0:
+        db = zipf_database(
+            args.query, m=args.m, n=args.n, skew=args.skew, seed=args.seed,
+            backend="numpy",
+        )
+        flavour = f"zipf(skew={args.skew:g})"
+    else:
+        db = matching_database(
+            args.query, m=args.m, n=args.n, seed=args.seed, backend="numpy"
+        )
+        flavour = "matching"
+    print(f"{flavour} database: m={args.m}, n={args.n}, seed={args.seed}\n")
+    return db
+
+
+def run_run_command(args: argparse.Namespace) -> None:
+    """``python -m repro run QUERY``: a Session workload, checked."""
+    db = _generate_database(args)
+    budget_bytes = (
+        int(args.memory_budget_mb * 2**20)
+        if args.memory_budget_mb is not None
+        else None
+    )
+    config = ClusterConfig(
+        p=args.p,
+        seed=args.seed,
+        capacity_bits=args.capacity_bits,
+        on_overflow=args.on_overflow,
+        memory_budget_bytes=budget_bytes,
+    )
+    expected = evaluate(args.query, db)
+    # One statistics collection feeds every job: the repeats run over
+    # the same database, so re-scanning per job would only add noise.
+    stats = DataStatistics.from_database(args.query, db, args.p)
+    with Session(config) as session:
+        jobs = [
+            Job(args.query, db, strategy=args.strategy, stats=stats,
+                label=f"job-{i}")
+            for i in range(args.repeat)
+        ]
+        try:
+            results = session.run_many(jobs, max_workers=args.max_workers)
+        except (KeyError, ValueError) as exc:
+            # Unknown/inapplicable strategy etc.: a clean nonzero exit.
+            print(f"CHECK FAILED: {exc}", file=sys.stderr)
+            raise TourCheckFailed(str(exc)) from exc
+        for index, result in enumerate(results):
+            dropped = result.load_report.dropped_bits
+            _check(
+                dropped > 0 or result.answers == expected,
+                f"job-{index} answers equal the sequential join",
+            )
+        print(session.workload_summary())
+        if session.storage is not None:
+            print(
+                f"out-of-core: spilled "
+                f"{session.storage.bytes_spilled / 2**20:.1f} MiB in "
+                f"{session.storage.chunks_spilled} chunks "
+                f"(chunk_rows={session.storage.chunk_rows})"
+            )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -281,13 +360,55 @@ def main(argv: list[str] | None = None) -> None:
         "--backend", choices=("tuples", "numpy"), default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
+    run_parser = sub.add_parser(
+        "run", help="run a Session workload for a query (checked answers)"
+    )
+    run_parser.add_argument("query", type=parse_query,
+                            help="triangle, join, K4, L5, C4, T3, SP2, ...")
+    run_parser.add_argument("--p", type=int, default=64,
+                            help="number of servers (default 64)")
+    run_parser.add_argument("--m", type=int, default=2000,
+                            help="tuples per relation (default 2000)")
+    run_parser.add_argument("--n", type=int, default=None,
+                            help="domain size (default 4*m)")
+    run_parser.add_argument("--skew", type=float, default=0.0,
+                            help="zipf skew; 0 generates a matching "
+                                 "database (default 0)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--strategy", default=None,
+                            help="pin a strategy by name instead of the "
+                                 "planner's winner (e.g. hypercube, "
+                                 "skew-star, multiround-tuples)")
+    run_parser.add_argument("--repeat", type=int, default=1,
+                            help="number of seed-derived jobs (default 1)")
+    run_parser.add_argument("--max-workers", type=int, default=None,
+                            help="concurrent jobs for run_many "
+                                 "(default: min(cpus, 8, jobs))")
+    run_parser.add_argument("--capacity-bits", type=float, default=None,
+                            help="per-server per-round load cap L")
+    run_parser.add_argument("--on-overflow", choices=("fail", "drop"),
+                            default="fail",
+                            help="what a binding capacity cap does "
+                                 "(default fail)")
+    run_parser.add_argument(
+        "--memory-budget-mb", type=_positive_mb, default=None, metavar="MB",
+        help="resident-set budget; over-budget runs stream through the "
+             "session's shared spill directory (identical results)",
+    )
+    run_parser.add_argument(
+        "--backend", choices=("tuples", "numpy"), default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
-    if args.command == "plan":
+    if args.command in ("plan", "run"):
         if args.n is None:
             args.n = 4 * args.m
+    if args.command == "plan":
         run_plan_command(args)
+    elif args.command == "run":
+        run_run_command(args)
     else:
         run_tour()
 

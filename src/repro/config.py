@@ -32,6 +32,7 @@ submodule may consult it without import cycles.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from typing import Iterator, Literal
 
 Backend = Literal["tuples", "numpy"]
@@ -103,6 +104,67 @@ def resolve_backend(backend: str | None) -> Backend:
             f"unknown backend {backend!r} (expected one of {_EXECUTION_BACKENDS})"
         )
     return backend  # type: ignore[return-value]
+
+
+_HASH_METHODS = ("splitmix64", "blake2b")
+_OVERFLOW_MODES = ("fail", "drop")
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """The per-run execution knobs every executor shares.
+
+    One value object carries the five settings that used to be
+    copy-pasted (and to drift) across every executor signature:
+    the engine switch, the per-server per-round capacity cap and its
+    overflow policy, the routing PRF, and the streaming granularity.
+    :meth:`resolve` is the single place the backend/storage/chunk-size
+    interaction is decided; the executor cores receive an
+    already-resolved instance and never re-derive it.
+    """
+
+    backend: Backend | None = None
+    capacity_bits: float | None = None
+    on_overflow: Literal["fail", "drop"] = "fail"
+    hash_method: str = "splitmix64"
+    chunk_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in _EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {_EXECUTION_BACKENDS})"
+            )
+        if self.on_overflow not in _OVERFLOW_MODES:
+            raise ValueError("on_overflow must be 'fail' or 'drop'")
+        if self.hash_method not in _HASH_METHODS:
+            raise ValueError(
+                f"unknown hash_method {self.hash_method!r} "
+                f"(expected one of {_HASH_METHODS})"
+            )
+        if self.chunk_rows is not None and self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+
+    def resolve(self, storage: object | None = None) -> "ExecutionSettings":
+        """A copy with the backend and chunk granularity pinned down.
+
+        ``backend=None`` resolves to the system-wide default
+        (:func:`default_backend`); an attached storage manager demands
+        the columnar engine and supplies its own ``chunk_rows`` when
+        the caller gave none.  This is the one shared resolution step
+        behind ``run_hypercube``/``run_star_skew``/``run_triangle_skew``/
+        ``run_plan`` and :meth:`repro.session.Session.run`.
+        """
+        backend = resolve_backend(self.backend)
+        if storage is not None and backend != "numpy":
+            raise ValueError(
+                "out-of-core execution (storage=...) requires the numpy "
+                "backend"
+            )
+        chunk_rows = self.chunk_rows
+        if chunk_rows is None and storage is not None:
+            chunk_rows = storage.chunk_rows  # type: ignore[attr-defined]
+        return replace(self, backend=backend, chunk_rows=chunk_rows)
 
 
 def resolve_generator_backend(backend: str | None) -> GeneratorBackend:

@@ -34,7 +34,8 @@ class Relation:
     API is actually used.
     """
 
-    __slots__ = ("name", "arity", "_tuples_cache", "_hash", "_array")
+    __slots__ = ("name", "arity", "_tuples_cache", "_hash", "_array",
+                 "_sorted_cache")
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple[int, ...]]):
         if arity < 1:
@@ -50,6 +51,7 @@ class Relation:
         self._tuples_cache: frozenset[tuple[int, ...]] | None = frozen
         self._hash: int | None = None
         self._array: np.ndarray | None = None
+        self._sorted_cache: list[tuple[int, ...]] | None = None
 
     @property
     def _tuples(self) -> frozenset[tuple[int, ...]]:
@@ -92,8 +94,16 @@ class Relation:
         return self._tuples
 
     def sorted_tuples(self) -> list[tuple[int, ...]]:
-        """Deterministically ordered tuples (for stable iteration)."""
-        return sorted(self._tuples)
+        """Deterministically ordered tuples (for stable iteration).
+
+        Cached after the first call -- the executors route every block
+        in canonical order, so per-hitter loops would otherwise re-sort
+        the same relation many times.  Callers must not mutate the
+        returned list.
+        """
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._tuples)
+        return self._sorted_cache
 
     # ------------------------------------------------------------- columnar
 
@@ -139,6 +149,7 @@ class Relation:
         relation._tuples_cache = None  # materialized on first set-API use
         relation._hash = None
         relation._array = canonical
+        relation._sorted_cache = None
         return relation
 
     def columns(self) -> tuple[np.ndarray, ...]:

@@ -37,7 +37,7 @@ from typing import Iterator, Literal, Mapping, Sequence
 
 import numpy as np
 
-from repro.config import resolve_backend
+from repro.config import ExecutionSettings
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
@@ -60,6 +60,10 @@ class HyperCubeResult:
     into tuples is the single most expensive step of a columnar run, so
     it only happens when somebody asks).  ``answers_array`` exposes the
     columnar form directly.
+
+    Satisfies the :class:`repro.session.RunResult` protocol (as do the
+    skew, multi-round and planner results), so callers can treat any
+    execution outcome uniformly.
     """
 
     def __init__(
@@ -69,11 +73,13 @@ class HyperCubeResult:
         shares: dict[str, int],
         report: LoadReport,
         simulation: MPCSimulation,
+        strategy: str = "hypercube",
     ):
         self.query = query
         self.shares = shares
         self.report = report
         self.simulation = simulation
+        self.strategy = strategy
         self._answers = answers
 
     @property
@@ -85,6 +91,20 @@ class HyperCubeResult:
     def answers_array(self) -> np.ndarray:
         """The distinct answers as a canonical ``(n, k)`` int64 array."""
         return self.simulation.outputs_array(self.query.num_variables)
+
+    @property
+    def load_report(self) -> LoadReport:
+        """The :class:`RunResult` name for :attr:`report`."""
+        return self.report
+
+    @property
+    def rounds(self) -> int:
+        return self.report.num_rounds
+
+    @property
+    def predicted_bits(self) -> float | None:
+        """The cost model's load prediction (None unless attached)."""
+        return self.report.predicted_load_bits
 
     @property
     def max_load_bits(self) -> float:
@@ -251,28 +271,62 @@ def run_hypercube(
     routing without a manager keeps fragments in memory).  Lazy result
     accessors (``answers``, ``answers_array()``) read the spooled
     outputs, so materialize them *before* closing the manager.
+
+    This is a thin delegating wrapper: the actual execution flows
+    through the shared run path of :mod:`repro.session`, which resolves
+    the backend/storage/chunk-size interaction once for every executor.
     """
-    backend = resolve_backend(backend)
-    if storage is not None and backend != "numpy":
-        raise ValueError(
-            "out-of-core execution (storage=...) requires the numpy backend"
-        )
+    from repro.session import dispatch_run
+
+    return dispatch_run(
+        "hypercube",
+        query,
+        database,
+        p,
+        seed=seed,
+        storage=storage,
+        settings=ExecutionSettings(
+            backend=backend,
+            capacity_bits=capacity_bits,
+            on_overflow=on_overflow,
+            hash_method=hash_method,
+            chunk_rows=chunk_rows,
+        ),
+        shares=shares,
+        exponents=exponents,
+        skip_local_join=skip_local_join,
+    )
+
+
+def _hypercube_impl(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    *,
+    seed: int,
+    settings: ExecutionSettings,
+    storage: StorageManager | None,
+    shares: Mapping[str, int] | None = None,
+    exponents: Mapping[str, float] | None = None,
+    skip_local_join: bool = False,
+) -> HyperCubeResult:
+    """The HyperCube core; ``settings`` arrives already resolved."""
+    backend = settings.backend
+    chunk_rows = settings.chunk_rows
     database.validate_for(query)
     stats = database.statistics(query)
     resolved = resolve_shares(query, stats, p, shares, exponents)
     dimension_variables = query.variables
     partitioner = GridPartitioner(
         [resolved[v] for v in dimension_variables],
-        HashFamily(seed, method=hash_method),
+        HashFamily(seed, method=settings.hash_method),
     )
-    if chunk_rows is None and storage is not None:
-        chunk_rows = storage.chunk_rows
 
     sim = MPCSimulation(
         p,
         value_bits=stats.value_bits,
-        capacity_bits=capacity_bits,
-        on_overflow=on_overflow,
+        capacity_bits=settings.capacity_bits,
+        on_overflow=settings.on_overflow,
         storage=storage,
     )
     if backend == "numpy":

@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Literal, Sequence
 
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
@@ -24,20 +24,34 @@ from repro.mpc.simulator import MPCSimulation
 
 
 def run_single_server(
-    query: ConjunctiveQuery, database: Database, p: int
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
 ) -> HyperCubeResult:
     """Ship the entire input to server 0 and join there (load = |I|)."""
     database.validate_for(query)
     stats = database.statistics(query)
-    sim = MPCSimulation(p, value_bits=stats.value_bits)
+    sim = MPCSimulation(
+        p,
+        value_bits=stats.value_bits,
+        capacity_bits=capacity_bits,
+        on_overflow=on_overflow,
+    )
     sim.begin_round()
     for atom in query.atoms:
-        sim.send(0, atom.relation, database[atom.relation])
+        # Sorted, so a binding capacity cap truncates a deterministic
+        # prefix rather than whatever the set iteration order yields.
+        sim.send(0, atom.relation, database[atom.relation].sorted_tuples())
     sim.end_round()
     answers = evaluate_on_fragments(query, sim.state(0))
     sim.output(0, answers)
     shares = {v: 1 for v in query.variables}
-    return HyperCubeResult(query, sim.outputs(), shares, sim.report, sim)
+    return HyperCubeResult(
+        query, sim.outputs(), shares, sim.report, sim,
+        strategy="single-server",
+    )
 
 
 def run_parallel_hash_join(
@@ -46,6 +60,10 @@ def run_parallel_hash_join(
     p: int,
     join_variables: Sequence[str] | None = None,
     seed: int = 0,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
+    backend: Literal["tuples", "numpy"] | None = None,
+    hash_method: str = "splitmix64",
 ) -> HyperCubeResult:
     """Hash-partition every relation on shared join variable(s).
 
@@ -68,7 +86,13 @@ def run_parallel_hash_join(
         )
     # Spread p as evenly as possible over the join variables.
     exponents = {v: 1.0 / len(join_variables) for v in join_variables}
-    return run_hypercube(query, database, p, exponents=exponents, seed=seed)
+    result = run_hypercube(
+        query, database, p, exponents=exponents, seed=seed,
+        capacity_bits=capacity_bits, on_overflow=on_overflow,
+        backend=backend, hash_method=hash_method,
+    )
+    result.strategy = "hash-join"
+    return result
 
 
 def run_broadcast_join(
@@ -77,6 +101,8 @@ def run_broadcast_join(
     p: int,
     partition_relation: str | None = None,
     seed: int = 0,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
 ) -> HyperCubeResult:
     """Partition one relation evenly; broadcast all the others.
 
@@ -92,7 +118,12 @@ def run_broadcast_join(
         )
     if partition_relation not in set(query.relation_names):
         raise KeyError(f"unknown relation {partition_relation!r}")
-    sim = MPCSimulation(p, value_bits=stats.value_bits)
+    sim = MPCSimulation(
+        p,
+        value_bits=stats.value_bits,
+        capacity_bits=capacity_bits,
+        on_overflow=on_overflow,
+    )
     sim.begin_round()
     for atom in query.atoms:
         relation = database[atom.relation]
@@ -101,11 +132,13 @@ def run_broadcast_join(
             for index, t in enumerate(ordered):
                 sim.send((index * 1_000_003 + seed) % p, atom.relation, [t])
         else:
-            sim.broadcast(atom.relation, relation)
+            sim.broadcast(atom.relation, relation.sorted_tuples())
     sim.end_round()
     for server in range(p):
         local = evaluate_on_fragments(query, sim.state(server))
         if local:
             sim.output(server, local)
     shares = {v: 1 for v in query.variables}
-    return HyperCubeResult(query, sim.outputs(), shares, sim.report, sim)
+    return HyperCubeResult(
+        query, sim.outputs(), shares, sim.report, sim, strategy="broadcast"
+    )

@@ -56,8 +56,8 @@ from typing import Literal
 
 import numpy as np
 
-from repro.config import resolve_backend
-from repro.core.query import Atom
+from repro.config import ExecutionSettings
+from repro.core.query import Atom, ConjunctiveQuery
 from repro.data.arrays import unique_rows
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
@@ -92,6 +92,9 @@ class MultiRoundResult:
     a large columnar run alive would pin all of its memory to the
     result object; ``run_plan(..., keep_view_fragments=True)`` keeps
     them all (tests use this to pin down per-operator routing).
+
+    Satisfies the :class:`repro.session.RunResult` protocol, so plan
+    executions interchange with every other executor's result.
     """
 
     def __init__(
@@ -102,6 +105,7 @@ class MultiRoundResult:
         simulation: MPCSimulation,
         rounds: int,
         view_fragments: dict[str, list],
+        strategy: str = "multiround",
     ):
         self.plan = plan
         self.schema = schema
@@ -109,6 +113,7 @@ class MultiRoundResult:
         self.simulation = simulation
         self.rounds = rounds
         self.view_fragments = view_fragments
+        self.strategy = strategy
         self._answers: set[tuple[int, ...]] | None = None
 
     @property
@@ -131,6 +136,15 @@ class MultiRoundResult:
     def max_load_bits(self) -> float:
         return self.report.max_load_bits
 
+    @property
+    def load_report(self) -> LoadReport:
+        return self.report
+
+    @property
+    def predicted_bits(self) -> float | None:
+        """The cost model's load prediction (None unless attached)."""
+        return self.report.predicted_load_bits
+
     def __repr__(self) -> str:
         return (
             f"MultiRoundResult(query={self.plan.query.name or 'q'!r}, "
@@ -147,6 +161,8 @@ def run_plan(
     keep_view_fragments: bool = False,
     capacity_bits: float | None = None,
     on_overflow: Literal["fail", "drop"] = "fail",
+    *,
+    hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
 ) -> MultiRoundResult:
@@ -170,23 +186,59 @@ def run_plan(
     routing granularity (defaults to the manager's).  Lazy result
     accessors (``answers``, ``answers_array()``) read the spooled
     outputs, so materialize them *before* closing the manager.
+
+    A thin delegating wrapper over the shared run path of
+    :mod:`repro.session`.
     """
-    backend = resolve_backend(backend)
+    from repro.session import dispatch_run
+
+    return dispatch_run(
+        "multiround",
+        plan.query,
+        database,
+        p,
+        seed=seed,
+        storage=storage,
+        settings=ExecutionSettings(
+            backend=backend,
+            capacity_bits=capacity_bits,
+            on_overflow=on_overflow,
+            hash_method=hash_method,
+            chunk_rows=chunk_rows,
+        ),
+        plan=plan,
+        keep_view_fragments=keep_view_fragments,
+    )
+
+
+def _multiround_impl(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    *,
+    seed: int,
+    settings: ExecutionSettings,
+    storage: StorageManager | None,
+    plan: Plan,
+    keep_view_fragments: bool = False,
+) -> MultiRoundResult:
+    """The plan-execution core; ``settings`` arrives already resolved."""
+    backend = settings.backend
+    chunk_rows = settings.chunk_rows
     if p < 2:
         raise ValueError("plan execution needs p >= 2")
-    if storage is not None and backend != "numpy":
+    if query != plan.query:
         raise ValueError(
-            "out-of-core execution (storage=...) requires the numpy backend"
+            f"plan answers {plan.query.name or plan.query!r}, "
+            f"not {query.name or query!r}"
         )
-    if chunk_rows is None and storage is not None:
-        chunk_rows = storage.chunk_rows
     database.validate_for(plan.query)
     stats = database.statistics(plan.query)
     sim = MPCSimulation(
         p,
         value_bits=stats.value_bits,
-        capacity_bits=capacity_bits,
-        on_overflow=on_overflow,
+        capacity_bits=settings.capacity_bits,
+        on_overflow=settings.on_overflow,
         storage=storage,
     )
 
@@ -234,7 +286,8 @@ def run_plan(
             shares = integerize_shares(exponents, p)
             grid = GridPartitioner(
                 [shares[v] for v in operator.variables],
-                HashFamily(derive_seed(seed, _stable_salt(node.name))),
+                HashFamily(derive_seed(seed, _stable_salt(node.name)),
+                           method=settings.hash_method),
             )
             grids[node.name] = grid
             for child in node.children:

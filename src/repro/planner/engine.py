@@ -11,13 +11,17 @@ the model came (``report.prediction_ratio()``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
+import numpy as np
+
+from repro.config import ExecutionSettings
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.mpc.report import LoadReport
 from repro.planner.cost import CostEstimate
-from repro.planner.optimizer import ExplainedPlan, plan
+from repro.planner.optimizer import ExplainedPlan
+from repro.planner.optimizer import plan as rank_strategies
 from repro.planner.statistics import DataStatistics
 from repro.planner.strategies import Strategy, StrategyOutcome
 from repro.storage.manager import StorageManager
@@ -56,9 +60,27 @@ class PlannedExecution:
     def answers(self) -> set[tuple[int, ...]]:
         return self.outcome.answers
 
+    def answers_array(self) -> np.ndarray:
+        """The distinct answers as a canonical ``(n, k)`` int64 array."""
+        raw = self.outcome.raw
+        if hasattr(raw, "answers_array"):
+            return raw.answers_array()
+        answers = sorted(self.answers)
+        if not answers:
+            return np.empty((0, 0), dtype=np.int64)
+        return np.array(answers, dtype=np.int64)
+
     @property
     def report(self) -> LoadReport:
         return self.outcome.report
+
+    @property
+    def load_report(self) -> LoadReport:
+        return self.outcome.report
+
+    @property
+    def rounds(self) -> int:
+        return self.report.num_rounds
 
     @property
     def max_load_bits(self) -> float:
@@ -66,6 +88,11 @@ class PlannedExecution:
 
     @property
     def predicted_load_bits(self) -> float:
+        return self.estimate.load_bits
+
+    @property
+    def predicted_bits(self) -> float:
+        """The :class:`repro.session.RunResult` name for the prediction."""
         return self.estimate.load_bits
 
     def summary(self) -> str:
@@ -98,6 +125,12 @@ def execute(
     stats: DataStatistics | None = None,
     storage: StorageManager | None = None,
     memory_budget_bytes: int | None = None,
+    settings: ExecutionSettings | None = None,
+    shares: Mapping[str, int] | None = None,
+    exponents: Mapping[str, float] | None = None,
+    hitters: object | None = None,
+    plan: object | None = None,
+    storage_optional: bool = False,
 ) -> PlannedExecution:
     """Plan ``query`` against ``database`` and run the chosen strategy.
 
@@ -130,9 +163,19 @@ def execute(
     Passing an explicit ``storage`` *demands* chunked execution: if the
     chosen strategy cannot stream (``streams()`` is false), the engine
     raises ``ValueError`` rather than silently ignoring the caller's
-    memory constraint.  (``.storage`` on the result stays reserved for
-    the engine-owned manager; an explicit manager remains owned by the
-    caller.)
+    memory constraint -- unless ``storage_optional=True``, which runs
+    the winner in memory instead and reports ``budget_outcome =
+    "not-enforced"`` (the contract a :class:`repro.session.Session`'s
+    shared manager wants).  (``.storage`` on the result stays reserved
+    for the engine-owned manager; an explicit manager remains owned by
+    the caller.)
+
+    ``settings`` threads a :class:`~repro.config.ExecutionSettings`
+    (backend, capacity cap, hash method, chunk granularity) into
+    whichever strategy runs; ``shares``/``exponents``/``hitters``/
+    ``plan`` are per-run overrides forwarded to strategies that accept
+    them (pinning e.g. ``strategy="hypercube", shares={...}``) and
+    rejected loudly by the rest.
     """
     owned: StorageManager | None = None
     budget_outcome: str | None = None
@@ -150,7 +193,7 @@ def execute(
             dstats = DataStatistics.from_sample(query, database, p)
         else:
             dstats = DataStatistics.from_database(query, database, p)
-        explained = plan(query, dstats, p, strategies=strategies)
+        explained = rank_strategies(query, dstats, p, strategies=strategies)
         if strategy is None:
             candidate = explained.winner
         else:
@@ -160,8 +203,8 @@ def execute(
                     f"strategy {strategy!r} is not applicable here: "
                     f"{candidate.reason}"
                 )
-        if storage is not None and not candidate.strategy.streams():
-            if owned is None:
+        if storage is not None and not candidate.strategy.streams(settings):
+            if owned is None and not storage_optional:
                 # The caller demanded chunked execution; refusing is
                 # better than silently dropping a memory constraint.
                 raise ValueError(
@@ -172,12 +215,15 @@ def execute(
                 )
             # The budget-opened manager would be ignored: run
             # in-memory and report that honestly via .storage = None.
-            owned.close()
-            owned = None
+            if owned is not None:
+                owned.close()
+                owned = None
             storage = None
             budget_outcome = "not-enforced"
         outcome = candidate.strategy.run(
-            query, database, p, seed=seed, dstats=dstats, storage=storage
+            query, database, p, seed=seed, dstats=dstats, storage=storage,
+            settings=settings, shares=shares, exponents=exponents,
+            hitters=hitters, plan=plan,
         )
     except Exception:
         if owned is not None:

@@ -41,6 +41,12 @@ class DataStatistics:
 
     stats: Statistics
     hitters: Mapping[str, HitterStatistics] = field(default_factory=dict)
+    #: Whether the hitter vectors came from exact frequency scans
+    #: (:meth:`from_database`) rather than row samples
+    #: (:meth:`from_sample`).  Consumers that need exact counts -- the
+    #: triangle executor's threshold classification -- only reuse exact
+    #: vectors and re-scan otherwise.
+    exact: bool = True
 
     @property
     def query(self) -> ConjunctiveQuery:
@@ -100,7 +106,7 @@ class DataStatistics:
             )
             for v in query.variables
         }
-        return cls(stats, hitters)
+        return cls(stats, hitters, exact=False)
 
     @classmethod
     def coerce(

@@ -20,7 +20,7 @@ import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.config import resolve_backend
+from repro.config import ExecutionSettings, resolve_backend
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hypercube.algorithm import run_hypercube
@@ -50,6 +50,12 @@ from repro.skew.triangle import is_triangle_query, run_triangle_skew
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.storage.manager import StorageManager
 
+#: Per-run override keys :meth:`Strategy.run` understands; each
+#: strategy declares the subset it threads into its executor and
+#: rejects the rest loudly (a silently dropped ``shares=`` or ``plan=``
+#: would masquerade as a planner decision).
+OVERRIDE_KEYS = ("shares", "exponents", "hitters", "plan")
+
 
 # One plan() pass prices the bare "hypercube"/"multiround" strategies
 # and their pinned -tuples/-numpy twins; the twins share one cost model
@@ -71,6 +77,36 @@ def _memoized(dstats, key, compute):
     if key not in bucket:
         bucket[key] = compute()
     return bucket[key]
+
+
+def _effective_backend(
+    pinned: str | None, settings: ExecutionSettings | None
+) -> str | None:
+    """A strategy's engine: its pinned backend, else the settings' one.
+
+    ``None`` falls through to the system-wide default at resolution
+    time, so bare strategies keep following
+    :func:`repro.config.set_default_backend` unless a session
+    configuration says otherwise.
+    """
+    if pinned is not None:
+        return pinned
+    return settings.backend if settings is not None else None
+
+
+def _settings_kwargs(settings: ExecutionSettings) -> dict:
+    """The shared-knob kwargs for executors that accept the full set.
+
+    One place to extend when :class:`ExecutionSettings` grows a knob,
+    instead of per-strategy kwarg blocks drifting apart.  (The
+    baselines' executors accept only a subset and spell it out.)
+    """
+    return {
+        "capacity_bits": settings.capacity_bits,
+        "on_overflow": settings.on_overflow,
+        "hash_method": settings.hash_method,
+        "chunk_rows": settings.chunk_rows,
+    }
 
 
 @dataclass
@@ -104,12 +140,15 @@ class StrategyOutcome:
 class Strategy:
     """One algorithm family the planner can choose.
 
-    Subclasses set ``name`` / ``summary`` and implement
-    :meth:`applicable`, :meth:`estimate` and :meth:`run`.
+    Subclasses set ``name`` / ``summary`` / ``supported_overrides`` and
+    implement :meth:`applicable`, :meth:`estimate` and :meth:`_run`.
     """
 
     name: str = ""
     summary: str = ""
+    #: The :data:`OVERRIDE_KEYS` this strategy threads into its
+    #: executor; anything else passed to :meth:`run` raises.
+    supported_overrides: frozenset[str] = frozenset()
 
     def applicable(
         self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
@@ -132,28 +171,83 @@ class Strategy:
         seed: int = 0,
         dstats: DataStatistics | None = None,
         storage: "StorageManager | None" = None,
+        settings: ExecutionSettings | None = None,
+        **overrides,
     ) -> StrategyOutcome:
-        """Execute on ``database``.  ``dstats`` lets a caller that has
-        already collected :class:`DataStatistics` (the engine plans
-        before it runs) pass them in, so strategies that can reuse them
-        (multiround plan choice, star hitter detection) skip a second
-        scan; the triangle executor needs *full* frequency maps the
-        thresholded statistics don't carry, and the rest ignore it.
+        """Execute on ``database``.
+
+        ``dstats`` lets a caller that has already collected
+        :class:`DataStatistics` (the engine plans before it runs) pass
+        them in, so strategies that can reuse them (multiround plan
+        choice, star/triangle hitter statistics) skip a second scan.
         ``storage`` requests out-of-core execution; strategies whose
         executor streams (hypercube, skew star/triangle, multiround on
         a columnar backend) forward it, the in-memory baselines accept
         and ignore it -- :meth:`streams` tells callers which case they
-        are in before running."""
+        are in before running.
+
+        ``settings`` carries the shared execution knobs
+        (:class:`~repro.config.ExecutionSettings`: backend, capacity
+        cap, hash method, chunk granularity); every strategy threads
+        them into its executor, so a :class:`repro.session.Session`'s
+        cluster configuration applies uniformly no matter which
+        strategy wins.  ``overrides`` accepts the per-run knobs of
+        :data:`OVERRIDE_KEYS` (``shares``/``exponents`` for share-based
+        strategies, ``hitters`` for the skew-aware ones, ``plan`` for
+        multi-round); a strategy rejects overrides it cannot honor
+        rather than silently ignoring them.
+        """
+        unknown = sorted(set(overrides) - set(OVERRIDE_KEYS))
+        if unknown:
+            raise TypeError(
+                f"unknown run override(s): {', '.join(unknown)}"
+            )
+        unsupported = sorted(
+            key
+            for key, value in overrides.items()
+            if value is not None and key not in self.supported_overrides
+        )
+        if unsupported:
+            raise ValueError(
+                f"strategy {self.name!r} does not accept "
+                f"{', '.join(unsupported)}"
+            )
+        supported = {
+            key: overrides.get(key) for key in self.supported_overrides
+        }
+        return self._run(
+            query,
+            database,
+            p,
+            seed,
+            dstats,
+            storage,
+            settings or ExecutionSettings(),
+            **supported,
+        )
+
+    def _run(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        p: int,
+        seed: int,
+        dstats: DataStatistics | None,
+        storage: "StorageManager | None",
+        settings: ExecutionSettings,
+        **overrides,
+    ) -> StrategyOutcome:
         raise NotImplementedError
 
-    def streams(self) -> bool:
+    def streams(self, settings: ExecutionSettings | None = None) -> bool:
         """Whether :meth:`run` would honor a storage manager right now.
 
         Depends on the resolved backend for the backend-switchable
-        strategies (the tuple path cannot stream chunks); the planner
-        engine consults this to avoid opening a spill directory no one
-        will use -- and to report honestly that a memory budget could
-        not be enforced."""
+        strategies (the tuple path cannot stream chunks); a pinned
+        per-strategy backend wins, then ``settings.backend``, then the
+        system-wide default.  The planner engine consults this to avoid
+        opening a spill directory no one will use -- and to report
+        honestly that a memory budget could not be enforced."""
         return False
 
     def __repr__(self) -> str:
@@ -168,6 +262,8 @@ class OneRoundHyperCube(Strategy):
     ``hypercube-numpy`` twins pin one engine for ablations.  All three
     are bit-identical in answers and loads.
     """
+
+    supported_overrides = frozenset({"shares", "exponents"})
 
     def __init__(self, backend: str | None = None):
         self.backend = backend
@@ -184,21 +280,20 @@ class OneRoundHyperCube(Strategy):
             lambda: hypercube_cost(query, dstats, p),
         )
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
+    def _run(self, query, database, p, seed, dstats, storage, settings,
+             shares=None, exponents=None):
         result = run_hypercube(
-            query, database, p, seed=seed, backend=self.backend,
-            storage=self._usable(storage),
+            query, database, p, shares=shares, exponents=exponents,
+            seed=seed, backend=_effective_backend(self.backend, settings),
+            storage=storage if self.streams(settings) else None,
+            **_settings_kwargs(settings),
         )
         return StrategyOutcome(
             self.name, lambda: result.answers, result.report, p, result
         )
 
-    def _usable(self, storage):
-        """Out-of-core needs the columnar engine; -tuples twins decline."""
-        return storage if self.streams() else None
-
-    def streams(self) -> bool:
-        return resolve_backend(self.backend) == "numpy"
+    def streams(self, settings=None) -> bool:
+        return resolve_backend(_effective_backend(self.backend, settings)) == "numpy"
 
 
 class SkewObliviousHyperCube(Strategy):
@@ -210,9 +305,18 @@ class SkewObliviousHyperCube(Strategy):
     def estimate(self, query, dstats, p):
         return hypercube_cost(query, dstats, p, skew_oblivious=True)
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
-        result = run_skew_oblivious_hypercube(query, database, p, seed=seed)
-        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+    def streams(self, settings=None) -> bool:
+        return resolve_backend(_effective_backend(None, settings)) == "numpy"
+
+    def _run(self, query, database, p, seed, dstats, storage, settings):
+        result = run_skew_oblivious_hypercube(
+            query, database, p, seed=seed, backend=settings.backend,
+            storage=storage if self.streams(settings) else None,
+            **_settings_kwargs(settings),
+        )
+        return StrategyOutcome(
+            self.name, lambda: result.answers, result.report, p, result
+        )
 
 
 class SkewAwareStar(Strategy):
@@ -220,6 +324,7 @@ class SkewAwareStar(Strategy):
 
     name = "skew-star"
     summary = "skew-aware star algorithm, Eq. (20) load"
+    supported_overrides = frozenset({"hitters"})
 
     def applicable(self, query, dstats, p):
         base = super().applicable(query, dstats, p)
@@ -234,14 +339,18 @@ class SkewAwareStar(Strategy):
     def estimate(self, query, dstats, p):
         return star_cost(query, dstats, p)
 
-    def streams(self) -> bool:
-        return resolve_backend(None) == "numpy"
+    def streams(self, settings=None) -> bool:
+        return resolve_backend(_effective_backend(None, settings)) == "numpy"
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
-        hitters = dstats.hitters.get(star_center(query)) if dstats else None
+    def _run(self, query, database, p, seed, dstats, storage, settings,
+             hitters=None):
+        if hitters is None and dstats is not None:
+            hitters = dstats.hitters.get(star_center(query))
         result = run_star_skew(
             query, database, p, seed=seed, hitters=hitters,
-            storage=storage if self.streams() else None,
+            backend=settings.backend,
+            storage=storage if self.streams(settings) else None,
+            **_settings_kwargs(settings),
         )
         return StrategyOutcome(
             self.name, result.answers, result.report, result.servers_used, result
@@ -253,6 +362,7 @@ class SkewAwareTriangle(Strategy):
 
     name = "skew-triangle"
     summary = "skew-aware triangle algorithm (Section 4.2.2)"
+    supported_overrides = frozenset({"hitters"})
 
     def applicable(self, query, dstats, p):
         base = super().applicable(query, dstats, p)
@@ -265,13 +375,26 @@ class SkewAwareTriangle(Strategy):
     def estimate(self, query, dstats, p):
         return triangle_cost(query, dstats, p)
 
-    def streams(self) -> bool:
-        return resolve_backend(None) == "numpy"
+    def streams(self, settings=None) -> bool:
+        return resolve_backend(_effective_backend(None, settings)) == "numpy"
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
+    def _run(self, query, database, p, seed, dstats, storage, settings,
+             hitters=None):
+        if (
+            hitters is None
+            and dstats is not None
+            and dstats.exact
+            and all(v in dstats.hitters for v in query.variables)
+        ):
+            # Exact planner statistics carry every frequency the
+            # executor's thresholds compare against; sampled ones are
+            # estimates, so the executor re-scans exactly instead.
+            hitters = dstats.hitters
         result = run_triangle_skew(
-            database, p, seed=seed,
-            storage=storage if self.streams() else None,
+            database, p, seed=seed, hitters=hitters,
+            backend=settings.backend,
+            storage=storage if self.streams(settings) else None,
+            **_settings_kwargs(settings),
         )
         return StrategyOutcome(
             self.name, result.answers, result.report, result.servers_used, result
@@ -287,6 +410,8 @@ class MultiRoundPlan(Strategy):
     / ``multiround-numpy`` pin one engine.  Cost estimates are shared:
     the model prices bits, and the backends are bit-identical.
     """
+
+    supported_overrides = frozenset({"plan"})
 
     def __init__(self, backend: str | None = None):
         self.backend = backend
@@ -304,8 +429,8 @@ class MultiRoundPlan(Strategy):
             return "no candidate plan (disconnected query)"
         return None
 
-    def streams(self) -> bool:
-        return resolve_backend(self.backend) == "numpy"
+    def streams(self, settings=None) -> bool:
+        return resolve_backend(_effective_backend(self.backend, settings)) == "numpy"
 
     def best_plan(
         self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
@@ -336,13 +461,25 @@ class MultiRoundPlan(Strategy):
     def estimate(self, query, dstats, p):
         return self.best_plan(query, dstats, p)[2]
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
-        if dstats is None:
-            dstats = DataStatistics.from_database(query, database, p)
-        _, plan, _ = self.best_plan(query, dstats, p)
+    def _run(self, query, database, p, seed, dstats, storage, settings,
+             plan=None):
+        if plan is None:
+            if dstats is None:
+                dstats = DataStatistics.from_database(query, database, p)
+            _, plan, _ = self.best_plan(query, dstats, p)
+        elif plan.query != query:
+            # run_plan executes whatever the plan answers; catching the
+            # mismatch here keeps a pinned override from silently
+            # computing a different query than the one recorded.
+            raise ValueError(
+                f"plan answers {plan.query.name or plan.query!r}, "
+                f"not {query.name or query!r}"
+            )
         result = run_plan(
-            plan, database, p, seed=seed, backend=self.backend,
-            storage=storage if self.streams() else None,
+            plan, database, p, seed=seed,
+            backend=_effective_backend(self.backend, settings),
+            storage=storage if self.streams(settings) else None,
+            **_settings_kwargs(settings),
         )
         return StrategyOutcome(
             self.name, lambda: result.answers, result.report, p, result
@@ -374,12 +511,18 @@ class ParallelHashJoin(Strategy):
     def estimate(self, query, dstats, p):
         return hash_join_cost(query, dstats, p, self._join_variables(query))
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
+    def _run(self, query, database, p, seed, dstats, storage, settings):
         result = run_parallel_hash_join(
             query, database, p,
             join_variables=self._join_variables(query), seed=seed,
+            capacity_bits=settings.capacity_bits,
+            on_overflow=settings.on_overflow,
+            backend=settings.backend,
+            hash_method=settings.hash_method,
         )
-        return StrategyOutcome(self.name, result.answers, result.report, p, result)
+        return StrategyOutcome(
+            self.name, lambda: result.answers, result.report, p, result
+        )
 
 
 class BroadcastJoin(Strategy):
@@ -391,8 +534,12 @@ class BroadcastJoin(Strategy):
     def estimate(self, query, dstats, p):
         return broadcast_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
-        result = run_broadcast_join(query, database, p, seed=seed)
+    def _run(self, query, database, p, seed, dstats, storage, settings):
+        result = run_broadcast_join(
+            query, database, p, seed=seed,
+            capacity_bits=settings.capacity_bits,
+            on_overflow=settings.on_overflow,
+        )
         return StrategyOutcome(self.name, result.answers, result.report, p, result)
 
 
@@ -410,8 +557,12 @@ class SingleServer(Strategy):
     def estimate(self, query, dstats, p):
         return single_server_cost(query, dstats, p)
 
-    def run(self, query, database, p, seed=0, dstats=None, storage=None):
-        result = run_single_server(query, database, p)
+    def _run(self, query, database, p, seed, dstats, storage, settings):
+        result = run_single_server(
+            query, database, p,
+            capacity_bits=settings.capacity_bits,
+            on_overflow=settings.on_overflow,
+        )
         return StrategyOutcome(self.name, result.answers, result.report, p, result)
 
 

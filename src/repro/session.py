@@ -1,0 +1,643 @@
+"""One front door: a configured cluster, many queries.
+
+The MPC model fixes a cluster once -- ``p`` servers, a per-server
+capacity ``L`` -- and then asks how *any* query runs on it.  This
+module gives the Python API the same shape:
+
+* :class:`ClusterConfig` is the frozen description of that cluster
+  (servers, execution backend, seed, capacity cap, routing PRF, memory
+  budget, chunk granularity);
+* :class:`Session` owns the derived storage lifecycle and exposes one
+  verb, :meth:`Session.run` -- planner-routed by default, pinnable to
+  any named strategy -- plus :meth:`Session.plan` (EXPLAIN),
+  :meth:`Session.run_many` (concurrent batch execution over shared
+  storage) and :attr:`Session.history` (per-run load records for
+  workload-level reporting);
+* :class:`RunResult` is the structural protocol every executor result
+  satisfies (``HyperCubeResult``, ``StarSkewResult``,
+  ``TriangleSkewResult``, ``MultiRoundResult``, ``PlannedExecution``),
+  so callers stop special-casing result types;
+* :func:`dispatch_run` is the shared internal run path.  The legacy
+  free functions (``run_hypercube``, ``run_star_skew``,
+  ``run_triangle_skew``, ``run_plan``) are thin wrappers over it, and
+  the planner's strategies call those wrappers, so *every* execution
+  in the system funnels through one resolution of the
+  backend/storage/capacity knobs
+  (:meth:`repro.config.ExecutionSettings.resolve`).
+
+Quickstart::
+
+    from repro import Job, Session, star_query, triangle_query
+    from repro import matching_database, zipf_database
+
+    q = triangle_query()
+    db = matching_database(q, m=100_000, n=400_000, seed=0)
+    with Session(p=64, seed=0) as session:
+        result = session.run(q, db)                 # planner-routed
+        pinned = session.run(q, db, strategy="skew-triangle")
+        print(session.plan(q, db).table())          # EXPLAIN
+
+        zq = star_query(2)
+        zdb = zipf_database(zq, m=50_000, n=50_000, skew=1.0, seed=1)
+        results = session.run_many(
+            [Job(q, db), Job(zq, zdb)], max_workers=2
+        )
+        print(session.workload_summary())           # history percentiles
+
+Batch jobs draw per-job seeds via :func:`repro.hashing.derive_seed`
+(job ``i`` runs with ``derive_seed(config.seed, i)``), so a workload is
+reproducible and independent of ``max_workers``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import (
+    Iterable,
+    Literal,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.config import Backend, ExecutionSettings
+from repro.core.query import ConjunctiveQuery
+from repro.data.database import Database
+from repro.hashing.family import derive_seed
+from repro.hypercube.algorithm import _hypercube_impl
+from repro.mpc.report import LoadReport
+from repro.multiround.executor import _multiround_impl
+from repro.multiround.plans import Plan
+from repro.planner.engine import (
+    IN_MEMORY_FOOTPRINT_FACTOR,
+    PlannedExecution,
+    execute as _planner_execute,
+)
+from repro.planner.optimizer import ExplainedPlan, plan as _planner_plan
+from repro.planner.statistics import DataStatistics
+from repro.skew.heavy_hitters import HitterStatistics
+from repro.skew.star import _star_impl
+from repro.skew.triangle import _triangle_impl
+from repro.storage.manager import StorageManager
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """What every execution result answers, regardless of executor.
+
+    ``HyperCubeResult``, ``StarSkewResult``, ``TriangleSkewResult``,
+    ``MultiRoundResult`` and ``PlannedExecution`` all satisfy this
+    protocol structurally -- no inheritance involved -- so code that
+    consumes "the outcome of running a query" needs exactly these six
+    members and never an ``isinstance`` ladder.
+    """
+
+    @property
+    def answers(self) -> set[tuple[int, ...]]:
+        """The distinct answers as Python tuples (may materialize lazily)."""
+
+    def answers_array(self) -> np.ndarray:
+        """The distinct answers as a canonical ``(n, k)`` int64 array."""
+
+    @property
+    def load_report(self) -> LoadReport:
+        """Per-round, per-server load accounting for the execution."""
+
+    @property
+    def rounds(self) -> int:
+        """Communication rounds executed."""
+
+    @property
+    def strategy(self) -> str:
+        """The strategy name that produced this result."""
+
+    @property
+    def predicted_bits(self) -> float | None:
+        """The cost model's load prediction (None when never estimated)."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The fixed machine configuration of the MPC model, as one value.
+
+    Everything that describes the *cluster* -- as opposed to a single
+    query -- lives here: the number of servers ``p``, the execution
+    backend, the base seed every run derives from, the per-server
+    per-round capacity ``L`` and its overflow policy, the routing PRF,
+    and the memory story (budget and chunk granularity).  A
+    :class:`Session` applies one config uniformly to every run.
+    """
+
+    p: int
+    backend: Backend | None = None
+    seed: int = 0
+    capacity_bits: float | None = None
+    on_overflow: Literal["fail", "drop"] = "fail"
+    hash_method: str = "splitmix64"
+    memory_budget_bytes: int | None = None
+    chunk_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError("need at least one server")
+        if (
+            self.memory_budget_bytes is not None
+            and self.memory_budget_bytes < 1
+        ):
+            raise ValueError("memory_budget_bytes must be >= 1")
+        # Delegate the remaining validation (backend, overflow policy,
+        # hash method, chunk_rows) to the settings value object.
+        self.settings()
+
+    def settings(self) -> ExecutionSettings:
+        """The per-run execution knobs this cluster prescribes."""
+        return ExecutionSettings(
+            backend=self.backend,
+            capacity_bits=self.capacity_bits,
+            on_overflow=self.on_overflow,
+            hash_method=self.hash_method,
+            chunk_rows=self.chunk_rows,
+        )
+
+
+#: The executor cores behind the shared run path, by strategy name.
+#: Each takes ``(query, database, p, *, seed, settings, storage, ...)``
+#: with an already-resolved :class:`ExecutionSettings`.
+_IMPLEMENTATIONS = {
+    "hypercube": _hypercube_impl,
+    "skew-star": _star_impl,
+    "skew-triangle": _triangle_impl,
+    "multiround": _multiround_impl,
+}
+
+
+def dispatch_run(
+    strategy: str,
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    *,
+    seed: int,
+    settings: ExecutionSettings,
+    storage: StorageManager | None = None,
+    **overrides,
+) -> RunResult:
+    """The shared internal run path behind every executor entry point.
+
+    Resolves ``settings`` against ``storage`` exactly once
+    (:meth:`ExecutionSettings.resolve` -- the backend default, the
+    storage/backend compatibility check, the chunk-size default) and
+    invokes the named executor core.  ``run_hypercube`` /
+    ``run_star_skew`` / ``run_triangle_skew`` / ``run_plan`` are thin
+    wrappers over this function, and the planner's strategies run
+    through those wrappers, so a :class:`Session`, a legacy free
+    function and an EXPLAIN-then-execute all share one code path.
+    """
+    impl = _IMPLEMENTATIONS.get(strategy)
+    if impl is None:
+        raise ValueError(
+            f"unknown executor strategy {strategy!r} "
+            f"(expected one of {sorted(_IMPLEMENTATIONS)})"
+        )
+    resolved = settings.resolve(storage)
+    return impl(
+        query, database, p,
+        seed=seed, settings=resolved, storage=storage, **overrides,
+    )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of a :meth:`Session.run_many` workload.
+
+    ``seed=None`` (the default) derives the job's seed from the
+    session seed and the job's position via
+    :func:`repro.hashing.derive_seed`, so batches are reproducible and
+    independent of scheduling.  ``stats`` forwards pre-collected
+    :class:`DataStatistics` (plan once, run many); ``label`` names the
+    job in :attr:`Session.history`.
+    """
+
+    query: ConjunctiveQuery
+    database: Database
+    strategy: str | None = None
+    shares: Mapping[str, int] | None = None
+    exponents: Mapping[str, float] | None = None
+    hitters: object | None = None
+    plan: Plan | None = None
+    stats: DataStatistics | None = None
+    seed: int | None = None
+    label: str | None = None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One row of :attr:`Session.history`: the load story of one run.
+
+    ``label`` defaults to ``run-<index>`` (the record's position in
+    the history) when the caller named neither the run nor the job.
+    """
+
+    label: str | None
+    query: str
+    strategy: str
+    p: int
+    seed: int
+    rounds: int
+    max_load_bits: float
+    total_bits: float
+    dropped_bits: float
+    predicted_bits: float | None
+    percentiles: Mapping[str, float]
+    wall_seconds: float
+
+    def line(self) -> str:
+        """A one-line rendering for workload summaries."""
+        predicted = (
+            f", predicted {self.predicted_bits:.0f}"
+            if self.predicted_bits is not None
+            else ""
+        )
+        dropped = (
+            f", dropped {self.dropped_bits:.0f}" if self.dropped_bits else ""
+        )
+        return (
+            f"{self.label}: {self.strategy}, {self.rounds} round(s), "
+            f"L = {self.max_load_bits:.0f} bits{predicted}{dropped}, "
+            f"p99 {self.percentiles.get('p99', 0.0):.0f}, "
+            f"{self.wall_seconds * 1e3:.1f} ms"
+        )
+
+
+class Session:
+    """A configured cluster serving many queries: the one front door.
+
+    Construct from a :class:`ClusterConfig` or directly from its
+    knobs::
+
+        with Session(p=64, seed=0, capacity_bits=1e6) as session:
+            result = session.run(query, db)
+
+    The session owns the storage lifecycle its configuration implies:
+    with ``memory_budget_bytes`` set, a shared
+    :class:`~repro.storage.manager.StorageManager` (sized by
+    :meth:`StorageManager.from_budget`) opens lazily for the first
+    database whose assumed in-memory footprint exceeds the budget, is
+    shared by every subsequent over-budget run -- including all jobs
+    of a :meth:`run_many` batch -- and closes (removing its spill
+    files) with the session.  An explicit ``storage=`` manager is used
+    for every run instead and stays owned by the caller.
+
+    :meth:`run` routes through the cost-based planner by default and
+    pins any registered strategy by name; either way the execution
+    flows through the same shared run path as the legacy free
+    functions, so a pinned ``session.run(q, db, "skew-star")`` is
+    bit-identical (answers, per-server loads, capacity truncation) to
+    ``run_star_skew(q, db, p, ...)`` with the same knobs.
+
+    Every finished run appends a :class:`RunRecord` to
+    :attr:`history`; :meth:`workload_summary` renders the accumulated
+    records with workload-level load percentiles.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        storage: StorageManager | None = None,
+        **knobs,
+    ):
+        if config is None:
+            config = ClusterConfig(**knobs)
+        elif knobs:
+            raise TypeError(
+                "pass either a ClusterConfig or keyword knobs, not both"
+            )
+        self.config = config
+        self.history: list[RunRecord] = []
+        self._external_storage = storage
+        self._owned_storage: StorageManager | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the session and any storage it opened (idempotent).
+
+        Materialize lazily-answered results *before* closing: spooled
+        outputs live in the session-owned spill directory.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned_storage is not None:
+            self._owned_storage.close()
+            self._owned_storage = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def storage(self) -> StorageManager | None:
+        """The manager runs share (None while fully in-memory)."""
+        if self._external_storage is not None:
+            return self._external_storage
+        return self._owned_storage
+
+    def _storage_for(self, database: Database) -> StorageManager | None:
+        """The manager one run over ``database`` should use.
+
+        Mirrors the planner engine's budget rule: an explicit manager
+        always applies; a configured budget applies only when the
+        database's assumed in-memory footprint exceeds it (opening the
+        shared session manager on first use).
+        """
+        if self._external_storage is not None:
+            return self._external_storage
+        budget = self.config.memory_budget_bytes
+        if budget is None:
+            return None
+        footprint = database.total_bytes() * IN_MEMORY_FOOTPRINT_FACTOR
+        if footprint <= budget:
+            return None
+        with self._lock:
+            if self._owned_storage is None:
+                self._owned_storage = StorageManager.from_budget(budget)
+            return self._owned_storage
+
+    # ----------------------------------------------------------------- runs
+
+    def run(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        strategy: str | None = None,
+        *,
+        shares: Mapping[str, int] | None = None,
+        exponents: Mapping[str, float] | None = None,
+        hitters: HitterStatistics | Mapping[str, HitterStatistics] | None = None,
+        plan: Plan | None = None,
+        stats: DataStatistics | None = None,
+        seed: int | None = None,
+        label: str | None = None,
+    ) -> PlannedExecution:
+        """Run one query on the configured cluster.
+
+        With ``strategy=None`` the cost-based planner ranks every
+        registered strategy and runs the predicted winner; a name pins
+        any applicable strategy (``"hypercube"``, ``"skew-star"``,
+        ``"multiround-tuples"``, ...).  ``shares``/``exponents`` (share
+        based strategies), ``hitters`` (skew-aware ones) and ``plan``
+        (multi-round) override per run; strategies that cannot honor
+        an override reject it.
+
+        ``stats`` forwards pre-collected :class:`DataStatistics`.
+        When the session's memory budget engages storage and no stats
+        are given, exact statistics are still collected -- identical
+        decisions at any scale; pass
+        ``stats=DataStatistics.from_sample(...)`` to trade exactness
+        for scan cost on genuinely out-of-core inputs.
+
+        ``seed`` overrides the session seed for this run only.  The
+        result satisfies :class:`RunResult` and is recorded in
+        :attr:`history` (as ``label``, default ``run-<index>``).
+        """
+        result, record = self._execute(
+            query, database, strategy,
+            shares=shares, exponents=exponents, hitters=hitters, plan=plan,
+            stats=stats, seed=seed, label=label,
+        )
+        self._append_records([record])
+        return result
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        source: "Database | DataStatistics",
+        strategies: Sequence | None = None,
+    ) -> ExplainedPlan:
+        """EXPLAIN: rank every strategy for this cluster, run nothing.
+
+        ``source`` is a :class:`Database` (statistics are collected),
+        pre-collected :class:`DataStatistics`, or bare
+        :class:`~repro.core.stats.Statistics`.
+        """
+        return _planner_plan(query, source, self.config.p, strategies=strategies)
+
+    def run_many(
+        self,
+        jobs: Iterable[Job | tuple[ConjunctiveQuery, Database]],
+        max_workers: int | None = None,
+    ) -> list[PlannedExecution]:
+        """Run independent jobs concurrently over shared storage.
+
+        ``jobs`` are :class:`Job` values (bare ``(query, database)``
+        pairs are accepted); results return in job order.  Each job
+        without an explicit seed runs with
+        ``derive_seed(config.seed, index)``, and jobs share the
+        session's storage manager (thread-safe), so the results --
+        answers, loads, truncation -- are identical whatever
+        ``max_workers`` is, including sequential execution at
+        ``max_workers=1``.  ``max_workers=None`` picks
+        ``min(cpu_count, 8, len(jobs))``.
+
+        All jobs' records append to :attr:`history` in job order after
+        the batch completes.  When a job raises (an inapplicable
+        pinned strategy, say), the remaining jobs still run, the
+        *successful* jobs' records are still appended, and the first
+        failure then re-raises -- so one bad job cannot erase a
+        batch's worth of completed work from the history.
+
+        The memory budget is advisory *per run*: a concurrent batch
+        holds up to ``max_workers`` runs' working sets at once, so
+        size ``memory_budget_bytes`` for the batch (divide a hard
+        machine budget by the worker count) when it is tight.
+        """
+        normalized = [self._coerce_job(job) for job in jobs]
+        if not normalized:
+            return []
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8, len(normalized))
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        indices = range(len(normalized))
+        if max_workers == 1 or len(normalized) == 1:
+            outcomes = [
+                self._try_run_job(job, index)
+                for index, job in zip(indices, normalized)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(
+                    pool.map(self._try_run_job, normalized, indices)
+                )
+        self._append_records(
+            [pair[1] for pair, error in outcomes if error is None]
+        )
+        for _, error in outcomes:
+            if error is not None:
+                raise error
+        return [pair[0] for pair, _ in outcomes]
+
+    # -------------------------------------------------------------- history
+
+    def workload_percentiles(
+        self, quantiles: tuple[int, ...] = (50, 90, 99)
+    ) -> dict[str, float]:
+        """Percentiles of per-run maximum loads across the history."""
+        loads = np.array(
+            [record.max_load_bits for record in self.history],
+            dtype=np.float64,
+        )
+        out = {
+            f"p{q}": float(np.percentile(loads, q)) if len(loads) else 0.0
+            for q in quantiles
+        }
+        out["max"] = float(loads.max()) if len(loads) else 0.0
+        return out
+
+    def workload_summary(self) -> str:
+        """The accumulated history, one line per run plus percentiles."""
+        lines = [
+            f"session workload: p={self.config.p}, "
+            f"{len(self.history)} run(s)"
+        ]
+        lines += [f"  {record.line()}" for record in self.history]
+        if self.history:
+            pct = self.workload_percentiles()
+            lines.append(
+                f"  per-run L percentiles: p50 {pct['p50']:.0f}, "
+                f"p90 {pct['p90']:.0f}, p99 {pct['p99']:.0f}, "
+                f"max {pct['max']:.0f} bits"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _coerce_job(job: Job | tuple[ConjunctiveQuery, Database]) -> Job:
+        if isinstance(job, Job):
+            return job
+        query, database = job
+        return Job(query, database)
+
+    def _try_run_job(
+        self, job: Job, index: int
+    ) -> tuple[tuple[PlannedExecution, RunRecord] | None, Exception | None]:
+        """Run one batch job, capturing (not raising) its failure.
+
+        ``run_many`` inspects the whole batch afterwards: successful
+        records reach the history even when a sibling job failed.
+        """
+        try:
+            return self._run_job(job, index), None
+        except Exception as exc:
+            return None, exc
+
+    def _run_job(
+        self, job: Job, index: int
+    ) -> tuple[PlannedExecution, RunRecord]:
+        seed = (
+            derive_seed(self.config.seed, index)
+            if job.seed is None
+            else job.seed
+        )
+        return self._execute(
+            job.query, job.database, job.strategy,
+            shares=job.shares, exponents=job.exponents, hitters=job.hitters,
+            plan=job.plan, stats=job.stats, seed=seed, label=job.label,
+        )
+
+    def _execute(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        strategy: str | None,
+        *,
+        shares,
+        exponents,
+        hitters,
+        plan,
+        stats,
+        seed: int | None,
+        label: str | None,
+    ) -> tuple[PlannedExecution, RunRecord]:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        settings = self.config.settings()
+        storage = self._storage_for(database)
+        if stats is None and storage is not None:
+            # The engine defaults to *sampled* statistics under a
+            # manager; a session promises decisions identical to the
+            # in-memory path, so collect exact ones unless told not to.
+            stats = DataStatistics.from_database(
+                query, database, self.config.p
+            )
+        run_seed = self.config.seed if seed is None else seed
+        started = time.perf_counter()
+        result = _planner_execute(
+            query,
+            database,
+            self.config.p,
+            seed=run_seed,
+            strategy=strategy,
+            stats=stats,
+            storage=storage,
+            settings=settings,
+            shares=shares,
+            exponents=exponents,
+            hitters=hitters,
+            plan=plan,
+            storage_optional=True,
+        )
+        wall = time.perf_counter() - started
+        report = result.load_report
+        record = RunRecord(
+            label=label,
+            query=query.name or "q",
+            strategy=result.strategy,
+            p=self.config.p,
+            seed=run_seed,
+            rounds=report.num_rounds,
+            max_load_bits=report.max_load_bits,
+            total_bits=report.total_bits,
+            dropped_bits=report.dropped_bits,
+            predicted_bits=result.predicted_bits,
+            percentiles=report.load_percentiles(),
+            wall_seconds=wall,
+        )
+        return result, record
+
+    def _append_records(self, records: list[RunRecord]) -> None:
+        with self._lock:
+            for record in records:
+                if record.label is None:
+                    record = replace(
+                        record, label=f"run-{len(self.history)}"
+                    )
+                self.history.append(record)
+
+    def __repr__(self) -> str:
+        storage = self.storage
+        return (
+            f"Session(p={self.config.p}, backend="
+            f"{self.config.backend or 'default'}, "
+            f"runs={len(self.history)}"
+            + (f", storage={storage.root}" if storage is not None else "")
+            + ")"
+        )

@@ -9,12 +9,15 @@ wiring those shares into the standard HyperCube execution.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import skew_oblivious_share_exponents
 from repro.data.database import Database
 from repro.hypercube.algorithm import HyperCubeResult, run_hypercube
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.storage.manager import StorageManager
 
 
 def run_skew_oblivious_hypercube(
@@ -24,16 +27,22 @@ def run_skew_oblivious_hypercube(
     seed: int = 0,
     capacity_bits: float | None = None,
     on_overflow: Literal["fail", "drop"] = "fail",
+    backend: Literal["tuples", "numpy"] | None = None,
+    hash_method: str = "splitmix64",
+    storage: "StorageManager | None" = None,
+    chunk_rows: int | None = None,
 ) -> HyperCubeResult:
     """HyperCube with the LP (18) skew-resistant shares.
 
     For the simple join this balances all three variables at share
     ``p^{1/3}`` (worst-case load ``M/p^{1/3}`` instead of the vanilla
-    hash join's ``Theta(M)`` under a single heavy hitter).
+    hash join's ``Theta(M)`` under a single heavy hitter).  All
+    execution knobs (``backend``, ``capacity_bits``, ``storage``, ...)
+    forward unchanged to :func:`run_hypercube`.
     """
     stats = database.statistics(query)
     solution = skew_oblivious_share_exponents(query, stats, p)
-    return run_hypercube(
+    result = run_hypercube(
         query,
         database,
         p,
@@ -41,4 +50,10 @@ def run_skew_oblivious_hypercube(
         seed=seed,
         capacity_bits=capacity_bits,
         on_overflow=on_overflow,
+        backend=backend,
+        hash_method=hash_method,
+        storage=storage,
+        chunk_rows=chunk_rows,
     )
+    result.strategy = "skew-oblivious"
+    return result

@@ -29,7 +29,7 @@ from typing import Literal
 
 import numpy as np
 
-from repro.config import resolve_backend
+from repro.config import ExecutionSettings
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
@@ -50,7 +50,11 @@ from repro.storage.manager import StorageManager
 
 @dataclass
 class StarSkewResult:
-    """Output of one skew-aware star-query run."""
+    """Output of one skew-aware star-query run.
+
+    Satisfies the :class:`repro.session.RunResult` protocol, so star
+    runs interchange with every other executor's result.
+    """
 
     query: ConjunctiveQuery
     answers: set[tuple[int, ...]]
@@ -59,10 +63,27 @@ class StarSkewResult:
     servers_used: int
     heavy_hitters: tuple[int, ...]
     predicted_load_bits: float
+    strategy: str = "skew-star"
 
     @property
     def max_load_bits(self) -> float:
         return self.report.max_load_bits
+
+    def answers_array(self) -> np.ndarray:
+        """The distinct answers as a canonical ``(n, k)`` int64 array."""
+        return self.simulation.outputs_array(self.query.num_variables)
+
+    @property
+    def load_report(self) -> LoadReport:
+        return self.report
+
+    @property
+    def rounds(self) -> int:
+        return self.report.num_rounds
+
+    @property
+    def predicted_bits(self) -> float | None:
+        return self.predicted_load_bits
 
 
 def _star_center(query: ConjunctiveQuery) -> str:
@@ -132,6 +153,10 @@ def run_star_skew(
     seed: int = 0,
     backend: Literal["tuples", "numpy"] | None = None,
     hitters: HitterStatistics | None = None,
+    *,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
+    hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
 ) -> StarSkewResult:
@@ -155,21 +180,57 @@ def run_star_skew(
     and stay on the tuple path.  ``backend=None`` follows the
     system-wide default (:func:`repro.config.set_default_backend`).
 
+    ``capacity_bits`` imposes the same hard per-server per-round cap
+    ``L`` that :func:`~repro.hypercube.algorithm.run_hypercube`
+    supports, across the light grid *and* every per-hitter block.
+    Because both backends route every part in canonical (sorted) order,
+    a binding cap with ``on_overflow="drop"`` truncates the identical
+    per-server prefix on either engine.
+
     ``storage`` (numpy backend only) streams the light part
     chunk-by-chunk and spills the light servers' fragments and outputs
     to the manager's chunked spools -- bit-identical loads and answers;
     the per-hitter heavy blocks are ``O(p)``-sized by construction and
     stay in memory.  ``chunk_rows`` sets the routing granularity alone.
+
+    A thin delegating wrapper over the shared run path of
+    :mod:`repro.session`.
     """
-    backend = resolve_backend(backend)
+    from repro.session import dispatch_run
+
+    return dispatch_run(
+        "skew-star",
+        query,
+        database,
+        p,
+        seed=seed,
+        storage=storage,
+        settings=ExecutionSettings(
+            backend=backend,
+            capacity_bits=capacity_bits,
+            on_overflow=on_overflow,
+            hash_method=hash_method,
+            chunk_rows=chunk_rows,
+        ),
+        hitters=hitters,
+    )
+
+
+def _star_impl(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    *,
+    seed: int,
+    settings: ExecutionSettings,
+    storage: StorageManager | None,
+    hitters: HitterStatistics | None = None,
+) -> StarSkewResult:
+    """The star-algorithm core; ``settings`` arrives already resolved."""
+    backend = settings.backend
+    chunk_rows = settings.chunk_rows
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
-    if storage is not None and backend != "numpy":
-        raise ValueError(
-            "out-of-core execution (storage=...) requires the numpy backend"
-        )
-    if chunk_rows is None and storage is not None:
-        chunk_rows = storage.chunk_rows
     database.validate_for(query)
     center = _star_center(query)
     stats = database.statistics(query)
@@ -209,9 +270,13 @@ def run_star_skew(
 
     total_servers = p + sum(allocation.values())
     sim = MPCSimulation(
-        total_servers, value_bits=stats.value_bits, storage=storage
+        total_servers,
+        value_bits=stats.value_bits,
+        capacity_bits=settings.capacity_bits,
+        on_overflow=settings.on_overflow,
+        storage=storage,
     )
-    family = HashFamily(seed)
+    family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()
 
     # ---- Light part: vanilla HyperCube with all shares on z. ----------
@@ -235,7 +300,12 @@ def run_star_skew(
                 ):
                     sim.send_array(server, atom.relation, batch)
             continue
-        light = [t for t in relation if t[zpos] not in heavy_values]
+        # Sorted order, matching the columnar (sorted-array) route, so
+        # a binding capacity cap truncates the same per-server prefix
+        # on both backends.
+        light = [
+            t for t in relation.sorted_tuples() if t[zpos] not in heavy_values
+        ]
         batches: dict[int, list[tuple[int, ...]]] = {}
         for server, t in route_relation(light_grid, dims, atom.variables, light):
             batches.setdefault(server, []).append(t)
@@ -272,15 +342,17 @@ def run_star_skew(
             shares = {v: 1 for v in residual_query.variables}
         grid = GridPartitioner(
             [shares[v] for v in residual_query.variables],
-            HashFamily(seed * 7919 + h + 1),
+            HashFamily(seed * 7919 + h + 1, method=settings.hash_method),
         )
         for atom in residual_atoms:
             batches = {}
+            # Sorted for deterministic capacity truncation (set
+            # iteration order must not decide which tuples drop).
             for server, t in route_relation(
                 grid,
                 residual_query.variables,
                 atom.variables,
-                residual_fragments[atom.relation],
+                sorted(residual_fragments[atom.relation]),
             ):
                 batches.setdefault(server, []).append(t)
             for server, batch in batches.items():

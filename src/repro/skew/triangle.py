@@ -33,7 +33,7 @@ from typing import Literal, Mapping
 
 import numpy as np
 
-from repro.config import resolve_backend
+from repro.config import ExecutionSettings
 from repro.core.families import triangle_query
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares
@@ -48,14 +48,18 @@ from repro.hypercube.algorithm import (
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
-from repro.skew.heavy_hitters import variable_frequencies
+from repro.skew.heavy_hitters import HitterStatistics, variable_frequencies
 from repro.storage.chunked import iter_array_chunks
 from repro.storage.manager import StorageManager
 
 
 @dataclass
 class TriangleSkewResult:
-    """Output of one skew-aware triangle run."""
+    """Output of one skew-aware triangle run.
+
+    Satisfies the :class:`repro.session.RunResult` protocol, so
+    triangle runs interchange with every other executor's result.
+    """
 
     answers: set[tuple[int, ...]]
     report: LoadReport
@@ -64,10 +68,27 @@ class TriangleSkewResult:
     heavy1: dict[str, set[int]]
     heavy2: dict[str, set[int]]
     predicted_load_bits: float
+    strategy: str = "skew-triangle"
 
     @property
     def max_load_bits(self) -> float:
         return self.report.max_load_bits
+
+    def answers_array(self) -> np.ndarray:
+        """The distinct answers as a canonical ``(n, 3)`` int64 array."""
+        return self.simulation.outputs_array(3)
+
+    @property
+    def load_report(self) -> LoadReport:
+        return self.report
+
+    @property
+    def rounds(self) -> int:
+        return self.report.num_rounds
+
+    @property
+    def predicted_bits(self) -> float | None:
+        return self.predicted_load_bits
 
 
 #: The triangle's structure: variable -> (successor relation providing
@@ -90,6 +111,11 @@ def run_triangle_skew(
     p: int,
     seed: int = 0,
     backend: Literal["tuples", "numpy"] | None = None,
+    *,
+    hitters: Mapping[str, HitterStatistics] | None = None,
+    capacity_bits: float | None = None,
+    on_overflow: Literal["fail", "drop"] = "fail",
+    hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
 ) -> TriangleSkewResult:
@@ -103,31 +129,115 @@ def run_triangle_skew(
     stay on the tuple path.  ``backend=None`` follows the system-wide
     default (:func:`repro.config.set_default_backend`).
 
+    ``hitters`` accepts per-variable :class:`HitterStatistics` a caller
+    has already collected at the exact ``m_j / p`` threshold (the
+    planner's :class:`~repro.planner.statistics.DataStatistics` holds
+    exactly this map), skipping the three full frequency scans here.
+    With exact statistics the run is identical to scanning in-place:
+    every value the scans would classify heavy sits above some
+    relation's ``m_j / p`` threshold and therefore appears in the
+    statistics with its exact max-frequency, and every absent value is
+    light under every comparison the algorithm makes.
+
+    ``capacity_bits``/``on_overflow`` impose the same hard per-server
+    per-round cap ``L`` that
+    :func:`~repro.hypercube.algorithm.run_hypercube` supports, across
+    the light grid and the case-1/case-2 blocks; every part routes in
+    canonical (sorted) order, so a binding ``"drop"`` cap truncates the
+    identical per-server prefix on both backends.
+
     ``storage`` (numpy backend only) streams the light block
     chunk-by-chunk and spills the light servers' fragments and outputs
     to the manager's chunked spools; the case-1/case-2 blocks are
     bounded by the heavy-hitter structure and stay in memory.
     ``chunk_rows`` sets the routing granularity alone.
+
+    A thin delegating wrapper over the shared run path of
+    :mod:`repro.session`.
     """
-    backend = resolve_backend(backend)
+    from repro.session import dispatch_run
+
+    return dispatch_run(
+        "skew-triangle",
+        triangle_query(),
+        database,
+        p,
+        seed=seed,
+        storage=storage,
+        settings=ExecutionSettings(
+            backend=backend,
+            capacity_bits=capacity_bits,
+            on_overflow=on_overflow,
+            hash_method=hash_method,
+            chunk_rows=chunk_rows,
+        ),
+        hitters=hitters,
+    )
+
+
+def _frequencies_from_hitters(
+    query: ConjunctiveQuery,
+    hitters: Mapping[str, HitterStatistics],
+) -> dict[str, dict[int, float]]:
+    """Max-frequency views reconstructed from per-variable statistics.
+
+    The executor's classification thresholds all sit at or above the
+    detection threshold ``m_j / p``, so the thresholded vectors carry
+    every comparison the algorithm makes (absent values are light).
+    """
+    freq: dict[str, dict[int, float]] = {}
+    for variable in query.variables:
+        stats_v = hitters.get(variable)
+        if stats_v is None:
+            raise ValueError(
+                f"hitter statistics missing triangle variable {variable!r}"
+            )
+        if stats_v.variable != variable:
+            raise ValueError(
+                f"hitter statistics describe {stats_v.variable!r}, "
+                f"not {variable!r}"
+            )
+        view: dict[int, float] = {}
+        for counts in stats_v.frequencies.values():
+            for value, count in counts.items():
+                if count > view.get(value, 0):
+                    view[value] = count
+        freq[variable] = view
+    return freq
+
+
+def _triangle_impl(
+    query: ConjunctiveQuery,
+    database: Database,
+    p: int,
+    *,
+    seed: int,
+    settings: ExecutionSettings,
+    storage: StorageManager | None,
+    hitters: Mapping[str, HitterStatistics] | None = None,
+) -> TriangleSkewResult:
+    """The triangle core; ``settings`` arrives already resolved."""
+    backend = settings.backend
+    chunk_rows = settings.chunk_rows
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
-    if storage is not None and backend != "numpy":
-        raise ValueError(
-            "out-of-core execution (storage=...) requires the numpy backend"
-        )
-    if chunk_rows is None and storage is not None:
-        chunk_rows = storage.chunk_rows
-    query = triangle_query()
+    if not is_triangle_query(query):
+        raise ValueError("the Section 4.2.2 algorithm runs only C3")
     database.validate_for(query)
     stats = database.statistics(query)
     m = max(stats.tuples(r) for r in query.relation_names)
     threshold1 = max(1.0, m / p)  # Case-1 heaviness
     threshold2 = max(1.0, m / p ** (1.0 / 3.0))  # Case-2 / light boundary
 
-    freq = {v: variable_frequencies(query, database, v) for v in query.variables}
+    if hitters is None:
+        freq = {
+            v: variable_frequencies(query, database, v)
+            for v in query.variables
+        }
+    else:
+        freq = _frequencies_from_hitters(query, hitters)
 
-    def f(variable: str, value: int) -> int:
+    def f(variable: str, value: int) -> float:
         return freq[variable].get(value, 0)
 
     heavy1 = {
@@ -140,23 +250,27 @@ def run_triangle_skew(
     }
 
     # ---------------- Case-2 block planning. ---------------------------
-    case2_plan: list[tuple[str, int, set[int], set[int], int]] = []
+    case2_plan: list[tuple[str, int, list[int], list[int], int]] = []
     weights: dict[tuple[str, int], float] = {}
     for variable in query.variables:
         succ_rel, pred_rel, _mid = _STRUCTURE[variable]
         for h in sorted(heavy2[variable]):
             succ_var = _other_variable(query, succ_rel, variable)
             pred_var = _other_variable(query, pred_rel, variable)
-            r_side = {
-                t[1]
-                for t in database[succ_rel]
-                if t[0] == h and f(succ_var, t[1]) < threshold1
-            }
-            t_side = {
-                t[0]
-                for t in database[pred_rel]
-                if t[1] == h and f(pred_var, t[0]) < threshold1
-            }
+            r_side = sorted(
+                {
+                    t[1]
+                    for t in database[succ_rel]
+                    if t[0] == h and f(succ_var, t[1]) < threshold1
+                }
+            )
+            t_side = sorted(
+                {
+                    t[0]
+                    for t in database[pred_rel]
+                    if t[1] == h and f(pred_var, t[0]) < threshold1
+                }
+            )
             if not r_side or not t_side:
                 continue
             weights[(variable, h)] = len(r_side) * len(t_side)
@@ -173,9 +287,13 @@ def run_triangle_skew(
 
     total_servers = p + 3 * p + sum(size for *_, size in case2_plan)
     sim = MPCSimulation(
-        total_servers, value_bits=stats.value_bits, storage=storage
+        total_servers,
+        value_bits=stats.value_bits,
+        capacity_bits=settings.capacity_bits,
+        on_overflow=settings.on_overflow,
+        storage=storage,
     )
-    family = HashFamily(seed)
+    family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()
 
     # ---------------- Light block: vanilla HC on [0, p). ----------------
@@ -205,9 +323,12 @@ def run_triangle_skew(
                 ):
                     sim.send_array(server, atom.relation, batch)
             continue
+        # Sorted order, matching the columnar (sorted-array) route, so
+        # a binding capacity cap truncates the same per-server prefix
+        # on both backends.
         light = [
             t
-            for t in database[atom.relation]
+            for t in database[atom.relation].sorted_tuples()
             if f(a, t[0]) < threshold2 and f(b, t[1]) < threshold2
         ]
         _route_block(sim, 0, light_grid, dims, atom, light)
@@ -220,12 +341,13 @@ def run_triangle_skew(
         vc = next(v for v in dims if v not in (va, vb))
         grid = GridPartitioner(
             [p if v == vc else 1 for v in dims],
-            HashFamily(seed * 31 + index + 1),
+            HashFamily(seed * 31 + index + 1, method=settings.hash_method),
         )
         # Doubly-heavy tuples of the direct relation: broadcast.
+        # (Sorted, like every block, for deterministic truncation.)
         doubly = [
             t
-            for t in database[rel_ab]
+            for t in database[rel_ab].sorted_tuples()
             if f(va, t[0]) >= threshold1 and f(vb, t[1]) >= threshold1
         ]
         for offset in range(p):
@@ -234,14 +356,14 @@ def run_triangle_skew(
         bc_atom = query.atom(rel_bc)
         bc_heavy = [
             t
-            for t in database[rel_bc]
+            for t in database[rel_bc].sorted_tuples()
             if f(vb, t[bc_atom.variables.index(vb)]) >= threshold1
         ]
         _route_block(sim, block_base, grid, dims, bc_atom, bc_heavy)
         ca_atom = query.atom(rel_ca)
         ca_heavy = [
             t
-            for t in database[rel_ca]
+            for t in database[rel_ca].sorted_tuples()
             if f(va, t[ca_atom.variables.index(va)]) >= threshold1
         ]
         _route_block(sim, block_base, grid, dims, ca_atom, ca_heavy)
@@ -255,7 +377,9 @@ def run_triangle_skew(
         gy = min(max(1, gy), size)
         gz = max(1, size // gy)
         grid = GridPartitioner(
-            [gy, gz], HashFamily(seed * 101 + block_index + 1)
+            [gy, gz],
+            HashFamily(seed * 101 + block_index + 1,
+                       method=settings.hash_method),
         )
         # Rows hold R'(y), columns hold T'(z), cells hold light S(y, z).
         for y in r_side:
@@ -274,7 +398,7 @@ def run_triangle_skew(
         va, vb = mid_atom.variables
         light_mid = [
             t
-            for t in database[mid_rel]
+            for t in database[mid_rel].sorted_tuples()
             if f(va, t[0]) < threshold1 and f(vb, t[1]) < threshold1
         ]
         for t in light_mid:

@@ -20,6 +20,7 @@ import pathlib
 import re
 import shutil
 import tempfile
+import threading
 
 #: Rows per chunk when neither the caller nor a budget says otherwise
 #: (1M rows = 16 MB per binary int64 chunk).
@@ -71,6 +72,10 @@ class StorageManager:
             self.root.mkdir(parents=True, exist_ok=True)
         self._counter = 0
         self._closed = False
+        # Concurrent executions may share one manager (a Session's
+        # run_many): path allocation and spill accounting are the only
+        # cross-run mutations, so they take this lock.
+        self._lock = threading.Lock()
         #: Bytes written to spill files over the manager's lifetime
         #: (monotonic; deleting a spool does not subtract).
         self.bytes_spilled = 0
@@ -120,17 +125,24 @@ class StorageManager:
         )
 
     def new_chunk_path(self, hint: str) -> pathlib.Path:
-        """A fresh spill-file path (unique per manager, safe name)."""
+        """A fresh spill-file path (unique per manager, safe name).
+
+        Thread-safe: concurrent runs sharing the manager never collide
+        on a path.
+        """
         if self._closed:
             raise RuntimeError("storage manager is closed")
-        self._counter += 1
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
         safe = _SAFE_NAME.sub("_", hint)[:80] or "chunk"
-        return self.root / f"{self._counter:08d}-{safe}.npy"
+        return self.root / f"{counter:08d}-{safe}.npy"
 
     def account_spill(self, nbytes: int) -> None:
         """Record one spilled chunk (called by spools on every write)."""
-        self.bytes_spilled += int(nbytes)
-        self.chunks_spilled += 1
+        with self._lock:
+            self.bytes_spilled += int(nbytes)
+            self.chunks_spilled += 1
 
     # ----------------------------------------------------------- lifecycle
 

@@ -109,3 +109,53 @@ class TestLoads:
         )
         heavy = triangle_skew_load_bound(hub_graph_db(500, 100), 64)
         assert heavy > light
+
+
+class TestPrecomputedHitters:
+    """``hitters=`` parity: precomputed statistics skip the scans."""
+
+    def _hitters(self, db, p):
+        from repro.planner.statistics import DataStatistics
+
+        return DataStatistics.from_database(triangle_query(), db, p).hitters
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_bit_identical_to_in_place_detection(self, seed):
+        db = zipf_database(triangle_query(), m=220, n=55, skew=1.1, seed=seed)
+        p = 8
+        scanned = run_triangle_skew(db, p=p, seed=seed)
+        precomputed = run_triangle_skew(
+            db, p=p, seed=seed, hitters=self._hitters(db, p)
+        )
+        assert precomputed.answers == scanned.answers
+        assert precomputed.heavy1 == scanned.heavy1
+        assert precomputed.heavy2 == scanned.heavy2
+        for round_a, round_b in zip(
+            precomputed.report.rounds, scanned.report.rounds
+        ):
+            assert round_a.bits == round_b.bits
+
+    def test_hub_graph_identical(self):
+        db = hub_graph_db()
+        p = 27
+        scanned = run_triangle_skew(db, p=p, seed=1)
+        precomputed = run_triangle_skew(
+            db, p=p, seed=1, hitters=self._hitters(db, p)
+        )
+        assert precomputed.answers == scanned.answers
+        assert precomputed.max_load_bits == scanned.max_load_bits
+        assert precomputed.servers_used == scanned.servers_used
+
+    def test_missing_variable_rejected(self):
+        db = hub_graph_db(20, 4)
+        hitters = dict(self._hitters(db, 8))
+        del hitters["x2"]
+        with pytest.raises(ValueError, match="missing triangle variable"):
+            run_triangle_skew(db, p=8, hitters=hitters)
+
+    def test_mislabeled_variable_rejected(self):
+        db = hub_graph_db(20, 4)
+        hitters = dict(self._hitters(db, 8))
+        hitters["x1"], hitters["x2"] = hitters["x2"], hitters["x1"]
+        with pytest.raises(ValueError, match="describe"):
+            run_triangle_skew(db, p=8, hitters=hitters)

@@ -105,6 +105,39 @@ class TestBackendFlag:
             main(["--backend", "pandas", "plan", "T2"])
 
 
+class TestRunSubcommand:
+    def test_run_prints_workload_summary(self, capsys):
+        main(["run", "triangle", "--p", "8", "--m", "120", "--n", "480",
+              "--repeat", "3", "--max-workers", "2"])
+        out = capsys.readouterr().out
+        assert "session workload: p=8, 3 run(s)" in out
+        assert "job-0" in out and "job-2" in out
+        assert "per-run L percentiles" in out
+
+    def test_run_pinned_strategy(self, capsys):
+        main(["run", "join", "--p", "8", "--m", "150", "--skew", "0.8",
+              "--strategy", "hypercube"])
+        out = capsys.readouterr().out
+        assert "job-0: hypercube" in out
+
+    def test_run_memory_budget_reports_spill(self, capsys):
+        main(["run", "join", "--p", "8", "--m", "4000",
+              "--memory-budget-mb", "0.1"])
+        out = capsys.readouterr().out
+        assert "out-of-core" in out
+
+    def test_run_capacity_drop(self, capsys):
+        main(["run", "triangle", "--p", "8", "--m", "200",
+              "--capacity-bits", "2000", "--on-overflow", "drop"])
+        out = capsys.readouterr().out
+        assert "session workload" in out
+
+    def test_run_inapplicable_strategy_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["run", "triangle", "--p", "8", "--m", "100",
+                  "--strategy", "no-such-strategy"])
+
+
 class TestSubprocessExitCodes:
     """The real contract CI relies on: exit status of the module."""
 
