@@ -1,0 +1,192 @@
+"""Append condensed benchmark results to the committed trajectory file.
+
+``BENCH_trajectory.json`` at the repo root is an append-only list of
+benchmark snapshots -- one entry per (host, version, date) -- so the
+performance story of the codebase accumulates *in the repository*
+instead of evaporating with CI artifact retention.  Each entry keeps
+only what trend analysis needs: the per-benchmark mean/stddev/rounds
+plus enough host context (cores, platform, python) to explain why a
+single-core runner and a 4-core laptop disagree about pool speedups.
+
+Two modes:
+
+* ``--from-json A.json B.json ...`` condenses existing pytest-benchmark
+  artifacts (the files CI already produces) and appends one entry.
+* With no inputs it runs the worker-pool benches itself
+  (``bench_parallel_engine.py``, ``bench_session_batch.py``) via
+  pytest into a temp artifact, then condenses that.
+
+Idempotence: an entry whose ``(host_id, version, benchmarks)`` already
+appears verbatim is not appended again, so re-running a CI job does not
+duplicate rows.  The file stays sorted by collection time.
+
+Usage::
+
+    python benchmarks/collect_trajectory.py                 # run + append
+    python benchmarks/collect_trajectory.py --from-json bench_planner.json
+    python benchmarks/collect_trajectory.py --dry-run       # print, no write
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_trajectory.json"
+
+#: The benches the no-argument mode runs: the worker-pool seam's
+#: engine-level and batch-level scaling numbers.
+DEFAULT_BENCHES = (
+    "benchmarks/bench_parallel_engine.py",
+    "benchmarks/bench_session_batch.py",
+)
+
+
+def host_info() -> dict:
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def repro_version() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        import repro
+
+        return repro.__version__
+    except Exception:
+        return "unknown"
+    finally:
+        sys.path.pop(0)
+
+
+def condense(artifact: dict) -> list[dict]:
+    """pytest-benchmark JSON -> the few numbers worth keeping."""
+    rows = []
+    for bench in artifact.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        rows.append({
+            "name": bench.get("fullname") or bench.get("name"),
+            "mean_s": round(float(stats.get("mean", 0.0)), 6),
+            "stddev_s": round(float(stats.get("stddev", 0.0)), 6),
+            "rounds": int(stats.get("rounds", 0)),
+        })
+    rows.sort(key=lambda r: r["name"] or "")
+    return rows
+
+
+def run_benches(paths: tuple[str, ...]) -> dict:
+    """Run the given bench files and return their benchmark artifact."""
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_path = pathlib.Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src")
+            + (os.pathsep + env["PYTHONPATH"] if "PYTHONPATH" in env else "")
+        )
+        command = [
+            sys.executable, "-m", "pytest", *paths,
+            "--benchmark-only", f"--benchmark-json={artifact_path}",
+            "-q", "--benchmark-warmup=off", "--benchmark-min-rounds=3",
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(
+                f"benchmark run failed with status {completed.returncode}"
+            )
+        return json.loads(artifact_path.read_text())
+
+
+def load_trajectory(path: pathlib.Path) -> list[dict]:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())
+
+
+def append_entry(trajectory: list[dict], entry: dict) -> bool:
+    """Append unless an identical measurement is already recorded."""
+    for existing in trajectory:
+        if (
+            existing.get("host") == entry["host"]
+            and existing.get("version") == entry["version"]
+            and existing.get("benchmarks") == entry["benchmarks"]
+        ):
+            return False
+    trajectory.append(entry)
+    trajectory.sort(key=lambda e: e.get("collected_at", ""))
+    return True
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Condense benchmark JSON into BENCH_trajectory.json."
+    )
+    parser.add_argument(
+        "--from-json", nargs="+", default=None, metavar="ARTIFACT",
+        help="condense existing pytest-benchmark artifacts instead of "
+             "running the default worker-pool benches",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"trajectory file to append to (default {DEFAULT_OUTPUT.name})",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="optional tag for the entry (e.g. 'ci-ubuntu-py312')",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the condensed entry without touching the file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.from_json:
+        benchmarks: list[dict] = []
+        for name in args.from_json:
+            benchmarks.extend(condense(json.loads(
+                pathlib.Path(name).read_text()
+            )))
+    else:
+        benchmarks = condense(run_benches(DEFAULT_BENCHES))
+
+    entry = {
+        "collected_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "version": repro_version(),
+        "host": host_info(),
+        "benchmarks": benchmarks,
+    }
+    if args.label:
+        entry["label"] = args.label
+
+    if args.dry_run:
+        json.dump(entry, sys.stdout, indent=2)
+        print()
+        return
+
+    trajectory = load_trajectory(args.output)
+    if append_entry(trajectory, entry):
+        args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(
+            f"appended entry ({len(benchmarks)} benchmark(s)) -> "
+            f"{args.output} now has {len(trajectory)} entr"
+            f"{'y' if len(trajectory) == 1 else 'ies'}"
+        )
+    else:
+        print(f"identical entry already recorded in {args.output}; skipped")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,9 +70,25 @@ streams through disk-backed chunks with bit-identical results::
     with StorageManager.from_budget(2 * 1024**3) as storage:
         db = matching_database(q, m=10**8, n=4 * 10**8, storage=storage)
         result = run_hypercube(q, db, p=64, storage=storage)
+
+To spread the simulated servers' routing and local joins across real
+cores, pick a worker pool -- per run, per session, or system-wide.
+Every pool kind produces bit-identical answers and loads::
+
+    result = run_hypercube(q, db, p=64, pool="process")  # one run
+    with Session(p=64, pool="process") as session: ...   # one cluster
+    repro.set_default_pool("process")                    # system-wide
+    # or: REPRO_DEFAULT_POOL=process python -m repro run triangle
 """
 
-from repro.config import default_backend, set_default_backend, use_backend
+from repro.config import (
+    default_backend,
+    default_pool,
+    set_default_backend,
+    set_default_pool,
+    use_backend,
+    use_pool,
+)
 from repro.core import (
     Atom,
     ConjunctiveQuery,
@@ -108,7 +124,7 @@ from repro.session import (
 )
 from repro.storage import ChunkedRelation, StorageManager
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Atom",
@@ -136,6 +152,9 @@ __all__ = [
     "default_backend",
     "set_default_backend",
     "use_backend",
+    "default_pool",
+    "set_default_pool",
+    "use_pool",
     "ChunkedRelation",
     "StorageManager",
     "MPCSimulation",

@@ -34,6 +34,7 @@ from repro import (
     Job,
     Session,
     default_backend,
+    default_pool,
     matching_database,
     set_default_backend,
     triangle_query,
@@ -117,7 +118,10 @@ def run_tour() -> None:
     print("repro: Beame-Koutris-Suciu, Communication Cost in Parallel")
     print("Query Processing (EDBT 2015) -- reproduction smoke tour")
     print(f"execution backend: {default_backend()} "
-          "(see --backend / repro.set_default_backend)\n")
+          "(see --backend / repro.set_default_backend)")
+    print(f"worker pool: {default_pool()} "
+          "(see `run --pool` / repro.set_default_pool; serial, thread "
+          "and process pools are bit-identical)\n")
 
     print("Table 2 (tau*, one-round space exponent):")
     for query in (cycle_query(3), cycle_query(6), star_query(3),
@@ -286,6 +290,8 @@ def run_run_command(args: argparse.Namespace) -> None:
         capacity_bits=args.capacity_bits,
         on_overflow=args.on_overflow,
         memory_budget_bytes=budget_bytes,
+        pool=args.pool,
+        max_workers=args.max_workers,
     )
     expected = evaluate(args.query, db)
     # One statistics collection feeds every job: the repeats run over
@@ -384,6 +390,13 @@ def main(argv: list[str] | None = None) -> None:
     run_parser.add_argument("--max-workers", type=int, default=None,
                             help="concurrent jobs for run_many "
                                  "(default: min(cpus, 8, jobs))")
+    run_parser.add_argument(
+        "--pool", choices=("serial", "thread", "process"), default=None,
+        help="worker pool for each run's per-server routing/join fan-out "
+             "and for the batch itself (default: REPRO_DEFAULT_POOL or "
+             "serial engines with a threaded batch; results are "
+             "bit-identical across pools)",
+    )
     run_parser.add_argument("--capacity-bits", type=float, default=None,
                             help="per-server per-round load cap L")
     run_parser.add_argument("--on-overflow", choices=("fail", "drop"),

@@ -31,12 +31,14 @@ submodule may consult it without import cycles.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator, Literal
 
 Backend = Literal["tuples", "numpy"]
 GeneratorBackend = Literal["python", "numpy"]
+PoolKind = Literal["serial", "thread", "process"]
 
 #: The shipped default: columnar execution everywhere.
 DEFAULT_BACKEND: Backend = "numpy"
@@ -106,6 +108,77 @@ def resolve_backend(backend: str | None) -> Backend:
     return backend  # type: ignore[return-value]
 
 
+_POOL_KINDS = ("serial", "thread", "process")
+
+#: The worker-pool default when neither a run nor the environment picks
+#: one: the engines stay serial (zero overhead, the historical
+#: behavior); callers opt into thread/process fan-out per run, per
+#: session, or system-wide (``REPRO_DEFAULT_POOL``).
+DEFAULT_POOL: PoolKind = "serial"
+
+
+def _pool_from_env() -> PoolKind:
+    value = os.environ.get("REPRO_DEFAULT_POOL")
+    if value is None:
+        return DEFAULT_POOL
+    if value not in _POOL_KINDS:
+        raise ValueError(
+            f"REPRO_DEFAULT_POOL={value!r} is not one of {_POOL_KINDS}"
+        )
+    return value  # type: ignore[return-value]
+
+
+_default_pool: PoolKind = _pool_from_env()
+
+
+def default_pool() -> PoolKind:
+    """The currently active system-wide worker-pool kind."""
+    return _default_pool
+
+
+def set_default_pool(pool: str) -> PoolKind:
+    """Set the system-wide default pool kind; returns the previous one.
+
+    Affects every executor and :meth:`repro.session.Session.run_many`
+    batch running with ``pool=None``.  The environment variable
+    ``REPRO_DEFAULT_POOL`` seeds this default at import time (the knob
+    CI uses to run the whole suite through the process pool).
+    """
+    global _default_pool
+    if pool not in _POOL_KINDS:
+        raise ValueError(
+            f"unknown pool kind {pool!r} (expected one of {_POOL_KINDS})"
+        )
+    previous = _default_pool
+    _default_pool = pool  # type: ignore[assignment]
+    return previous
+
+
+@contextmanager
+def use_pool(pool: str) -> Iterator[PoolKind]:
+    """Temporarily override the system-wide default pool kind.
+
+    The exception-safe scoped form of :func:`set_default_pool`, exactly
+    like :func:`use_backend` for the execution backend.
+    """
+    previous = set_default_pool(pool)
+    try:
+        yield _default_pool
+    finally:
+        set_default_pool(previous)
+
+
+def resolve_pool(pool: str | None) -> PoolKind:
+    """An explicit pool kind, or the system-wide default."""
+    if pool is None:
+        return _default_pool
+    if pool not in _POOL_KINDS:
+        raise ValueError(
+            f"unknown pool kind {pool!r} (expected one of {_POOL_KINDS})"
+        )
+    return pool  # type: ignore[return-value]
+
+
 _HASH_METHODS = ("splitmix64", "blake2b")
 _OVERFLOW_MODES = ("fail", "drop")
 
@@ -128,6 +201,8 @@ class ExecutionSettings:
     on_overflow: Literal["fail", "drop"] = "fail"
     hash_method: str = "splitmix64"
     chunk_rows: int | None = None
+    pool: PoolKind | None = None
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in _EXECUTION_BACKENDS:
@@ -144,16 +219,27 @@ class ExecutionSettings:
             )
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError("chunk_rows must be >= 1")
+        if self.pool is not None and self.pool not in _POOL_KINDS:
+            raise ValueError(
+                f"unknown pool kind {self.pool!r} "
+                f"(expected one of {_POOL_KINDS})"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
 
     def resolve(self, storage: object | None = None) -> "ExecutionSettings":
-        """A copy with the backend and chunk granularity pinned down.
+        """A copy with backend, chunk granularity and pool pinned down.
 
         ``backend=None`` resolves to the system-wide default
         (:func:`default_backend`); an attached storage manager demands
         the columnar engine and supplies its own ``chunk_rows`` when
-        the caller gave none.  This is the one shared resolution step
-        behind ``run_hypercube``/``run_star_skew``/``run_triangle_skew``/
-        ``run_plan`` and :meth:`repro.session.Session.run`.
+        the caller gave none.  ``pool=None`` resolves to the
+        system-wide default (:func:`default_pool`); the tuple backend
+        has no vectorized per-server task bodies to fan out, so it
+        always resolves to the serial pool.  This is the one shared
+        resolution step behind ``run_hypercube``/``run_star_skew``/
+        ``run_triangle_skew``/``run_plan`` and
+        :meth:`repro.session.Session.run`.
         """
         backend = resolve_backend(self.backend)
         if storage is not None and backend != "numpy":
@@ -164,7 +250,12 @@ class ExecutionSettings:
         chunk_rows = self.chunk_rows
         if chunk_rows is None and storage is not None:
             chunk_rows = storage.chunk_rows  # type: ignore[attr-defined]
-        return replace(self, backend=backend, chunk_rows=chunk_rows)
+        pool = resolve_pool(self.pool)
+        if backend != "numpy":
+            pool = "serial"
+        return replace(
+            self, backend=backend, chunk_rows=chunk_rows, pool=pool
+        )
 
 
 def resolve_generator_backend(backend: str | None) -> GeneratorBackend:

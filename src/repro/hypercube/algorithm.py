@@ -48,7 +48,14 @@ from repro.join.multiway import evaluate_on_fragments
 from repro.join.vectorized import UnsupportedVectorizedQuery, evaluate_arrays
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
-from repro.storage.chunked import iter_array_chunks
+from repro.mpc.timing import PhaseTimer
+from repro.parallel.pool import PoolKind, WorkerPool, get_pool
+from repro.parallel.tasks import (
+    RouteTask,
+    iter_array_sources,
+    join_over_pool,
+    route_over_pool,
+)
 from repro.storage.manager import StorageManager
 
 
@@ -244,6 +251,8 @@ def run_hypercube(
     hash_method: HashMethod = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
+    pool: PoolKind | None = None,
+    max_workers: int | None = None,
 ) -> HyperCubeResult:
     """Run the one-round HyperCube algorithm on ``p`` servers.
 
@@ -272,6 +281,13 @@ def run_hypercube(
     accessors (``answers``, ``answers_array()``) read the spooled
     outputs, so materialize them *before* closing the manager.
 
+    ``pool`` fans the columnar routing and per-server joins out over a
+    worker pool (``"serial"``/``"thread"``/``"process"``; ``None``
+    follows :func:`repro.config.default_pool`), with ``max_workers``
+    workers.  Results are merged deterministically, so answers and
+    per-server per-round loads are bit-identical at any pool kind and
+    worker count.
+
     This is a thin delegating wrapper: the actual execution flows
     through the shared run path of :mod:`repro.session`, which resolves
     the backend/storage/chunk-size interaction once for every executor.
@@ -291,6 +307,8 @@ def run_hypercube(
             on_overflow=on_overflow,
             hash_method=hash_method,
             chunk_rows=chunk_rows,
+            pool=pool,
+            max_workers=max_workers,
         ),
         shares=shares,
         exponents=exponents,
@@ -313,14 +331,17 @@ def _hypercube_impl(
     """The HyperCube core; ``settings`` arrives already resolved."""
     backend = settings.backend
     chunk_rows = settings.chunk_rows
-    database.validate_for(query)
-    stats = database.statistics(query)
-    resolved = resolve_shares(query, stats, p, shares, exponents)
-    dimension_variables = query.variables
-    partitioner = GridPartitioner(
-        [resolved[v] for v in dimension_variables],
-        HashFamily(seed, method=settings.hash_method),
-    )
+    timer = PhaseTimer()
+    pool = get_pool(settings.pool or "serial", settings.max_workers)
+    with timer.phase("generate"):
+        database.validate_for(query)
+        stats = database.statistics(query)
+        resolved = resolve_shares(query, stats, p, shares, exponents)
+        dimension_variables = query.variables
+        partitioner = GridPartitioner(
+            [resolved[v] for v in dimension_variables],
+            HashFamily(seed, method=settings.hash_method),
+        )
 
     sim = MPCSimulation(
         p,
@@ -331,19 +352,33 @@ def _hypercube_impl(
     )
     if backend == "numpy":
         _communicate_arrays(
-            query, database, partitioner, dimension_variables, sim, chunk_rows
+            query,
+            database,
+            dimension_variables,
+            tuple(resolved[v] for v in dimension_variables),
+            seed,
+            settings.hash_method,
+            sim,
+            chunk_rows,
+            pool,
+            timer,
         )
     else:
-        _communicate_tuples(query, database, partitioner, dimension_variables, sim)
+        with timer.phase("route"):
+            _communicate_tuples(
+                query, database, partitioner, dimension_variables, sim
+            )
 
     if not skip_local_join:
         if backend == "numpy":
-            _local_joins_arrays(query, partitioner, sim)
+            _local_joins_arrays(query, partitioner, sim, pool, timer)
         else:
-            for server in range(partitioner.num_bins):
-                local = evaluate_on_fragments(query, sim.state(server))
-                if local:
-                    sim.output(server, local)
+            with timer.phase("join"):
+                for server in range(partitioner.num_bins):
+                    local = evaluate_on_fragments(query, sim.state(server))
+                    if local:
+                        sim.output(server, local)
+    timer.attach(sim.report)
     return HyperCubeResult(query, None, resolved, sim.report, sim)
 
 
@@ -378,26 +413,44 @@ def _communicate_tuples(
 def _communicate_arrays(
     query: ConjunctiveQuery,
     database: Database,
-    partitioner: GridPartitioner,
     dimension_variables: Sequence[str],
+    shares: tuple[int, ...],
+    seed: int,
+    hash_method: str,
     sim: MPCSimulation,
-    chunk_rows: int | None = None,
+    chunk_rows: int | None,
+    pool: WorkerPool,
+    timer: PhaseTimer,
 ) -> None:
     """The communication phase, relations as arrays (chunk-streamed).
 
-    With ``chunk_rows=None`` and in-memory relations this is the
-    one-chunk-per-relation monolith route; chunked relations and an
-    explicit granularity stream the same rows in the same order, which
-    delivers every server the identical row sequence (hence identical
-    loads and capacity truncation).
+    One :class:`RouteTask` per ``(atom, chunk)`` fans out over the
+    pool; results come back in task order and are delivered in that
+    order, so every server receives the identical row sequence as the
+    serial loop (hence identical loads and capacity truncation) at any
+    pool kind and worker count.  With ``chunk_rows=None`` and in-memory
+    relations this is the one-chunk-per-relation monolith route;
+    chunked relations ship spilled chunks to process workers by path.
     """
-    sim.begin_round()
-    for atom in query.atoms:
-        for rows in iter_array_chunks(database[atom.relation], chunk_rows):
-            for server, batch in route_relation_arrays(
-                partitioner, dimension_variables, atom.variables, rows
+
+    def tasks():
+        for atom in query.atoms:
+            for source in iter_array_sources(
+                database[atom.relation], chunk_rows
             ):
-                sim.send_array(server, atom.relation, batch)
+                yield RouteTask(
+                    tag=atom.relation,
+                    source=source,
+                    dimension_variables=tuple(dimension_variables),
+                    atom_variables=tuple(atom.variables),
+                    shares=shares,
+                    family_seed=seed,
+                    hash_method=hash_method,
+                )
+
+    sim.begin_round()
+    with timer.phase("route"):
+        route_over_pool(pool, sim, tasks(), timer)
     sim.end_round()
 
 
@@ -445,14 +498,23 @@ def _local_joins_arrays(
     query: ConjunctiveQuery,
     partitioner: GridPartitioner,
     sim: MPCSimulation,
+    pool: WorkerPool,
+    timer: PhaseTimer,
 ) -> None:
     """The computation phase on array fragments, with tuple fallback.
 
-    In out-of-core mode each server's spooled fragments are freed the
-    moment its join finishes, so at most one server's data is resident
-    at a time.
+    Per-server joins fan out over the pool; outputs are recorded in
+    server order regardless of completion order.  In out-of-core mode
+    each server's spooled fragments are freed the moment its result is
+    merged, so at most one server's data is resident on the parent at a
+    time (workers hold at most one fragment each).
     """
-    for server in range(partitioner.num_bins):
-        local_join_arrays(query, sim, server)
-        if sim.storage is not None:
-            sim.server(server).clear()
+    with timer.phase("join"):
+        join_over_pool(
+            pool,
+            sim,
+            query,
+            range(partitioner.num_bins),
+            timer=timer,
+            clear=sim.storage is not None,
+        )

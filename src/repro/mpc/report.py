@@ -73,6 +73,12 @@ class LoadReport:
     strategy: str | None = None
     predicted_load_bits: float | None = None
     predicted_rounds: int | None = None
+    #: Exclusive wall-clock seconds per execution phase
+    #: (``generate``/``route``/``ship``/``join``/``merge``), attached by
+    #: the instrumented executors via
+    #: :meth:`repro.mpc.timing.PhaseTimer.attach`.  Empty when the
+    #: executor does not instrument (the tuple-backend baselines).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def attach_prediction(
         self,

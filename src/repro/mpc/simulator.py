@@ -63,6 +63,17 @@ class LoadExceededError(RuntimeError):
         self.bits = bits
         self.capacity = capacity
 
+    def __reduce__(self):
+        # The default exception reduce replays __init__ with args=(the
+        # formatted message,), which does not match this 4-argument
+        # signature -- pickling would raise on unpickle.  Process-pool
+        # workers ship this exception back to the parent, so rebuild it
+        # from the structured fields instead.
+        return (
+            LoadExceededError,
+            (self.server, self.round_index, self.bits, self.capacity),
+        )
+
 
 @dataclass
 class ServerState:

@@ -63,17 +63,21 @@ from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.hashing.family import GridPartitioner, HashFamily, derive_seed
-from repro.hypercube.algorithm import (
-    local_join_fragments,
-    route_relation,
-    route_relation_arrays,
-)
+from repro.hypercube.algorithm import route_relation
 from repro.join.binary import reorder
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
+from repro.mpc.timing import PhaseTimer
 from repro.multiround.plans import Plan
-from repro.storage.chunked import ChunkedRelation, iter_array_chunks
+from repro.parallel.pool import PoolKind, get_pool
+from repro.parallel.tasks import (
+    RouteTask,
+    iter_array_sources,
+    join_over_pool,
+    route_over_pool,
+)
+from repro.storage.chunked import ChunkedRelation
 from repro.storage.manager import StorageManager
 
 
@@ -165,6 +169,8 @@ def run_plan(
     hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
+    pool: PoolKind | None = None,
+    max_workers: int | None = None,
 ) -> MultiRoundResult:
     """Execute ``plan`` in ``plan.depth`` rounds on ``p`` servers.
 
@@ -187,6 +193,11 @@ def run_plan(
     accessors (``answers``, ``answers_array()``) read the spooled
     outputs, so materialize them *before* closing the manager.
 
+    ``pool``/``max_workers`` fan each round's columnar routing and
+    per-server operator joins out over a worker pool; results merge
+    deterministically, so answers and per-round loads are bit-identical
+    at any worker count.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -205,6 +216,8 @@ def run_plan(
             on_overflow=on_overflow,
             hash_method=hash_method,
             chunk_rows=chunk_rows,
+            pool=pool,
+            max_workers=max_workers,
         ),
         plan=plan,
         keep_view_fragments=keep_view_fragments,
@@ -225,6 +238,8 @@ def _multiround_impl(
     """The plan-execution core; ``settings`` arrives already resolved."""
     backend = settings.backend
     chunk_rows = settings.chunk_rows
+    timer = PhaseTimer()
+    pool = get_pool(settings.pool or "serial", settings.max_workers)
     if p < 2:
         raise ValueError("plan execution needs p >= 2")
     if query != plan.query:
@@ -232,8 +247,9 @@ def _multiround_impl(
             f"plan answers {plan.query.name or plan.query!r}, "
             f"not {query.name or query!r}"
         )
-    database.validate_for(plan.query)
-    stats = database.statistics(plan.query)
+    with timer.phase("generate"):
+        database.validate_for(plan.query)
+        stats = database.statistics(plan.query)
     sim = MPCSimulation(
         p,
         value_bits=stats.value_bits,
@@ -270,66 +286,99 @@ def _multiround_impl(
     for depth in sorted(by_depth):
         nodes = by_depth[depth]
         grids: dict[str, GridPartitioner] = {}
+        with timer.phase("generate"):
+            # Grids first (no simulator effects), so the routing below
+            # can fan out over the pool in one stream per round.
+            for node in nodes:
+                operator = node.operator
+                sizes = {}
+                for child in node.children:
+                    if isinstance(child, Atom):
+                        sizes[child.relation] = len(database[child.relation])
+                    else:
+                        sizes[child.name] = sum(
+                            len(chunk) for chunk in produced[child.name]
+                        )
+                op_stats = Statistics(operator, sizes, database.domain_size)
+                exponents = share_exponents(operator, op_stats, p).exponents
+                shares = integerize_shares(exponents, p)
+                grids[node.name] = GridPartitioner(
+                    [shares[v] for v in operator.variables],
+                    HashFamily(derive_seed(seed, _stable_salt(node.name)),
+                               method=settings.hash_method),
+                )
         sim.begin_round()
-        for node in nodes:
-            operator = node.operator
-            sizes = {}
-            for child in node.children:
-                if isinstance(child, Atom):
-                    sizes[child.relation] = len(database[child.relation])
-                else:
-                    sizes[child.name] = sum(
-                        len(chunk) for chunk in produced[child.name]
-                    )
-            op_stats = Statistics(operator, sizes, database.domain_size)
-            exponents = share_exponents(operator, op_stats, p).exponents
-            shares = integerize_shares(exponents, p)
-            grid = GridPartitioner(
-                [shares[v] for v in operator.variables],
-                HashFamily(derive_seed(seed, _stable_salt(node.name)),
-                           method=settings.hash_method),
-            )
-            grids[node.name] = grid
-            for child in node.children:
-                if isinstance(child, Atom):
-                    name = child.relation
-                    child_schema = child.variables
-                    if backend == "numpy":
-                        sources = [database[child.relation]]
-                    else:
-                        # Canonical order, so a binding capacity cap
-                        # truncates the same per-server prefix as the
-                        # columnar (sorted-array) path.
-                        sources = [database[child.relation].sorted_tuples()]
-                else:
-                    name = child.name
-                    child_schema = schema_of[child.name]
-                    if backend == "numpy":
-                        sources = produced[child.name]
-                    else:
-                        sources = [
-                            sorted(chunk) for chunk in produced[child.name]
-                        ]
-                # Tag fragments by the consuming node: two same-round
-                # operators reading the same input route it under
-                # different grids and must not share server state.
-                tag = f"{node.name}/{name}"
-                if backend == "numpy":
-                    for fragment in sources:
-                        for rows in iter_array_chunks(fragment, chunk_rows):
-                            for server, batch in route_relation_arrays(
-                                grid, operator.variables, child_schema, rows
+        if backend == "numpy":
+            # One task per (node, child, fragment, chunk), in the exact
+            # nested order of the serial loop; results merge in task
+            # order, so every send replays the serial sequence.  Tags
+            # are namespaced by the consuming node: two same-round
+            # operators reading the same input route it under different
+            # grids and must not share server state.
+            def round_tasks(nodes=nodes):
+                for node in nodes:
+                    operator = node.operator
+                    grid = grids[node.name]
+                    for child in node.children:
+                        if isinstance(child, Atom):
+                            name = child.relation
+                            child_schema = child.variables
+                            sources = [database[child.relation]]
+                        else:
+                            name = child.name
+                            child_schema = schema_of[child.name]
+                            sources = produced[child.name]
+                        for fragment in sources:
+                            for source in iter_array_sources(
+                                fragment, chunk_rows
                             ):
-                                sim.send_array(server, tag, batch)
-                    continue
-                batches: dict[int, list[tuple[int, ...]]] = {}
-                for source in sources:
-                    for server, t in route_relation(
-                        grid, operator.variables, child_schema, source
-                    ):
-                        batches.setdefault(server, []).append(t)
-                for server, batch in batches.items():
-                    sim.send(server, tag, batch)
+                                yield RouteTask(
+                                    tag=f"{node.name}/{name}",
+                                    source=source,
+                                    dimension_variables=tuple(
+                                        operator.variables
+                                    ),
+                                    atom_variables=tuple(child_schema),
+                                    shares=tuple(grid.shares),
+                                    family_seed=derive_seed(
+                                        seed, _stable_salt(node.name)
+                                    ),
+                                    hash_method=settings.hash_method,
+                                )
+
+            with timer.phase("route"):
+                route_over_pool(pool, sim, round_tasks(), timer)
+        else:
+            with timer.phase("route"):
+                for node in nodes:
+                    operator = node.operator
+                    grid = grids[node.name]
+                    for child in node.children:
+                        if isinstance(child, Atom):
+                            name = child.relation
+                            child_schema = child.variables
+                            # Canonical order, so a binding capacity
+                            # cap truncates the same per-server prefix
+                            # as the columnar (sorted-array) path.
+                            sources = [
+                                database[child.relation].sorted_tuples()
+                            ]
+                        else:
+                            name = child.name
+                            child_schema = schema_of[child.name]
+                            sources = [
+                                sorted(chunk)
+                                for chunk in produced[child.name]
+                            ]
+                        tag = f"{node.name}/{name}"
+                        batches: dict[int, list[tuple[int, ...]]] = {}
+                        for source in sources:
+                            for server, t in route_relation(
+                                grid, operator.variables, child_schema, source
+                            ):
+                                batches.setdefault(server, []).append(t)
+                        for server, batch in batches.items():
+                            sim.send(server, tag, batch)
         sim.end_round()
 
         # Computation phase: evaluate each operator on every server of
@@ -340,10 +389,16 @@ def _multiround_impl(
             width = len(operator.variables)
             prefix = f"{node.name}/"
             fragments: list = []
-            for server in range(grids[node.name].num_bins):
-                if backend == "numpy":
-                    local_inputs = sim.array_state(server, prefix=prefix)
-                    local = local_join_fragments(operator, local_inputs)
+            if backend == "numpy":
+                # Per-server joins fan out over the pool; fragments are
+                # collected (and spooled) in server order on the parent.
+                # No per-server clear: same-round operators share
+                # servers, so delivered fragments are freed only after
+                # every node's joins (sim.clear_all below).
+                def collect(server: int, local, node=node, width=width,
+                            fragments=fragments):
+                    if local is None:
+                        local = np.empty((0, width), dtype=np.int64)
                     if storage is not None:
                         # Inter-round views spill too: an intermediate
                         # blow-up lands on disk, not in RAM.
@@ -354,16 +409,29 @@ def _multiround_impl(
                         fragments.append(spool)
                     else:
                         fragments.append(local)
-                else:
-                    state = sim.state(server)
-                    local_inputs = {
-                        tag[len(prefix):]: tuples
-                        for tag, tuples in state.items()
-                        if tag.startswith(prefix)
-                    }
-                    fragments.append(
-                        evaluate_on_fragments(operator, local_inputs)
+
+                with timer.phase("join"):
+                    join_over_pool(
+                        pool,
+                        sim,
+                        operator,
+                        range(grids[node.name].num_bins),
+                        prefix=prefix,
+                        timer=timer,
+                        on_result=collect,
                     )
+            else:
+                with timer.phase("join"):
+                    for server in range(grids[node.name].num_bins):
+                        state = sim.state(server)
+                        local_inputs = {
+                            tag[len(prefix):]: tuples
+                            for tag, tuples in state.items()
+                            if tag.startswith(prefix)
+                        }
+                        fragments.append(
+                            evaluate_on_fragments(operator, local_inputs)
+                        )
             if backend == "numpy":
                 empty = np.empty((0, width), dtype=np.int64)
                 fragments += [empty] * (p - len(fragments))
@@ -399,6 +467,7 @@ def _multiround_impl(
     retained = (
         produced if keep_view_fragments else {root.name: produced[root.name]}
     )
+    timer.attach(sim.report)
     return MultiRoundResult(
         plan=plan,
         schema=schema_of[root.name],

@@ -1,0 +1,248 @@
+"""Worker pools: one fan-out seam for every per-server loop.
+
+A :class:`WorkerPool` runs a stream of picklable tasks through a
+module-level task function and hands the results back **in task
+order** -- the only contract the executors need, because all simulator
+accounting (bit counting, capacity truncation, output recording)
+happens on the parent as results are merged.  Three implementations:
+
+* :class:`SerialPool` -- runs each task inline at consumption time.
+  The zero-overhead default; ``imap`` is fully lazy, so the streaming
+  executors keep their one-chunk-resident memory profile.
+* :class:`ThreadPool` -- a ``ThreadPoolExecutor``.  Worth it when the
+  task bodies release the GIL (NumPy routing/joins on large arrays).
+* :class:`ProcessPool` -- a spawn-context ``ProcessPoolExecutor``.
+  True multicore for CPU-bound work; tasks and results cross a pickle
+  boundary, so task dataclasses reference large on-disk chunks by path
+  (re-opened as read-only memmaps in the worker) instead of by value.
+
+``imap`` keeps at most ``2 * max_workers`` tasks in flight (bounded
+prefetch), so fanning a million-chunk stream over a pool never
+materializes the stream.
+
+Pools are cached per ``(kind, max_workers)`` and shut down at
+interpreter exit: a workload of many small runs pays the process-spawn
+cost once, not per run.  Inside a process-pool worker
+:func:`get_pool` always returns a :class:`SerialPool` -- a worker that
+itself fanned out over processes would fork-bomb the machine, and the
+engine code calling :func:`get_pool` cannot tell where it runs.
+
+The spawn (not fork) context keeps workers safe in threaded parents
+(``Session.run_many``'s thread mode) and on every platform; worker
+processes import task functions from their defining modules, which is
+why every task function in :mod:`repro.parallel.tasks` is module-level
+and every task argument a plain dataclass.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Literal, TypeVar
+
+PoolKind = Literal["serial", "thread", "process"]
+
+POOL_KINDS = ("serial", "thread", "process")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Set in process-pool workers by the pool initializer; consulted by
+#: :func:`get_pool` so nested fan-out degrades to serial execution.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:  # pragma: no cover - runs in the worker
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """True inside a :class:`ProcessPool` worker process."""
+    return _IN_WORKER
+
+
+def default_max_workers() -> int:
+    """The worker count used when the caller does not pick one."""
+    return min(os.cpu_count() or 1, 8)
+
+
+class WorkerPool:
+    """The fan-out seam: ordered ``map``/``imap`` over picklable tasks.
+
+    Subclasses implement :meth:`imap`; :meth:`map` is the eager form.
+    Results always come back in task order, whatever the completion
+    order -- the executors rely on it for deterministic merge.
+    """
+
+    kind: PoolKind = "serial"
+
+    def __init__(self, max_workers: int = 1):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def imap(
+        self, fn: Callable[[_T], _R], tasks: Iterable[_T]
+    ) -> Iterator[_R]:
+        raise NotImplementedError
+
+    def map(self, fn: Callable[[_T], _R], tasks: Iterable[_T]) -> list[_R]:
+        return list(self.imap(fn, tasks))
+
+    def close(self) -> None:
+        """Release pool resources (idempotent; no-op for serial)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class SerialPool(WorkerPool):
+    """Inline execution; ``imap`` is lazy (one task per ``next``)."""
+
+    kind: PoolKind = "serial"
+
+    def __init__(self, max_workers: int = 1):
+        super().__init__(max_workers=1)
+
+    def imap(self, fn, tasks):
+        return (fn(task) for task in tasks)
+
+
+class _ExecutorPool(WorkerPool):
+    """Shared bounded-prefetch ``imap`` over a concurrent.futures executor."""
+
+    def __init__(self, max_workers: int):
+        super().__init__(max_workers)
+        self._executor: Executor | None = None
+        self._lock = threading.Lock()
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def executor(self) -> Executor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
+
+    def imap(self, fn, tasks):
+        executor = self.executor
+        prefetch = 2 * self.max_workers
+
+        def results() -> Iterator:
+            pending: deque = deque()
+            iterator = iter(tasks)
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < prefetch:
+                    try:
+                        task = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append(executor.submit(fn, task))
+                if not pending:
+                    return
+                yield pending.popleft().result()
+
+        return results()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+
+class ThreadPool(_ExecutorPool):
+    """GIL-sharing workers; effective when tasks release the GIL."""
+
+    kind: PoolKind = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-pool",
+        )
+
+
+class ProcessPool(_ExecutorPool):
+    """Spawn-context process workers for CPU-bound fan-out."""
+
+    kind: PoolKind = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_mark_worker,
+        )
+
+
+_POOL_CLASSES = {
+    "serial": SerialPool,
+    "thread": ThreadPool,
+    "process": ProcessPool,
+}
+
+_shared_pools: dict[tuple[str, int], WorkerPool] = {}
+_shared_lock = threading.Lock()
+
+
+def get_pool(kind: str, max_workers: int | None = None) -> WorkerPool:
+    """A shared pool of the given kind (cached per worker count).
+
+    Shared pools amortize executor startup -- above all the process
+    spawn cost -- across every run of a session or test suite; they
+    are shut down at interpreter exit.  Inside a process-pool worker
+    this always returns a :class:`SerialPool`, so engine code may
+    request its configured pool unconditionally without risking nested
+    process trees.
+    """
+    if kind not in _POOL_CLASSES:
+        raise ValueError(
+            f"unknown pool kind {kind!r} (expected one of {POOL_KINDS})"
+        )
+    if kind == "serial" or _IN_WORKER:
+        return _SERIAL
+    workers = max_workers if max_workers is not None else default_max_workers()
+    if workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    key = (kind, workers)
+    with _shared_lock:
+        pool = _shared_pools.get(key)
+        if pool is None:
+            pool = _POOL_CLASSES[kind](workers)
+            _shared_pools[key] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached pool (automatic at interpreter exit)."""
+    with _shared_lock:
+        pools = list(_shared_pools.values())
+        _shared_pools.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(shutdown_pools)
+
+_SERIAL = SerialPool()
+
+
+def _worker_probe(_task: object = None) -> tuple[bool, str]:
+    """Report ``(in_worker, get_pool("process").kind)`` where it runs.
+
+    A module-level task function (process workers must import it) used
+    by the test suite to verify the nested-fan-out guard: inside a
+    worker the probe must see ``in_worker() == True`` and receive a
+    serial pool.
+    """
+    return in_worker(), get_pool("process", 2).kind

@@ -1,0 +1,390 @@
+"""Picklable per-server task bodies and their deterministic drivers.
+
+The engine layer's per-server loops (HyperCube routing and local
+joins, the skew algorithms' light parts, the multi-round executor's
+per-operator work) fan out over a
+:class:`~repro.parallel.pool.WorkerPool` through the task functions
+here.  The split is strict:
+
+* **Workers compute, the parent accounts.**  :func:`route_task` and
+  :func:`join_task` are pure functions of their dataclass argument --
+  no closures, no simulator, no locks -- and return plain arrays.  All
+  :class:`~repro.mpc.simulator.MPCSimulation` effects (bit accounting,
+  capacity truncation, fragment storage, output recording) happen on
+  the parent as results are merged.
+* **Merging replays the serial order.**  ``imap`` returns results in
+  task order and the drivers iterate tasks in exactly the order the
+  serial loops used, so every ``send_array``/``output_array`` fires in
+  the identical sequence at any pool kind and worker count -- which is
+  what keeps answers, per-server per-round loads, and capacity-drop
+  truncation bit-identical.
+* **Large data ships by path.**  An :class:`ArraySource` wraps either
+  an in-memory array or the path of a ``.npy`` spill chunk; process
+  workers re-open paths as read-only memmaps
+  (:meth:`~repro.storage.chunked.ChunkedRelation.chunk_handles`), so
+  out-of-core fragments cross the pickle boundary as a few bytes.
+
+:func:`run_job_task` is the session-layer counterpart: one whole
+:meth:`Session.run_many` job executed in a worker process, returning a
+:class:`MaterializedRunResult` that satisfies the ``RunResult``
+protocol after the worker's session (and any worker-side spill
+directory) is gone.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.data.arrays import unique_rows
+from repro.data.relation import Relation
+from repro.hashing.family import GridPartitioner, HashFamily
+from repro.mpc.timing import PhaseTimer
+from repro.parallel.pool import WorkerPool
+from repro.storage.chunked import ChunkedRelation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.query import ConjunctiveQuery
+    from repro.mpc.simulator import MPCSimulation, ServerState
+
+
+# --------------------------------------------------------------- sources
+
+
+@dataclass(frozen=True, eq=False)
+class ArraySource:
+    """One shippable ``(n, arity)`` row batch: inline rows or a path.
+
+    ``path`` names a ``.npy`` spill chunk that :meth:`load` re-opens as
+    a read-only memmap -- the zero-copy hand-off for process workers.
+    Exactly one of ``rows``/``path`` is set.
+    """
+
+    rows: np.ndarray | None = None
+    path: str | None = None
+
+    def load(self) -> np.ndarray:
+        if self.rows is not None:
+            return self.rows
+        return np.load(self.path, mmap_mode="r", allow_pickle=False)
+
+
+def _source(handle: np.ndarray | pathlib.Path) -> ArraySource:
+    if isinstance(handle, pathlib.Path):
+        return ArraySource(path=str(handle))
+    return ArraySource(rows=handle)
+
+
+def iter_array_sources(
+    source: "Relation | np.ndarray",
+    chunk_rows: int | None = None,
+) -> Iterator[ArraySource]:
+    """The :func:`~repro.storage.chunked.iter_array_chunks` twin.
+
+    Yields the same rows in the same chunking, but as
+    :class:`ArraySource` handles: a chunked relation's spilled chunks
+    come out as paths (never opened here), everything else as arrays.
+    """
+    if isinstance(source, ChunkedRelation):
+        for handle in source.chunk_handles():
+            yield _source(handle)
+        return
+    array = (
+        source.to_array() if isinstance(source, Relation)
+        else np.asarray(source)
+    )
+    if chunk_rows is None or chunk_rows >= len(array):
+        if len(array):
+            yield ArraySource(rows=array)
+        return
+    for start in range(0, len(array), chunk_rows):
+        yield ArraySource(rows=array[start:start + chunk_rows])
+
+
+# --------------------------------------------------------------- routing
+
+
+@dataclass(frozen=True)
+class RouteTask:
+    """Route one chunk of one relation over one HyperCube grid.
+
+    Plain data only: the worker rebuilds the grid from
+    ``(shares, family_seed, hash_method)`` -- hash functions are pure
+    functions of the seed, so the rebuilt grid routes identically to
+    the parent's.  ``exclude`` drops rows whose value at a position is
+    in the given set before routing (the skew algorithms' light-part
+    filter; filtering commutes with chunking).  ``tag``/``base`` ride
+    along so the driver can replay the send without holding the task.
+    """
+
+    tag: str
+    source: ArraySource
+    dimension_variables: tuple[str, ...]
+    atom_variables: tuple[str, ...]
+    shares: tuple[int, ...]
+    family_seed: int
+    hash_method: str = "splitmix64"
+    base: int = 0
+    exclude: tuple[tuple[int, tuple[int, ...]], ...] = ()
+
+
+def route_task(
+    task: RouteTask,
+) -> tuple[str, int, list[tuple[int, np.ndarray]]]:
+    """Worker body: load, filter, route; no simulator side effects."""
+    from repro.hypercube.algorithm import route_relation_arrays
+
+    rows = np.asarray(task.source.load())
+    for position, values in task.exclude:
+        if len(values) and len(rows):
+            heavy = np.fromiter(values, dtype=np.int64, count=len(values))
+            rows = rows[~np.isin(rows[:, position], heavy)]
+    grid = GridPartitioner(
+        list(task.shares),
+        HashFamily(task.family_seed, method=task.hash_method),
+    )
+    groups = list(
+        route_relation_arrays(
+            grid, task.dimension_variables, task.atom_variables, rows
+        )
+    )
+    return task.tag, task.base, groups
+
+
+def route_over_pool(
+    pool: WorkerPool,
+    sim: "MPCSimulation",
+    tasks: Iterable[RouteTask],
+    timer: PhaseTimer | None = None,
+) -> None:
+    """Fan routing out, replaying deliveries in serial send order.
+
+    Each task's ``(server, batch)`` groups arrive in the task's own
+    order and are delivered strictly in task order, so the global send
+    sequence -- and with it every load count and capacity truncation --
+    matches the serial loop exactly.  Time spent waiting on results
+    lands in the enclosing phase (``route``); simulator delivery is
+    carved out as ``ship``.
+    """
+    timer = timer or PhaseTimer()
+    for tag, base, groups in pool.imap(route_task, tasks):
+        with timer.phase("ship"):
+            for server, batch in groups:
+                sim.send_array(base + server, tag, batch)
+
+
+# ----------------------------------------------------------------- joins
+
+
+@dataclass(frozen=True)
+class JoinTask:
+    """Join one server's received fragments locally.
+
+    ``fragments`` maps each tag to the source batches **in storage
+    order**; the worker merges them exactly like
+    :meth:`ServerState.array_fragment` (concatenate, then row-wise
+    dedup) before joining, so the local answers match the serial
+    computation phase bit for bit.
+    """
+
+    server: int
+    query: "ConjunctiveQuery"
+    fragments: tuple[tuple[str, tuple[ArraySource, ...]], ...]
+
+
+def join_task(task: JoinTask) -> tuple[int, np.ndarray | None]:
+    """Worker body: merge fragments, run the local join, return rows."""
+    # Imported here to keep repro.parallel a leaf of the engine layer
+    # (hypercube.algorithm imports this module's drivers).
+    from repro.hypercube.algorithm import local_join_fragments
+
+    merged: dict[str, np.ndarray] = {}
+    for tag, sources in task.fragments:
+        batches = [np.asarray(s.load()) for s in sources]
+        if not batches:
+            continue
+        stacked = (
+            batches[0] if len(batches) == 1
+            else np.concatenate(batches, axis=0)
+        )
+        deduped = unique_rows(stacked)
+        if len(deduped):
+            merged[tag] = deduped
+    if not merged:
+        return task.server, None
+    local = local_join_fragments(task.query, merged)
+    return task.server, (local if len(local) else None)
+
+
+def server_join_task(
+    query: "ConjunctiveQuery",
+    state: "ServerState",
+    server: int,
+    prefix: str | None = None,
+) -> JoinTask:
+    """Snapshot one server's array fragments into a picklable task.
+
+    Mirrors :meth:`MPCSimulation.array_state`: tags enumerate in
+    delivery-store order, spooled fragments become chunk handles
+    (paths for spilled chunks), and ``prefix`` selects and strips the
+    multi-round executor's namespaced tags.
+    """
+    tags = list(state.array_fragments)
+    tags += [t for t in state.array_spools if t not in state.array_fragments]
+    fragments: list[tuple[str, tuple[ArraySource, ...]]] = []
+    for tag in tags:
+        if prefix is not None and not tag.startswith(prefix):
+            continue
+        key = tag if prefix is None else tag[len(prefix):]
+        spool = state.array_spools.get(tag)
+        if spool is not None:
+            sources = tuple(_source(h) for h in spool.chunk_handles())
+        else:
+            sources = tuple(
+                ArraySource(rows=batch)
+                for batch in state.array_fragments[tag]
+            )
+        if sources:
+            fragments.append((key, sources))
+    return JoinTask(server, query, tuple(fragments))
+
+
+def join_over_pool(
+    pool: WorkerPool,
+    sim: "MPCSimulation",
+    query: "ConjunctiveQuery",
+    servers: Iterable[int],
+    prefix: str | None = None,
+    timer: PhaseTimer | None = None,
+    on_result: "Callable[[int, np.ndarray | None], None] | None" = None,
+    clear: bool = False,
+) -> None:
+    """Fan local joins out, merging results in server order.
+
+    By default a non-empty local result is recorded via
+    ``sim.output_array`` (the one-round executors); ``on_result``
+    overrides that for executors that spool or retain view fragments
+    (multi-round).  With ``clear`` each server's delivered fragments
+    are freed as soon as its result lands -- the out-of-core executors'
+    one-server-resident property, preserved because a server's spill
+    files are only dropped after its own task has completed.
+    """
+    timer = timer or PhaseTimer()
+
+    def tasks() -> Iterator[JoinTask]:
+        for server in servers:
+            yield server_join_task(query, sim.server(server), server, prefix)
+
+    for server, local in pool.imap(join_task, tasks()):
+        with timer.phase("merge"):
+            if on_result is not None:
+                on_result(server, local)
+            elif local is not None and len(local):
+                sim.output_array(server, local)
+            if clear:
+                sim.server(server).clear()
+
+
+# ---------------------------------------------------------- session jobs
+
+
+class MaterializedRunResult:
+    """A ``RunResult`` that survived a pickle round-trip.
+
+    Process-pool ``run_many`` jobs execute in a worker whose session,
+    simulator and spill directory die with the process; this snapshot
+    carries the answers (as the canonical array), the full
+    :class:`~repro.mpc.report.LoadReport`, and the scalar metadata, and
+    satisfies the :class:`repro.session.RunResult` protocol.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        rounds: int,
+        predicted_bits: float | None,
+        load_report,
+        answers: np.ndarray,
+    ):
+        self.strategy = strategy
+        self.rounds = rounds
+        self.predicted_bits = predicted_bits
+        self.load_report = load_report
+        self._answers_array = answers
+        self._answers: set[tuple[int, ...]] | None = None
+
+    @classmethod
+    def from_result(cls, result) -> "MaterializedRunResult":
+        return cls(
+            strategy=result.strategy,
+            rounds=result.rounds,
+            predicted_bits=result.predicted_bits,
+            load_report=result.load_report,
+            answers=result.answers_array(),
+        )
+
+    @property
+    def answers(self) -> set[tuple[int, ...]]:
+        if self._answers is None:
+            self._answers = set(map(tuple, self._answers_array.tolist()))
+        return self._answers
+
+    def answers_array(self) -> np.ndarray:
+        return self._answers_array
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedRunResult(strategy={self.strategy!r}, "
+            f"answers={len(self._answers_array)})"
+        )
+
+
+@dataclass(frozen=True)
+class RunJobTask:
+    """One ``Session.run_many`` job, shipped whole to a worker process.
+
+    The worker rebuilds a throwaway session from the pickled
+    :class:`~repro.session.ClusterConfig` and runs the job through the
+    exact ``_run_job`` path the thread/serial modes use (same
+    ``derive_seed(seed, index)`` scheme), so results are identical
+    across pool kinds.
+    """
+
+    config: object  # ClusterConfig (typed loosely: session imports us)
+    job: object  # Job
+    index: int
+
+
+def _portable_error(exc: Exception) -> Exception:
+    """``exc`` if it survives pickling, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def run_job_task(
+    task: RunJobTask,
+) -> tuple["MaterializedRunResult | None", object, Exception | None]:
+    """Worker body: run one batch job inside a private session.
+
+    Returns ``(result, record, error)`` with the same
+    capture-don't-raise semantics as the thread path, so one failing
+    job cannot poison its siblings' results.
+    """
+    from repro.session import Session
+
+    try:
+        with Session(task.config) as session:
+            result, record = session._run_job(task.job, task.index)
+            # Materialize before the session (and any worker-side
+            # spill directory) closes.
+            snapshot = MaterializedRunResult.from_result(result)
+        return snapshot, record, None
+    except Exception as exc:  # noqa: BLE001 - mirrored to the parent
+        return None, None, _portable_error(exc)

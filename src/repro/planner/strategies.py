@@ -106,6 +106,8 @@ def _settings_kwargs(settings: ExecutionSettings) -> dict:
         "on_overflow": settings.on_overflow,
         "hash_method": settings.hash_method,
         "chunk_rows": settings.chunk_rows,
+        "pool": settings.pool,
+        "max_workers": settings.max_workers,
     }
 
 

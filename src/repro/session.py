@@ -55,7 +55,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import (
     Iterable,
     Literal,
@@ -67,12 +67,15 @@ from typing import (
 
 import numpy as np
 
-from repro.config import Backend, ExecutionSettings
+from repro.config import Backend, ExecutionSettings, PoolKind, resolve_pool
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hashing.family import derive_seed
 from repro.hypercube.algorithm import _hypercube_impl
 from repro.mpc.report import LoadReport
+from repro.mpc.timing import format_phase_seconds
+from repro.parallel.pool import get_pool
+from repro.parallel.tasks import RunJobTask, run_job_task
 from repro.multiround.executor import _multiround_impl
 from repro.multiround.plans import Plan
 from repro.planner.engine import (
@@ -143,6 +146,13 @@ class ClusterConfig:
     hash_method: str = "splitmix64"
     memory_budget_bytes: int | None = None
     chunk_rows: int | None = None
+    #: Worker pool for intra-run parallelism (per-server routing and
+    #: joins) and for :meth:`Session.run_many` batches.  ``None``
+    #: follows :func:`repro.config.default_pool` (the
+    #: ``REPRO_DEFAULT_POOL`` environment variable, else serial).
+    pool: PoolKind | None = None
+    #: Workers per pool (``None``: one per CPU core, capped at 8).
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -153,7 +163,8 @@ class ClusterConfig:
         ):
             raise ValueError("memory_budget_bytes must be >= 1")
         # Delegate the remaining validation (backend, overflow policy,
-        # hash method, chunk_rows) to the settings value object.
+        # hash method, chunk_rows, pool, max_workers) to the settings
+        # value object.
         self.settings()
 
     def settings(self) -> ExecutionSettings:
@@ -164,6 +175,8 @@ class ClusterConfig:
             on_overflow=self.on_overflow,
             hash_method=self.hash_method,
             chunk_rows=self.chunk_rows,
+            pool=self.pool,
+            max_workers=self.max_workers,
         )
 
 
@@ -257,6 +270,11 @@ class RunRecord:
     predicted_bits: float | None
     percentiles: Mapping[str, float]
     wall_seconds: float
+    #: Exclusive per-phase wall-clock seconds
+    #: (``generate``/``route``/``ship``/``join``/``merge``), from the
+    #: executor's :class:`~repro.mpc.timing.PhaseTimer`.  Empty for
+    #: uninstrumented executors (the tuple-backend baselines).
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
     def line(self) -> str:
         """A one-line rendering for workload summaries."""
@@ -268,11 +286,16 @@ class RunRecord:
         dropped = (
             f", dropped {self.dropped_bits:.0f}" if self.dropped_bits else ""
         )
+        phases = (
+            f" [{format_phase_seconds(self.phase_seconds)}]"
+            if self.phase_seconds
+            else ""
+        )
         return (
             f"{self.label}: {self.strategy}, {self.rounds} round(s), "
             f"L = {self.max_load_bits:.0f} bits{predicted}{dropped}, "
             f"p99 {self.percentiles.get('p99', 0.0):.0f}, "
-            f"{self.wall_seconds * 1e3:.1f} ms"
+            f"{self.wall_seconds * 1e3:.1f} ms{phases}"
         )
 
 
@@ -443,18 +466,31 @@ class Session:
         self,
         jobs: Iterable[Job | tuple[ConjunctiveQuery, Database]],
         max_workers: int | None = None,
+        pool: PoolKind | None = None,
     ) -> list[PlannedExecution]:
         """Run independent jobs concurrently over shared storage.
 
         ``jobs`` are :class:`Job` values (bare ``(query, database)``
         pairs are accepted); results return in job order.  Each job
         without an explicit seed runs with
-        ``derive_seed(config.seed, index)``, and jobs share the
-        session's storage manager (thread-safe), so the results --
+        ``derive_seed(config.seed, index)``, so the results --
         answers, loads, truncation -- are identical whatever
-        ``max_workers`` is, including sequential execution at
-        ``max_workers=1``.  ``max_workers=None`` picks
+        ``max_workers`` and ``pool`` are, including sequential
+        execution at ``max_workers=1``.  ``max_workers=None`` picks
         ``min(cpu_count, 8, len(jobs))``.
+
+        ``pool`` selects the batch concurrency mode: ``"thread"``
+        (shared session and storage, the numpy-releases-the-GIL
+        sweet spot), ``"process"`` (one worker process per job slot --
+        each job runs in a throwaway session rebuilt from this
+        session's config and returns a materialized result, sidestepping
+        the GIL entirely), or ``"serial"``.  ``None`` follows
+        ``config.pool`` / :func:`repro.config.default_pool`, except
+        that the historical batch default -- threads -- applies when
+        those resolve to serial.  Process mode requires picklable
+        queries/databases and does not share the parent's storage
+        manager (each worker derives its own from the config's memory
+        budget); its records land in :attr:`history` like any other.
 
         All jobs' records append to :attr:`history` in job order after
         the batch completes.  When a job raises (an inapplicable
@@ -475,16 +511,40 @@ class Session:
             max_workers = min(os.cpu_count() or 1, 8, len(normalized))
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if pool is None:
+            pool = resolve_pool(self.config.pool)
+            if pool == "serial":
+                # The historical run_many default: thread concurrency.
+                pool = "thread"
+        elif pool not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown pool kind {pool!r} "
+                f"(expected 'serial', 'thread' or 'process')"
+            )
         indices = range(len(normalized))
-        if max_workers == 1 or len(normalized) == 1:
+        if pool == "process" and max_workers > 1 and len(normalized) > 1:
+            worker_pool = get_pool("process", max_workers)
+            tasks = [
+                RunJobTask(config=self.config, job=job, index=index)
+                for index, job in zip(indices, normalized)
+            ]
+            outcomes = [
+                ((result, record) if error is None else None, error)
+                for result, record, error in worker_pool.map(
+                    run_job_task, tasks
+                )
+            ]
+        elif (
+            pool == "serial" or max_workers == 1 or len(normalized) == 1
+        ):
             outcomes = [
                 self._try_run_job(job, index)
                 for index, job in zip(indices, normalized)
             ]
         else:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
                 outcomes = list(
-                    pool.map(self._try_run_job, normalized, indices)
+                    executor.map(self._try_run_job, normalized, indices)
                 )
         self._append_records(
             [pair[1] for pair, error in outcomes if error is None]
@@ -620,6 +680,7 @@ class Session:
             predicted_bits=result.predicted_bits,
             percentiles=report.load_percentiles(),
             wall_seconds=wall,
+            phase_seconds=dict(report.phase_seconds),
         )
         return result, record
 

@@ -17,6 +17,7 @@ from repro.data.database import Database
 from repro.hypercube.algorithm import HyperCubeResult, run_hypercube
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import PoolKind
     from repro.storage.manager import StorageManager
 
 
@@ -31,6 +32,8 @@ def run_skew_oblivious_hypercube(
     hash_method: str = "splitmix64",
     storage: "StorageManager | None" = None,
     chunk_rows: int | None = None,
+    pool: "PoolKind | None" = None,
+    max_workers: int | None = None,
 ) -> HyperCubeResult:
     """HyperCube with the LP (18) skew-resistant shares.
 
@@ -54,6 +57,8 @@ def run_skew_oblivious_hypercube(
         hash_method=hash_method,
         storage=storage,
         chunk_rows=chunk_rows,
+        pool=pool,
+        max_workers=max_workers,
     )
     result.strategy = "skew-oblivious"
     return result

@@ -35,16 +35,19 @@ from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.hashing.family import GridPartitioner, HashFamily
-from repro.hypercube.algorithm import (
-    local_join_arrays,
-    route_relation,
-    route_relation_arrays,
-)
+from repro.hypercube.algorithm import route_relation
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
+from repro.mpc.timing import PhaseTimer
+from repro.parallel.pool import PoolKind, get_pool
+from repro.parallel.tasks import (
+    RouteTask,
+    iter_array_sources,
+    join_over_pool,
+    route_over_pool,
+)
 from repro.skew.heavy_hitters import HitterStatistics
-from repro.storage.chunked import iter_array_chunks
 from repro.storage.manager import StorageManager
 
 
@@ -159,6 +162,8 @@ def run_star_skew(
     hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
+    pool: PoolKind | None = None,
+    max_workers: int | None = None,
 ) -> StarSkewResult:
     """Run the Section 4.2.1 algorithm in one MPC round.
 
@@ -193,6 +198,11 @@ def run_star_skew(
     the per-hitter heavy blocks are ``O(p)``-sized by construction and
     stay in memory.  ``chunk_rows`` sets the routing granularity alone.
 
+    ``pool``/``max_workers`` fan the light part's columnar routing and
+    per-server joins out over a worker pool (the heavy blocks are small
+    by construction and stay serial); results merge deterministically,
+    so answers and loads are bit-identical at any worker count.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -211,6 +221,8 @@ def run_star_skew(
             on_overflow=on_overflow,
             hash_method=hash_method,
             chunk_rows=chunk_rows,
+            pool=pool,
+            max_workers=max_workers,
         ),
         hitters=hitters,
     )
@@ -229,44 +241,48 @@ def _star_impl(
     """The star-algorithm core; ``settings`` arrives already resolved."""
     backend = settings.backend
     chunk_rows = settings.chunk_rows
+    timer = PhaseTimer()
+    pool = get_pool(settings.pool or "serial", settings.max_workers)
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
-    database.validate_for(query)
-    center = _star_center(query)
-    stats = database.statistics(query)
-    if hitters is None:
-        hitters = HitterStatistics.from_database(
-            query, database, center, 1.0, p
-        )
-    elif hitters.variable != center:
-        raise ValueError(
-            f"hitter statistics describe {hitters.variable!r}, "
-            f"not the star center {center!r}"
-        )
-    heavy_values = set(hitters.hitters)
-
-    leg_of = {
-        atom.relation: next(v for v in atom.variables if v != center)
-        for atom in query.atoms
-    }
-    center_pos = {
-        atom.relation: atom.variables.index(center) for atom in query.atoms
-    }
-
-    # Residual bit sizes M_j(h) (arity-1 projections of h's tuples).
-    bits_per_hitter: dict[int, dict[str, float]] = {}
-    for h in heavy_values:
-        per_rel = {}
-        for atom in query.atoms:
-            freq = database[atom.relation].degree(
-                (center_pos[atom.relation],), (h,)
+    with timer.phase("generate"):
+        database.validate_for(query)
+        center = _star_center(query)
+        stats = database.statistics(query)
+        if hitters is None:
+            hitters = HitterStatistics.from_database(
+                query, database, center, 1.0, p
             )
-            per_rel[atom.relation] = freq * stats.value_bits
-        if all(v > 0 for v in per_rel.values()):
-            bits_per_hitter[h] = per_rel
-    allocation = _heavy_allocation(
-        query.relation_names, bits_per_hitter, p
-    )
+        elif hitters.variable != center:
+            raise ValueError(
+                f"hitter statistics describe {hitters.variable!r}, "
+                f"not the star center {center!r}"
+            )
+        heavy_values = set(hitters.hitters)
+
+        leg_of = {
+            atom.relation: next(v for v in atom.variables if v != center)
+            for atom in query.atoms
+        }
+        center_pos = {
+            atom.relation: atom.variables.index(center)
+            for atom in query.atoms
+        }
+
+        # Residual bit sizes M_j(h) (arity-1 projections of h's tuples).
+        bits_per_hitter: dict[int, dict[str, float]] = {}
+        for h in heavy_values:
+            per_rel = {}
+            for atom in query.atoms:
+                freq = database[atom.relation].degree(
+                    (center_pos[atom.relation],), (h,)
+                )
+                per_rel[atom.relation] = freq * stats.value_bits
+            if all(v > 0 for v in per_rel.values()):
+                bits_per_hitter[h] = per_rel
+        allocation = _heavy_allocation(
+            query.relation_names, bits_per_hitter, p
+        )
 
     total_servers = p + sum(allocation.values())
     sim = MPCSimulation(
@@ -283,34 +299,51 @@ def _star_impl(
     dims = query.variables  # (z, x_1, ..., x_l) in head order
     light_shares = [p if v == center else 1 for v in dims]
     light_grid = GridPartitioner(light_shares, family)
-    heavy_array = np.fromiter(sorted(heavy_values), dtype=np.int64,
-                              count=len(heavy_values))
-    for atom in query.atoms:
-        relation = database[atom.relation]
-        zpos = center_pos[atom.relation]
-        if backend == "numpy":
-            # Filter-then-route per chunk: filtering commutes with
-            # chunking, so the light rows reach every server in the
-            # same order as the monolithic route.
-            for rows in iter_array_chunks(relation, chunk_rows):
-                if len(heavy_array):
-                    rows = rows[~np.isin(rows[:, zpos], heavy_array)]
-                for server, batch in route_relation_arrays(
-                    light_grid, dims, atom.variables, rows
+    heavy_sorted = tuple(int(h) for h in sorted(heavy_values))
+    if backend == "numpy":
+        # Filter-then-route per chunk (one task per chunk, fanned out
+        # over the pool): filtering commutes with chunking, and results
+        # merge in task order, so the light rows reach every server in
+        # the same order as the monolithic serial route.
+        def light_tasks():
+            for atom in query.atoms:
+                zpos = center_pos[atom.relation]
+                for source in iter_array_sources(
+                    database[atom.relation], chunk_rows
                 ):
-                    sim.send_array(server, atom.relation, batch)
-            continue
-        # Sorted order, matching the columnar (sorted-array) route, so
-        # a binding capacity cap truncates the same per-server prefix
-        # on both backends.
-        light = [
-            t for t in relation.sorted_tuples() if t[zpos] not in heavy_values
-        ]
-        batches: dict[int, list[tuple[int, ...]]] = {}
-        for server, t in route_relation(light_grid, dims, atom.variables, light):
-            batches.setdefault(server, []).append(t)
-        for server, batch in batches.items():
-            sim.send(server, atom.relation, batch)
+                    yield RouteTask(
+                        tag=atom.relation,
+                        source=source,
+                        dimension_variables=tuple(dims),
+                        atom_variables=tuple(atom.variables),
+                        shares=tuple(light_shares),
+                        family_seed=seed,
+                        hash_method=settings.hash_method,
+                        exclude=((zpos, heavy_sorted),),
+                    )
+
+        with timer.phase("route"):
+            route_over_pool(pool, sim, light_tasks(), timer)
+    else:
+        with timer.phase("route"):
+            for atom in query.atoms:
+                relation = database[atom.relation]
+                zpos = center_pos[atom.relation]
+                # Sorted order, matching the columnar (sorted-array)
+                # route, so a binding capacity cap truncates the same
+                # per-server prefix on both backends.
+                light = [
+                    t
+                    for t in relation.sorted_tuples()
+                    if t[zpos] not in heavy_values
+                ]
+                batches: dict[int, list[tuple[int, ...]]] = {}
+                for server, t in route_relation(
+                    light_grid, dims, atom.variables, light
+                ):
+                    batches.setdefault(server, []).append(t)
+                for server, batch in batches.items():
+                    sim.send(server, atom.relation, batch)
 
     # ---- Heavy part: one block and one residual query per hitter. -----
     residual_atoms = tuple(
@@ -319,77 +352,92 @@ def _star_impl(
     residual_query = ConjunctiveQuery(residual_atoms, name="residual")
     blocks: list[tuple[int, int, GridPartitioner]] = []  # (hitter, base, grid)
     base = p
-    for h in sorted(bits_per_hitter):
-        p_h = allocation[h]
-        residual_fragments = {}
-        residual_sizes = {}
-        for atom in query.atoms:
-            zpos = center_pos[atom.relation]
-            values = {
-                (t[1 - zpos],)
-                for t in database[atom.relation]
-                if t[zpos] == h
-            }
-            residual_fragments[atom.relation] = values
-            residual_sizes[atom.relation] = len(values)
-        if p_h >= 2:
-            residual_stats = Statistics(
-                residual_query, residual_sizes, database.domain_size
+    with timer.phase("route"):
+        for h in sorted(bits_per_hitter):
+            p_h = allocation[h]
+            residual_fragments = {}
+            residual_sizes = {}
+            for atom in query.atoms:
+                zpos = center_pos[atom.relation]
+                values = {
+                    (t[1 - zpos],)
+                    for t in database[atom.relation]
+                    if t[zpos] == h
+                }
+                residual_fragments[atom.relation] = values
+                residual_sizes[atom.relation] = len(values)
+            if p_h >= 2:
+                residual_stats = Statistics(
+                    residual_query, residual_sizes, database.domain_size
+                )
+                exponents = share_exponents(
+                    residual_query, residual_stats, p_h
+                ).exponents
+                shares = integerize_shares(exponents, p_h)
+            else:
+                shares = {v: 1 for v in residual_query.variables}
+            grid = GridPartitioner(
+                [shares[v] for v in residual_query.variables],
+                HashFamily(seed * 7919 + h + 1, method=settings.hash_method),
             )
-            exponents = share_exponents(residual_query, residual_stats, p_h).exponents
-            shares = integerize_shares(exponents, p_h)
-        else:
-            shares = {v: 1 for v in residual_query.variables}
-        grid = GridPartitioner(
-            [shares[v] for v in residual_query.variables],
-            HashFamily(seed * 7919 + h + 1, method=settings.hash_method),
-        )
-        for atom in residual_atoms:
-            batches = {}
-            # Sorted for deterministic capacity truncation (set
-            # iteration order must not decide which tuples drop).
-            for server, t in route_relation(
-                grid,
-                residual_query.variables,
-                atom.variables,
-                sorted(residual_fragments[atom.relation]),
-            ):
-                batches.setdefault(server, []).append(t)
-            for server, batch in batches.items():
-                sim.send(base + server, atom.relation, batch)
-        blocks.append((h, base, grid))
-        base += p_h
+            for atom in residual_atoms:
+                batches = {}
+                # Sorted for deterministic capacity truncation (set
+                # iteration order must not decide which tuples drop).
+                for server, t in route_relation(
+                    grid,
+                    residual_query.variables,
+                    atom.variables,
+                    sorted(residual_fragments[atom.relation]),
+                ):
+                    batches.setdefault(server, []).append(t)
+                for server, batch in batches.items():
+                    sim.send(base + server, atom.relation, batch)
+            blocks.append((h, base, grid))
+            base += p_h
 
     sim.end_round()
 
     # ---- Computation phase. -------------------------------------------
     head = query.variables
     leg_order = [leg_of[a.relation] for a in query.atoms]
-    for server in range(p):
-        if backend == "numpy":
-            local_join_arrays(query, sim, server)
-            if storage is not None:
-                sim.server(server).clear()
-            continue
-        local = evaluate_on_fragments(query, sim.state(server))
-        if local:
-            sim.output(server, local)
-    for h, block_base, grid in blocks:
-        for offset in range(grid.num_bins):
-            local = evaluate_on_fragments(
-                residual_query, sim.state(block_base + offset)
+    if backend == "numpy":
+        # Light servers fan out over the pool; outputs merge in server
+        # order, matching the serial loop.
+        with timer.phase("join"):
+            join_over_pool(
+                pool,
+                sim,
+                query,
+                range(p),
+                timer=timer,
+                clear=storage is not None,
             )
-            if not local:
-                continue
-            # Residual head order is (x_1, ..., x_l); rebuild the star head.
-            value_of = dict(zip(leg_order, [None] * len(leg_order)))
-            outputs = []
-            for t in local:
-                value_of = dict(zip(residual_query.variables, t))
-                value_of[center] = h
-                outputs.append(tuple(value_of[v] for v in head))
-            sim.output(block_base + offset, outputs)
+    else:
+        with timer.phase("join"):
+            for server in range(p):
+                local = evaluate_on_fragments(query, sim.state(server))
+                if local:
+                    sim.output(server, local)
+    with timer.phase("join"):
+        for h, block_base, grid in blocks:
+            for offset in range(grid.num_bins):
+                local = evaluate_on_fragments(
+                    residual_query, sim.state(block_base + offset)
+                )
+                if not local:
+                    continue
+                # Residual head order is (x_1, ..., x_l); rebuild the
+                # star head.
+                value_of = dict(zip(leg_order, [None] * len(leg_order)))
+                outputs = []
+                for t in local:
+                    value_of = dict(zip(residual_query.variables, t))
+                    value_of[center] = h
+                    outputs.append(tuple(value_of[v] for v in head))
+                sim.output(block_base + offset, outputs)
 
+    timer.attach(sim.report)
     predicted = star_skew_load_bound(query, database, p)
     return StarSkewResult(
         query=query,

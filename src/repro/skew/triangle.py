@@ -40,16 +40,19 @@ from repro.core.shares import integerize_shares
 from repro.core.stats import Statistics
 from repro.data.database import Database
 from repro.hashing.family import GridPartitioner, HashFamily
-from repro.hypercube.algorithm import (
-    local_join_arrays,
-    route_relation,
-    route_relation_arrays,
-)
+from repro.hypercube.algorithm import route_relation
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
 from repro.mpc.simulator import MPCSimulation
+from repro.mpc.timing import PhaseTimer
+from repro.parallel.pool import PoolKind, get_pool
+from repro.parallel.tasks import (
+    RouteTask,
+    iter_array_sources,
+    join_over_pool,
+    route_over_pool,
+)
 from repro.skew.heavy_hitters import HitterStatistics, variable_frequencies
-from repro.storage.chunked import iter_array_chunks
 from repro.storage.manager import StorageManager
 
 
@@ -118,6 +121,8 @@ def run_triangle_skew(
     hash_method: str = "splitmix64",
     storage: StorageManager | None = None,
     chunk_rows: int | None = None,
+    pool: PoolKind | None = None,
+    max_workers: int | None = None,
 ) -> TriangleSkewResult:
     """Run the Section 4.2.2 algorithm in one MPC round.
 
@@ -152,6 +157,11 @@ def run_triangle_skew(
     bounded by the heavy-hitter structure and stay in memory.
     ``chunk_rows`` sets the routing granularity alone.
 
+    ``pool``/``max_workers`` fan the light block's columnar routing and
+    per-server joins out over a worker pool (the case-1/case-2 blocks
+    stay serial); results merge deterministically, so answers and loads
+    are bit-identical at any worker count.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -170,6 +180,8 @@ def run_triangle_skew(
             on_overflow=on_overflow,
             hash_method=hash_method,
             chunk_rows=chunk_rows,
+            pool=pool,
+            max_workers=max_workers,
         ),
         hitters=hitters,
     )
@@ -219,71 +231,76 @@ def _triangle_impl(
     """The triangle core; ``settings`` arrives already resolved."""
     backend = settings.backend
     chunk_rows = settings.chunk_rows
+    timer = PhaseTimer()
+    pool = get_pool(settings.pool or "serial", settings.max_workers)
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
     if not is_triangle_query(query):
         raise ValueError("the Section 4.2.2 algorithm runs only C3")
-    database.validate_for(query)
-    stats = database.statistics(query)
-    m = max(stats.tuples(r) for r in query.relation_names)
-    threshold1 = max(1.0, m / p)  # Case-1 heaviness
-    threshold2 = max(1.0, m / p ** (1.0 / 3.0))  # Case-2 / light boundary
+    with timer.phase("generate"):
+        database.validate_for(query)
+        stats = database.statistics(query)
+        m = max(stats.tuples(r) for r in query.relation_names)
+        threshold1 = max(1.0, m / p)  # Case-1 heaviness
+        threshold2 = max(1.0, m / p ** (1.0 / 3.0))  # Case-2 / light edge
 
-    if hitters is None:
-        freq = {
-            v: variable_frequencies(query, database, v)
+        if hitters is None:
+            freq = {
+                v: variable_frequencies(query, database, v)
+                for v in query.variables
+            }
+        else:
+            freq = _frequencies_from_hitters(query, hitters)
+
+        def f(variable: str, value: int) -> float:
+            return freq[variable].get(value, 0)
+
+        heavy1 = {
+            v: {val for val, c in freq[v].items() if c >= threshold1}
             for v in query.variables
         }
-    else:
-        freq = _frequencies_from_hitters(query, hitters)
+        heavy2 = {
+            v: {val for val, c in freq[v].items() if c >= threshold2}
+            for v in query.variables
+        }
 
-    def f(variable: str, value: int) -> float:
-        return freq[variable].get(value, 0)
-
-    heavy1 = {
-        v: {val for val, c in freq[v].items() if c >= threshold1}
-        for v in query.variables
-    }
-    heavy2 = {
-        v: {val for val, c in freq[v].items() if c >= threshold2}
-        for v in query.variables
-    }
-
-    # ---------------- Case-2 block planning. ---------------------------
-    case2_plan: list[tuple[str, int, list[int], list[int], int]] = []
-    weights: dict[tuple[str, int], float] = {}
-    for variable in query.variables:
-        succ_rel, pred_rel, _mid = _STRUCTURE[variable]
-        for h in sorted(heavy2[variable]):
-            succ_var = _other_variable(query, succ_rel, variable)
-            pred_var = _other_variable(query, pred_rel, variable)
-            r_side = sorted(
-                {
-                    t[1]
-                    for t in database[succ_rel]
-                    if t[0] == h and f(succ_var, t[1]) < threshold1
-                }
+        # ------------- Case-2 block planning. --------------------------
+        case2_plan: list[tuple[str, int, list[int], list[int], int]] = []
+        weights: dict[tuple[str, int], float] = {}
+        for variable in query.variables:
+            succ_rel, pred_rel, _mid = _STRUCTURE[variable]
+            for h in sorted(heavy2[variable]):
+                succ_var = _other_variable(query, succ_rel, variable)
+                pred_var = _other_variable(query, pred_rel, variable)
+                r_side = sorted(
+                    {
+                        t[1]
+                        for t in database[succ_rel]
+                        if t[0] == h and f(succ_var, t[1]) < threshold1
+                    }
+                )
+                t_side = sorted(
+                    {
+                        t[0]
+                        for t in database[pred_rel]
+                        if t[1] == h and f(pred_var, t[0]) < threshold1
+                    }
+                )
+                if not r_side or not t_side:
+                    continue
+                weights[(variable, h)] = len(r_side) * len(t_side)
+                case2_plan.append((variable, h, r_side, t_side, 0))
+        total_weight = sum(weights.values())
+        base_block = math.ceil(p ** (2.0 / 3.0))
+        planned = []
+        for variable, h, r_side, t_side, _ in case2_plan:
+            boost = 0
+            if total_weight > 0:
+                boost = math.ceil(p * weights[(variable, h)] / total_weight)
+            planned.append(
+                (variable, h, r_side, t_side, max(base_block, boost))
             )
-            t_side = sorted(
-                {
-                    t[0]
-                    for t in database[pred_rel]
-                    if t[1] == h and f(pred_var, t[0]) < threshold1
-                }
-            )
-            if not r_side or not t_side:
-                continue
-            weights[(variable, h)] = len(r_side) * len(t_side)
-            case2_plan.append((variable, h, r_side, t_side, 0))
-    total_weight = sum(weights.values())
-    base_block = math.ceil(p ** (2.0 / 3.0))
-    planned = []
-    for variable, h, r_side, t_side, _ in case2_plan:
-        boost = 0
-        if total_weight > 0:
-            boost = math.ceil(p * weights[(variable, h)] / total_weight)
-        planned.append((variable, h, r_side, t_side, max(base_block, boost)))
-    case2_plan = planned
+        case2_plan = planned
 
     total_servers = p + 3 * p + sum(size for *_, size in case2_plan)
     sim = MPCSimulation(
@@ -300,145 +317,176 @@ def _triangle_impl(
     dims = query.variables
     light_shares = integerize_shares({v: 1.0 / 3.0 for v in dims}, p)
     light_grid = GridPartitioner([light_shares[v] for v in dims], family)
-    for atom in query.atoms:
-        a, b = atom.variables
-        if backend == "numpy":
-            heavy_of = {
-                position: np.fromiter(
-                    sorted(heavy2[variable]), dtype=np.int64,
-                    count=len(heavy2[variable]),
+    if backend == "numpy":
+        # Filter-then-route per chunk (one task per chunk, fanned out
+        # over the pool): filtering commutes with chunking, and results
+        # merge in task order, so light rows reach every server in the
+        # same order as the monolithic serial route.
+        def light_tasks():
+            for atom in query.atoms:
+                a, b = atom.variables
+                exclude = tuple(
+                    (position, tuple(int(v) for v in sorted(heavy2[var])))
+                    for position, var in ((0, a), (1, b))
                 )
-                for position, variable in ((0, a), (1, b))
-            }
-            # Filter-then-route per chunk: filtering commutes with
-            # chunking, so light rows reach every server in the same
-            # order as the monolithic route.
-            for rows in iter_array_chunks(database[atom.relation], chunk_rows):
-                mask = np.ones(len(rows), dtype=bool)
-                for position, heavy in heavy_of.items():
-                    if len(heavy):
-                        mask &= ~np.isin(rows[:, position], heavy)
-                for server, batch in route_relation_arrays(
-                    light_grid, dims, atom.variables, rows[mask]
+                for source in iter_array_sources(
+                    database[atom.relation], chunk_rows
                 ):
-                    sim.send_array(server, atom.relation, batch)
-            continue
-        # Sorted order, matching the columnar (sorted-array) route, so
-        # a binding capacity cap truncates the same per-server prefix
-        # on both backends.
-        light = [
-            t
-            for t in database[atom.relation].sorted_tuples()
-            if f(a, t[0]) < threshold2 and f(b, t[1]) < threshold2
-        ]
-        _route_block(sim, 0, light_grid, dims, atom, light)
+                    yield RouteTask(
+                        tag=atom.relation,
+                        source=source,
+                        dimension_variables=tuple(dims),
+                        atom_variables=tuple(atom.variables),
+                        shares=tuple(light_shares[v] for v in dims),
+                        family_seed=seed,
+                        hash_method=settings.hash_method,
+                        exclude=exclude,
+                    )
+
+        with timer.phase("route"):
+            route_over_pool(pool, sim, light_tasks(), timer)
+    else:
+        with timer.phase("route"):
+            for atom in query.atoms:
+                a, b = atom.variables
+                # Sorted order, matching the columnar (sorted-array)
+                # route, so a binding capacity cap truncates the same
+                # per-server prefix on both backends.
+                light = [
+                    t
+                    for t in database[atom.relation].sorted_tuples()
+                    if f(a, t[0]) < threshold2 and f(b, t[1]) < threshold2
+                ]
+                _route_block(sim, 0, light_grid, dims, atom, light)
 
     # ---------------- Case-1 blocks: one per variable pair. -------------
     case1_bases = {}
-    for index, (va, vb, rel_ab, rel_bc, rel_ca) in enumerate(_PAIRS):
-        block_base = p * (1 + index)
-        case1_bases[(va, vb)] = block_base
-        vc = next(v for v in dims if v not in (va, vb))
-        grid = GridPartitioner(
-            [p if v == vc else 1 for v in dims],
-            HashFamily(seed * 31 + index + 1, method=settings.hash_method),
-        )
-        # Doubly-heavy tuples of the direct relation: broadcast.
-        # (Sorted, like every block, for deterministic truncation.)
-        doubly = [
-            t
-            for t in database[rel_ab].sorted_tuples()
-            if f(va, t[0]) >= threshold1 and f(vb, t[1]) >= threshold1
-        ]
-        for offset in range(p):
-            sim.send(block_base + offset, rel_ab, doubly)
-        # The other two relations, heavy-restricted, hashed on vc.
-        bc_atom = query.atom(rel_bc)
-        bc_heavy = [
-            t
-            for t in database[rel_bc].sorted_tuples()
-            if f(vb, t[bc_atom.variables.index(vb)]) >= threshold1
-        ]
-        _route_block(sim, block_base, grid, dims, bc_atom, bc_heavy)
-        ca_atom = query.atom(rel_ca)
-        ca_heavy = [
-            t
-            for t in database[rel_ca].sorted_tuples()
-            if f(va, t[ca_atom.variables.index(va)]) >= threshold1
-        ]
-        _route_block(sim, block_base, grid, dims, ca_atom, ca_heavy)
+    with timer.phase("route"):
+        for index, (va, vb, rel_ab, rel_bc, rel_ca) in enumerate(_PAIRS):
+            block_base = p * (1 + index)
+            case1_bases[(va, vb)] = block_base
+            vc = next(v for v in dims if v not in (va, vb))
+            grid = GridPartitioner(
+                [p if v == vc else 1 for v in dims],
+                HashFamily(seed * 31 + index + 1, method=settings.hash_method),
+            )
+            # Doubly-heavy tuples of the direct relation: broadcast.
+            # (Sorted, like every block, for deterministic truncation.)
+            doubly = [
+                t
+                for t in database[rel_ab].sorted_tuples()
+                if f(va, t[0]) >= threshold1 and f(vb, t[1]) >= threshold1
+            ]
+            for offset in range(p):
+                sim.send(block_base + offset, rel_ab, doubly)
+            # The other two relations, heavy-restricted, hashed on vc.
+            bc_atom = query.atom(rel_bc)
+            bc_heavy = [
+                t
+                for t in database[rel_bc].sorted_tuples()
+                if f(vb, t[bc_atom.variables.index(vb)]) >= threshold1
+            ]
+            _route_block(sim, block_base, grid, dims, bc_atom, bc_heavy)
+            ca_atom = query.atom(rel_ca)
+            ca_heavy = [
+                t
+                for t in database[rel_ca].sorted_tuples()
+                if f(va, t[ca_atom.variables.index(va)]) >= threshold1
+            ]
+            _route_block(sim, block_base, grid, dims, ca_atom, ca_heavy)
 
     # ---------------- Case-2 blocks: one grid per hitter. ---------------
     case2_blocks = []
     base = 4 * p
-    for block_index, (variable, h, r_side, t_side, size) in enumerate(case2_plan):
-        succ_rel, pred_rel, mid_rel = _STRUCTURE[variable]
-        gy = int(round(math.sqrt(size * len(r_side) / max(1, len(t_side)))))
-        gy = min(max(1, gy), size)
-        gz = max(1, size // gy)
-        grid = GridPartitioner(
-            [gy, gz],
-            HashFamily(seed * 101 + block_index + 1,
-                       method=settings.hash_method),
-        )
-        # Rows hold R'(y), columns hold T'(z), cells hold light S(y, z).
-        for y in r_side:
-            row = grid.functions[0](y)
-            for col in range(gz):
-                sim.send(
-                    base + grid.linear_index((row, col)), succ_rel, [(y,)]
-                )
-        for z in t_side:
-            col = grid.functions[1](z)
-            for row in range(gy):
-                sim.send(
-                    base + grid.linear_index((row, col)), pred_rel, [(z,)]
-                )
-        mid_atom = query.atom(mid_rel)
-        va, vb = mid_atom.variables
-        light_mid = [
-            t
-            for t in database[mid_rel].sorted_tuples()
-            if f(va, t[0]) < threshold1 and f(vb, t[1]) < threshold1
-        ]
-        for t in light_mid:
-            cell = (grid.functions[0](t[0]), grid.functions[1](t[1]))
-            sim.send(base + grid.linear_index(cell), mid_rel, [t])
-        case2_blocks.append((variable, h, base, grid, succ_rel, pred_rel, mid_rel))
-        base += size
+    with timer.phase("route"):
+        for block_index, (variable, h, r_side, t_side, size) in enumerate(
+            case2_plan
+        ):
+            succ_rel, pred_rel, mid_rel = _STRUCTURE[variable]
+            gy = int(
+                round(math.sqrt(size * len(r_side) / max(1, len(t_side))))
+            )
+            gy = min(max(1, gy), size)
+            gz = max(1, size // gy)
+            grid = GridPartitioner(
+                [gy, gz],
+                HashFamily(seed * 101 + block_index + 1,
+                           method=settings.hash_method),
+            )
+            # Rows hold R'(y), columns hold T'(z), cells hold light
+            # S(y, z).
+            for y in r_side:
+                row = grid.functions[0](y)
+                for col in range(gz):
+                    sim.send(
+                        base + grid.linear_index((row, col)), succ_rel, [(y,)]
+                    )
+            for z in t_side:
+                col = grid.functions[1](z)
+                for row in range(gy):
+                    sim.send(
+                        base + grid.linear_index((row, col)), pred_rel, [(z,)]
+                    )
+            mid_atom = query.atom(mid_rel)
+            va, vb = mid_atom.variables
+            light_mid = [
+                t
+                for t in database[mid_rel].sorted_tuples()
+                if f(va, t[0]) < threshold1 and f(vb, t[1]) < threshold1
+            ]
+            for t in light_mid:
+                cell = (grid.functions[0](t[0]), grid.functions[1](t[1]))
+                sim.send(base + grid.linear_index(cell), mid_rel, [t])
+            case2_blocks.append(
+                (variable, h, base, grid, succ_rel, pred_rel, mid_rel)
+            )
+            base += size
 
     sim.end_round()
 
     # ---------------- Computation phase. --------------------------------
-    for server in range(4 * p):
-        if backend == "numpy" and server < p:
-            # Light-block servers hold array fragments in this mode.
-            local_join_arrays(query, sim, server)
-            if storage is not None:
-                sim.server(server).clear()
-            continue
-        local = evaluate_on_fragments(query, sim.state(server))
-        if local:
-            sim.output(server, local)
-    for variable, h, block_base, grid, succ_rel, pred_rel, mid_rel in case2_blocks:
-        succ_var = _other_variable(query, succ_rel, variable)
-        pred_var = _other_variable(query, pred_rel, variable)
-        mid_atom = query.atom(mid_rel)
-        for offset in range(grid.num_bins):
-            state = sim.state(block_base + offset)
-            r_local = {t[0] for t in state.get(succ_rel, ())}
-            t_local = {t[0] for t in state.get(pred_rel, ())}
-            outputs = []
-            for tup in state.get(mid_rel, ()):
-                values = dict(zip(mid_atom.variables, tup))
-                y = values[succ_var]
-                z = values[pred_var]
-                if y in r_local and z in t_local:
-                    triangle = {variable: h, succ_var: y, pred_var: z}
-                    outputs.append(tuple(triangle[v] for v in dims))
-            if outputs:
-                sim.output(block_base + offset, outputs)
+    if backend == "numpy":
+        # Light-block servers hold array fragments in this mode; their
+        # joins fan out over the pool, outputs merging in server order.
+        with timer.phase("join"):
+            join_over_pool(
+                pool,
+                sim,
+                query,
+                range(p),
+                timer=timer,
+                clear=storage is not None,
+            )
+        remaining = range(p, 4 * p)
+    else:
+        remaining = range(4 * p)
+    with timer.phase("join"):
+        for server in remaining:
+            local = evaluate_on_fragments(query, sim.state(server))
+            if local:
+                sim.output(server, local)
+        for (
+            variable, h, block_base, grid, succ_rel, pred_rel, mid_rel
+        ) in case2_blocks:
+            succ_var = _other_variable(query, succ_rel, variable)
+            pred_var = _other_variable(query, pred_rel, variable)
+            mid_atom = query.atom(mid_rel)
+            for offset in range(grid.num_bins):
+                state = sim.state(block_base + offset)
+                r_local = {t[0] for t in state.get(succ_rel, ())}
+                t_local = {t[0] for t in state.get(pred_rel, ())}
+                outputs = []
+                for tup in state.get(mid_rel, ()):
+                    values = dict(zip(mid_atom.variables, tup))
+                    y = values[succ_var]
+                    z = values[pred_var]
+                    if y in r_local and z in t_local:
+                        triangle = {variable: h, succ_var: y, pred_var: z}
+                        outputs.append(tuple(triangle[v] for v in dims))
+                if outputs:
+                    sim.output(block_base + offset, outputs)
 
+    timer.attach(sim.report)
     predicted = triangle_skew_load_bound(database, p)
     return TriangleSkewResult(
         answers=sim.outputs(),

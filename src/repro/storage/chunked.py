@@ -221,6 +221,24 @@ class ChunkedRelation(Relation):
                 self._tail = [np.concatenate(self._tail, axis=0)]
             yield self._tail[0]
 
+    def chunk_handles(self) -> list[np.ndarray | pathlib.Path]:
+        """Every chunk as a shippable handle, in append order.
+
+        Spilled chunks come back as their ``.npy`` *paths* (no memmap
+        is opened here); in-memory chunks and the tail come back as
+        arrays.  This is the zero-copy hand-off for process-pool
+        workers: a path pickles as a few bytes and the worker re-opens
+        it as a read-only memmap, instead of the parent pickling the
+        chunk's contents.  Loading every handle reproduces exactly the
+        rows of :meth:`chunks` in the same order.
+        """
+        handles: list[np.ndarray | pathlib.Path] = list(self._parts)
+        if self._tail_rows:
+            if len(self._tail) > 1:
+                self._tail = [np.concatenate(self._tail, axis=0)]
+            handles.append(self._tail[0])
+        return handles
+
     def __len__(self) -> int:
         return self._num_rows
 

@@ -1,0 +1,168 @@
+"""Bit-identity across worker pools: the seam's central invariant.
+
+Workers compute, the parent accounts, merges replay the serial order --
+so every pool kind at every worker count must produce identical
+answers, identical per-server per-round received bits, and identical
+capacity-drop truncation.  These tests pin that down for all four
+engines and for ``Session.run_many``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterConfig,
+    Job,
+    Session,
+    matching_database,
+    star_query,
+    triangle_query,
+    zipf_database,
+)
+from repro.hypercube import run_hypercube
+from repro.multiround.executor import run_plan
+from repro.multiround.plans import chain_plan
+from repro.core.families import chain_query
+from repro.skew.star import run_star_skew
+from repro.skew.triangle import run_triangle_skew
+from repro.storage.manager import StorageManager
+
+POOLS = ("serial", "thread", "process")
+
+
+def fingerprint(result):
+    """Everything that must be bit-identical across pools."""
+    report = result.report
+    return (
+        sorted(result.answers),
+        [sorted(r.bits.items()) for r in report.rounds],
+        [sorted(r.tuples.items()) for r in report.rounds],
+        [sorted(r.dropped_bits.items()) for r in report.rounds],
+    )
+
+
+@pytest.fixture(scope="module")
+def triangle_instance():
+    q = triangle_query()
+    db = matching_database(q, m=400, n=1600, seed=3)
+    return q, db
+
+
+@pytest.fixture(scope="module")
+def hypercube_baseline(triangle_instance):
+    q, db = triangle_instance
+    return fingerprint(run_hypercube(q, db, 8, seed=1, pool="serial"))
+
+
+@pytest.mark.parametrize("pool", POOLS)
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_hypercube_identity_across_pools(
+    triangle_instance, hypercube_baseline, pool, workers
+):
+    q, db = triangle_instance
+    result = run_hypercube(q, db, 8, seed=1, pool=pool, max_workers=workers)
+    assert fingerprint(result) == hypercube_baseline
+
+
+@pytest.mark.parametrize("pool", ("thread", "process"))
+def test_hypercube_identity_with_storage(
+    triangle_instance, hypercube_baseline, pool, tmp_path
+):
+    q, db = triangle_instance
+    with StorageManager(root=tmp_path / "spill", chunk_rows=64) as storage:
+        result = run_hypercube(
+            q, db, 8, seed=1, pool=pool, max_workers=2, storage=storage
+        )
+        assert fingerprint(result) == hypercube_baseline
+
+
+@pytest.mark.parametrize("pool", ("thread", "process"))
+def test_hypercube_capacity_drop_identity(triangle_instance, pool):
+    """Truncation order is part of the contract: same rows dropped."""
+    q, db = triangle_instance
+    kwargs = dict(seed=1, capacity_bits=3000.0, on_overflow="drop")
+    serial = run_hypercube(q, db, 8, pool="serial", **kwargs)
+    assert serial.report.dropped_bits > 0  # the cap actually binds
+    fanned = run_hypercube(q, db, 8, pool=pool, max_workers=3, **kwargs)
+    assert fingerprint(fanned) == fingerprint(serial)
+
+
+def test_star_skew_identity_serial_vs_process():
+    q = star_query(2)
+    db = zipf_database(q, m=600, n=600, skew=1.0, seed=2)
+    serial = run_star_skew(q, db, 8, seed=1, pool="serial")
+    fanned = run_star_skew(q, db, 8, seed=1, pool="process", max_workers=2)
+    assert fingerprint(fanned) == fingerprint(serial)
+
+
+def test_triangle_skew_identity_serial_vs_process():
+    q = triangle_query()
+    db = zipf_database(q, m=500, n=500, skew=1.0, seed=4)
+    serial = run_triangle_skew(db, 4, seed=1, pool="serial")
+    fanned = run_triangle_skew(db, 4, seed=1, pool="process", max_workers=2)
+    assert fingerprint(fanned) == fingerprint(serial)
+
+
+@pytest.mark.parametrize("use_storage", (False, True))
+def test_multiround_identity_serial_vs_process(tmp_path, use_storage):
+    q = chain_query(4)
+    db = matching_database(q, m=800, n=3200, seed=5)
+    plan = chain_plan(4)
+    serial = run_plan(plan, db, 8, seed=1, pool="serial")
+    storage = (
+        StorageManager(root=tmp_path / "spill", chunk_rows=128)
+        if use_storage else None
+    )
+    try:
+        fanned = run_plan(
+            plan, db, 8, seed=1, pool="process", max_workers=2,
+            storage=storage,
+        )
+        assert fingerprint(fanned) == fingerprint(serial)
+    finally:
+        if storage is not None:
+            storage.close()
+
+
+def record_fingerprint(record):
+    """A RunRecord's pool-invariant core (wall/phase times vary)."""
+    return (
+        record.label, record.query, record.strategy, record.p,
+        record.seed, record.rounds, record.max_load_bits,
+        record.total_bits, record.dropped_bits,
+    )
+
+
+@pytest.mark.parametrize("batch_pool", POOLS)
+def test_run_many_identity_across_batch_pools(batch_pool):
+    q = triangle_query()
+    db = matching_database(q, m=300, n=1200, seed=0)
+    jobs = [Job(q, db, label=f"j{i}") for i in range(3)]
+    with Session(p=8, seed=0) as session:
+        session.run_many(jobs, max_workers=2, pool="serial")
+        baseline = [record_fingerprint(r) for r in session.history]
+        baseline_answers = [sorted(r.answers) for r in session.run_many(
+            jobs, max_workers=2, pool="serial")]
+    with Session(p=8, seed=0) as session:
+        results = session.run_many(jobs, max_workers=2, pool=batch_pool)
+        assert [record_fingerprint(r) for r in session.history] == baseline
+        assert [sorted(r.answers) for r in results] == baseline_answers
+
+
+def test_engine_pool_from_config_identity():
+    """ClusterConfig(pool=...) reaches the engines with identical bits."""
+    q = triangle_query()
+    db = matching_database(q, m=300, n=1200, seed=0)
+    runs = {}
+    for pool in POOLS:
+        with Session(ClusterConfig(p=8, seed=0, pool=pool,
+                                   max_workers=2)) as session:
+            result = session.run(q, db)
+            runs[pool] = (
+                sorted(result.answers),
+                record_fingerprint(session.history[-1]),
+            )
+    assert runs["thread"] == runs["serial"]
+    assert runs["process"] == runs["serial"]
