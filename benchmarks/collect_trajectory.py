@@ -16,6 +16,13 @@ Two modes:
   (``bench_parallel_engine.py``, ``bench_session_batch.py``) via
   pytest into a temp artifact, then condenses that.
 
+Either mode accepts ``--trace DIR_OR_FILE ...``: communication traces
+recorded with ``python -m repro --trace-dir`` (or any
+``repro.trace`` JSONL artifact) are condensed into per-run totals --
+bits shipped, max per-server load, dropped bits, spill I/O -- and
+folded into the entry under ``"traces"``, so the trajectory tracks the
+*communication* trend alongside the wall-clock one.
+
 Idempotence: an entry whose ``(host_id, version, benchmarks)`` already
 appears verbatim is not appended again, so re-running a CI job does not
 duplicate rows.  The file stays sorted by collection time.
@@ -86,6 +93,42 @@ def condense(artifact: dict) -> list[dict]:
     return rows
 
 
+def condense_traces(paths: list[str]) -> list[dict]:
+    """Trace JSONL artifacts -> per-run communication totals.
+
+    Uses :class:`repro.trace.TraceQuery` (src/ is put on the path the
+    same way ``repro_version`` does), keeping one row per artifact:
+    the run footer's totals plus spill I/O when the run had any.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.trace.cli import iter_trace_files
+        from repro.trace.query import TraceQuery
+    finally:
+        sys.path.pop(0)
+
+    rows = []
+    for raw in paths:
+        for path in iter_trace_files(raw):
+            query = TraceQuery(path)
+            run = query.run() or {}
+            row = {
+                "trace": path.name,
+                "strategy": run.get("strategy"),
+                "p": run.get("p"),
+                "rounds": run.get("rounds"),
+                "total_bits": run.get("total_bits", query.total_bits()),
+                "max_load_bits": run.get("max_load_bits"),
+                "dropped_bits": run.get("dropped_bits", 0.0),
+            }
+            spill = query.spill_totals()
+            if spill["writes"] or spill["reads"]:
+                row["spill"] = spill
+            rows.append(row)
+    rows.sort(key=lambda r: r["trace"])
+    return rows
+
+
 def run_benches(paths: tuple[str, ...]) -> dict:
     """Run the given bench files and return their benchmark artifact."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -138,6 +181,11 @@ def main(argv: list[str] | None = None) -> None:
              "running the default worker-pool benches",
     )
     parser.add_argument(
+        "--trace", nargs="+", default=None, metavar="TRACE",
+        help="fold communication-trace totals (JSONL files or "
+             "directories from --trace-dir runs) into the entry",
+    )
+    parser.add_argument(
         "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
         help=f"trajectory file to append to (default {DEFAULT_OUTPUT.name})",
     )
@@ -170,6 +218,8 @@ def main(argv: list[str] | None = None) -> None:
     }
     if args.label:
         entry["label"] = args.label
+    if args.trace:
+        entry["traces"] = condense_traces(args.trace)
 
     if args.dry_run:
         json.dump(entry, sys.stdout, indent=2)

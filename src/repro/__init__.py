@@ -48,6 +48,8 @@ Package map (see DESIGN.md for the paper-section correspondence):
 * :mod:`repro.storage` -- out-of-core chunked relations + spill files
 * :mod:`repro.session` -- `Session`/`ClusterConfig`, the unified front
   door and the shared run path behind every executor
+* :mod:`repro.trace` -- per-event communication traces (JSONL
+  artifacts, `TraceQuery` analysis, `python -m repro trace`)
 
 The low-level layer stays available: the free functions
 ``run_hypercube`` / ``run_star_skew`` / ``run_triangle_skew`` /
@@ -79,6 +81,16 @@ Every pool kind produces bit-identical answers and loads::
     with Session(p=64, pool="process") as session: ...   # one cluster
     repro.set_default_pool("process")                    # system-wide
     # or: REPRO_DEFAULT_POOL=process python -m repro run triangle
+
+To see *where* the communication went -- not just the end-of-run
+aggregates -- trace a run.  Tracing is off by default, never perturbs
+results, and writes compact JSONL artifacts::
+
+    from repro import Session, TraceQuery
+    with Session(p=64, seed=0, trace="traces/") as session:
+        record = session.run(q, db)
+    print(TraceQuery(session.history[0].trace_path).top_servers(k=5))
+    # or offline: python -m repro trace traces/
 """
 
 from repro.config import (
@@ -123,8 +135,9 @@ from repro.session import (
     Session,
 )
 from repro.storage import ChunkedRelation, StorageManager
+from repro.trace import Trace, TraceQuery, TraceRecorder, tracing
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Atom",
@@ -158,6 +171,10 @@ __all__ = [
     "ChunkedRelation",
     "StorageManager",
     "MPCSimulation",
+    "Trace",
+    "TraceQuery",
+    "TraceRecorder",
+    "tracing",
     "lower_bound",
     "upper_bound",
     "DataStatistics",

@@ -19,6 +19,12 @@ algorithm instead of the planner's winner, and the accumulated
 against the sequential join, so the command exits nonzero on any
 mismatch.
 
+``python -m repro trace PATH`` summarizes recorded communication-trace
+artifacts (one ``.jsonl`` file or a directory of them): top-k heaviest
+servers, per-round bytes, hottest tags, per-phase bytes/seconds, spill
+I/O, predicted-vs-measured deltas.  Record traces with ``--trace-dir``
+(the tour, ``run``) or ``ClusterConfig(trace=...)``.
+
 For the full harness run ``pytest benchmarks/ --benchmark-only``.
 """
 
@@ -27,6 +33,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import tempfile
 
 from repro import (
     ClusterConfig,
@@ -59,6 +66,8 @@ from repro.multiround.gamma import chain_rounds_upper_bound
 from repro.multiround.lowerbounds import chain_round_lower_bound
 from repro.planner import execute as planner_execute
 from repro.planner import plan as planner_plan
+from repro.trace import TraceQuery
+from repro.trace.cli import render_path
 
 
 class TourCheckFailed(SystemExit):
@@ -114,7 +123,7 @@ def parse_query(name: str) -> ConjunctiveQuery:
     )
 
 
-def run_tour() -> None:
+def run_tour(trace_dir: str | None = None) -> None:
     print("repro: Beame-Koutris-Suciu, Communication Cost in Parallel")
     print("Query Processing (EDBT 2015) -- reproduction smoke tour")
     print(f"execution backend: {default_backend()} "
@@ -177,18 +186,47 @@ def run_tour() -> None:
     _check(zplanned.answers == zexpected,
            "skewed star execution equals the sequential join")
 
-    print("\nSession workload (one configured cluster, many queries):")
-    with Session(p=16, seed=0) as session:
-        batch = session.run_many(
-            [Job(q, db, label="triangle"), Job(zq, zdb, label="T2-zipf")],
-            max_workers=2,
-        )
-        _check(batch[0].answers == expected,
-               "session triangle job equals the sequential join")
-        _check(batch[1].answers == zexpected,
-               "session star job equals the sequential join")
-        for line in session.workload_summary().splitlines():
-            print(f"  {line}")
+    print("\nSession workload (one configured cluster, many queries,")
+    print("traced -- every run records a queryable JSONL artifact):")
+    # Always trace the session segment: into --trace-dir when given
+    # (the artifact survives for `python -m repro trace` / CI upload),
+    # else into a throwaway directory so the checks still run.
+    tmp_trace = (
+        tempfile.TemporaryDirectory(prefix="repro-trace-")
+        if trace_dir is None
+        else None
+    )
+    effective_trace_dir = trace_dir if trace_dir is not None else tmp_trace.name
+    try:
+        with Session(p=16, seed=0, trace=effective_trace_dir) as session:
+            batch = session.run_many(
+                [Job(q, db, label="triangle"), Job(zq, zdb, label="T2-zipf")],
+                max_workers=2,
+            )
+            _check(batch[0].answers == expected,
+                   "session triangle job equals the sequential join")
+            _check(batch[1].answers == zexpected,
+                   "session star job equals the sequential join")
+            for line in session.workload_summary().splitlines():
+                print(f"  {line}")
+            records = session.history
+            _check(
+                all(r.trace_path is not None for r in records),
+                "every traced run records a trace artifact",
+            )
+            query_view = TraceQuery(records[0].trace_path)
+            _check(
+                query_view.reconcile(batch[0].load_report) == {},
+                "trace per-server bits reconcile with the LoadReport",
+            )
+            top = query_view.top_servers(k=3)
+            print("  triangle trace: "
+                  + ", ".join(f"#{s} {bits:.0f}b" for s, bits in top)
+                  + f" (top 3 of {len(query_view.server_bits())} servers; "
+                  f"see `python -m repro trace`)")
+    finally:
+        if tmp_trace is not None:
+            tmp_trace.cleanup()
 
     print("\nMulti-round tradeoff for L16 (Cor 5.15, tight):")
     for eps in (0.0, 0.5):
@@ -292,6 +330,7 @@ def run_run_command(args: argparse.Namespace) -> None:
         memory_budget_bytes=budget_bytes,
         pool=args.pool,
         max_workers=args.max_workers,
+        trace=args.trace_dir,
     )
     expected = evaluate(args.query, db)
     # One statistics collection feeds every job: the repeats run over
@@ -316,6 +355,16 @@ def run_run_command(args: argparse.Namespace) -> None:
                 f"job-{index} answers equal the sequential join",
             )
         print(session.workload_summary())
+        if args.trace_dir is not None:
+            traced = [
+                record.trace_path
+                for record in session.history
+                if record.trace_path
+            ]
+            print(
+                f"traced {len(traced)} run(s) -> {args.trace_dir} "
+                f"(summarize with `python -m repro trace {args.trace_dir}`)"
+            )
         if session.storage is not None:
             print(
                 f"out-of-core: spilled "
@@ -335,6 +384,12 @@ def main(argv: list[str] | None = None) -> None:
         help="system-wide execution backend for this run "
              "(default: numpy, the columnar engine; tuples is the "
              "tuple-at-a-time reference path)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record communication traces as JSONL artifacts under DIR "
+             "(tour: the Session segment; run: every job); summarize "
+             "them with `python -m repro trace DIR`",
     )
     sub = parser.add_subparsers(dest="command")
     plan_parser = sub.add_parser(
@@ -412,6 +467,25 @@ def main(argv: list[str] | None = None) -> None:
         "--backend", choices=("tuples", "numpy"), default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
+    run_parser.add_argument(
+        "--trace-dir", default=argparse.SUPPRESS, metavar="DIR",
+        help=argparse.SUPPRESS,
+    )
+    trace_parser = sub.add_parser(
+        "trace",
+        help="summarize recorded trace artifacts (a .jsonl file or a "
+             "directory of them)",
+    )
+    trace_parser.add_argument(
+        "path",
+        help="a trace .jsonl file, or a directory whose *.jsonl traces "
+             "are all summarized",
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="entries in the top-servers / hottest-tags tables "
+             "(default 5)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -422,8 +496,14 @@ def main(argv: list[str] | None = None) -> None:
         run_plan_command(args)
     elif args.command == "run":
         run_run_command(args)
+    elif args.command == "trace":
+        try:
+            print(render_path(args.path, top=args.top))
+        except FileNotFoundError as exc:
+            print(f"CHECK FAILED: {exc}", file=sys.stderr)
+            raise TourCheckFailed(str(exc)) from exc
     else:
-        run_tour()
+        run_tour(trace_dir=args.trace_dir)
 
 
 if __name__ == "__main__":

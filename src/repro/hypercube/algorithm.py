@@ -349,6 +349,7 @@ def _hypercube_impl(
         capacity_bits=settings.capacity_bits,
         on_overflow=settings.on_overflow,
         storage=storage,
+        timer=timer,
     )
     if backend == "numpy":
         _communicate_arrays(

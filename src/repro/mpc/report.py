@@ -79,6 +79,19 @@ class LoadReport:
     #: :meth:`repro.mpc.timing.PhaseTimer.attach`.  Empty when the
     #: executor does not instrument (the tuple-backend baselines).
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Exclusive *bits delivered* per execution phase -- the
+    #: communication-volume twin of :attr:`phase_seconds`, accounted by
+    #: the simulator against the innermost active phase on every
+    #: accepted delivery.  For instrumented executors the values sum to
+    #: :attr:`total_bits`; empty for the uninstrumented baselines.
+    #: (Named ``phase_bytes`` for symmetry with the trace tooling; the
+    #: unit is the model's load unit, bits.)
+    phase_bytes: dict[str, float] = field(default_factory=dict)
+    #: Spill I/O deltas for this run when it executed against a
+    #: :class:`~repro.storage.manager.StorageManager`
+    #: (:meth:`attach_spill`): ``bytes_written``, ``bytes_read``,
+    #: ``files_created``, ``peak_live_bytes``.  None for in-memory runs.
+    spill_stats: dict[str, int] | None = None
 
     def attach_prediction(
         self,
@@ -90,6 +103,10 @@ class LoadReport:
         self.strategy = strategy
         self.predicted_load_bits = float(load_bits)
         self.predicted_rounds = rounds
+
+    def attach_spill(self, stats: dict[str, int]) -> None:
+        """Record the run's spill I/O counters (out-of-core runs)."""
+        self.spill_stats = dict(stats)
 
     def prediction_ratio(self) -> float | None:
         """``measured L / predicted L`` (None without a prediction).
@@ -189,11 +206,33 @@ class LoadReport:
             )
         lines.append(f"  L = {self.max_load_bits:.0f} bits")
         lines.append(f"  {self.percentile_line()}")
+        if self.phase_seconds or self.phase_bytes:
+            from repro.mpc.timing import format_phases
+
+            lines.append(
+                f"  phases: {format_phases(self.phase_seconds, self.phase_bytes)}"
+            )
+        if self.spill_stats:
+            stats = self.spill_stats
+            lines.append(
+                "  spill I/O: wrote "
+                f"{stats.get('bytes_written', 0) / 2**20:.2f} MiB in "
+                f"{stats.get('files_created', 0)} chunk(s), read "
+                f"{stats.get('bytes_read', 0) / 2**20:.2f} MiB, peak live "
+                f"{stats.get('peak_live_bytes', 0) / 2**20:.2f} MiB"
+            )
         if self.predicted_load_bits is not None:
             ratio = self.prediction_ratio()
+            # `ratio is not None` (not truthiness): a zero-measured-load
+            # run against a positive prediction has ratio 0.0 and must
+            # still render.
             lines.append(
                 f"  planner: strategy={self.strategy or '?'}, predicted "
                 f"L = {self.predicted_load_bits:.0f} bits"
-                + (f" (measured/predicted = {ratio:.2f})" if ratio else "")
+                + (
+                    f" (measured/predicted = {ratio:.2f})"
+                    if ratio is not None
+                    else ""
+                )
             )
         return "\n".join(lines)

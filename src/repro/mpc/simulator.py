@@ -45,9 +45,12 @@ import numpy as np
 
 from repro.data.arrays import unique_rows
 from repro.mpc.report import LoadReport, RoundLoad
+from repro.trace.recorder import active_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.mpc.timing import PhaseTimer
     from repro.storage.manager import StorageManager
+    from repro.trace.recorder import TraceRecorder
 
 
 class LoadExceededError(RuntimeError):
@@ -168,6 +171,8 @@ class MPCSimulation:
         capacity_bits: float | None = None,
         on_overflow: Literal["fail", "drop"] = "fail",
         storage: "StorageManager | None" = None,
+        timer: "PhaseTimer | None" = None,
+        trace: "TraceRecorder | None" = None,
     ):
         if p < 1:
             raise ValueError("need at least one server")
@@ -180,6 +185,23 @@ class MPCSimulation:
         self.capacity_bits = capacity_bits
         self.on_overflow = on_overflow
         self.storage = storage
+        # Accounting side-channels.  The timer attributes delivered bits
+        # to the executor's current phase (phase_bytes); the recorder
+        # gets one event per delivery.  Neither affects results: both
+        # observe the exact accepted/dropped quantities the accounting
+        # below computes anyway.  When no trace is passed explicitly,
+        # the context-installed recorder (repro.trace.tracing) applies.
+        self.timer = timer
+        self.trace = trace if trace is not None else active_recorder()
+        if self.trace is not None:
+            self.trace.emit({
+                "t": "sim",
+                "p": p,
+                "value_bits": value_bits,
+                "capacity_bits": capacity_bits,
+                "on_overflow": on_overflow,
+                "storage": storage is not None,
+            })
         self._servers = [ServerState(s, storage) for s in range(p)]
         self._report = LoadReport(p)
         self._in_round = False
@@ -207,6 +229,15 @@ class MPCSimulation:
         self._in_round = False
         self._round_load = None
         self._received_bits = []
+        if self.trace is not None:
+            self.trace.emit({
+                "t": "round",
+                "r": self._report.num_rounds,
+                "total_bits": round_load.total_bits,
+                "max_bits": round_load.max_bits,
+                "tuples": sum(round_load.tuples.values()),
+                "dropped_bits": sum(round_load.dropped_bits.values()),
+            })
         return round_load
 
     def _deliver_tuples(
@@ -220,6 +251,7 @@ class MPCSimulation:
         round_load = self._round_load
         received_bits = self._received_bits
         accepted: list[tuple[int, ...]] = []
+        dropped = 0.0
         for t in batch:
             cost = bits_per_tuple
             if (
@@ -234,12 +266,25 @@ class MPCSimulation:
                         self.capacity_bits,
                     )
                 round_load.drop(dest, cost)
+                dropped += cost
                 continue
             received_bits[dest] += cost
             accepted.append(t)
+        accepted_bits = len(accepted) * bits_per_tuple
         if accepted:
             self._servers[dest].add(tag, accepted)
-            round_load.add(dest, len(accepted) * bits_per_tuple, len(accepted))
+            round_load.add(dest, accepted_bits, len(accepted))
+            if self.timer is not None:
+                self.timer.account_bits(accepted_bits)
+        if self.trace is not None and (accepted or dropped):
+            self.trace.send(
+                self._report.num_rounds + 1,
+                dest,
+                tag,
+                accepted_bits,
+                len(accepted),
+                dropped,
+            )
 
     def _deliver_array(
         self,
@@ -258,6 +303,7 @@ class MPCSimulation:
         round_load = self._round_load
         received_bits = self._received_bits
         accept = len(rows)
+        dropped = 0.0
         if self.capacity_bits is not None and bits_per_tuple > 0:
             headroom = self.capacity_bits - received_bits[dest]
             fit = int(headroom // bits_per_tuple) if headroom > 0 else 0
@@ -269,12 +315,25 @@ class MPCSimulation:
                         received_bits[dest] + (fit + 1) * bits_per_tuple,
                         self.capacity_bits,
                     )
-                round_load.drop(dest, (accept - fit) * bits_per_tuple)
+                dropped = (accept - fit) * bits_per_tuple
+                round_load.drop(dest, dropped)
                 accept = fit
+        accepted_bits = accept * bits_per_tuple
         if accept:
-            received_bits[dest] += accept * bits_per_tuple
+            received_bits[dest] += accepted_bits
             self._servers[dest].add_array(tag, rows[:accept])
-            round_load.add(dest, accept * bits_per_tuple, accept)
+            round_load.add(dest, accepted_bits, accept)
+            if self.timer is not None:
+                self.timer.account_bits(accepted_bits)
+        if self.trace is not None and (accept or dropped):
+            self.trace.send(
+                self._report.num_rounds + 1,
+                dest,
+                tag,
+                accepted_bits,
+                accept,
+                dropped,
+            )
 
     # ----------------------------------------------------------- primitives
 

@@ -256,6 +256,7 @@ def _multiround_impl(
         capacity_bits=settings.capacity_bits,
         on_overflow=settings.on_overflow,
         storage=storage,
+        timer=timer,
     )
 
     by_depth = plan.root.nodes_by_depth()

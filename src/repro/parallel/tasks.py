@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import pathlib
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
@@ -134,10 +135,16 @@ class RouteTask:
 
 def route_task(
     task: RouteTask,
-) -> tuple[str, int, list[tuple[int, np.ndarray]]]:
-    """Worker body: load, filter, route; no simulator side effects."""
+) -> tuple[str, int, list[tuple[int, np.ndarray]], float]:
+    """Worker body: load, filter, route; no simulator side effects.
+
+    The trailing float is the task body's own wall time, measured
+    inside the worker -- the parent replays it as a trace ``task``
+    event in deterministic merge order.
+    """
     from repro.hypercube.algorithm import route_relation_arrays
 
+    started = time.perf_counter()
     rows = np.asarray(task.source.load())
     for position, values in task.exclude:
         if len(values) and len(rows):
@@ -152,7 +159,7 @@ def route_task(
             grid, task.dimension_variables, task.atom_variables, rows
         )
     )
-    return task.tag, task.base, groups
+    return task.tag, task.base, groups, time.perf_counter() - started
 
 
 def route_over_pool(
@@ -171,7 +178,10 @@ def route_over_pool(
     carved out as ``ship``.
     """
     timer = timer or PhaseTimer()
-    for tag, base, groups in pool.imap(route_task, tasks):
+    trace = sim.trace
+    for tag, base, groups, seconds in pool.imap(route_task, tasks):
+        if trace is not None:
+            trace.task("route", tag, seconds)
         with timer.phase("ship"):
             for server, batch in groups:
                 sim.send_array(base + server, tag, batch)
@@ -196,12 +206,17 @@ class JoinTask:
     fragments: tuple[tuple[str, tuple[ArraySource, ...]], ...]
 
 
-def join_task(task: JoinTask) -> tuple[int, np.ndarray | None]:
-    """Worker body: merge fragments, run the local join, return rows."""
+def join_task(task: JoinTask) -> tuple[int, np.ndarray | None, float]:
+    """Worker body: merge fragments, run the local join, return rows.
+
+    The trailing float is the in-worker wall time, as in
+    :func:`route_task`.
+    """
     # Imported here to keep repro.parallel a leaf of the engine layer
     # (hypercube.algorithm imports this module's drivers).
     from repro.hypercube.algorithm import local_join_fragments
 
+    started = time.perf_counter()
     merged: dict[str, np.ndarray] = {}
     for tag, sources in task.fragments:
         batches = [np.asarray(s.load()) for s in sources]
@@ -215,9 +230,13 @@ def join_task(task: JoinTask) -> tuple[int, np.ndarray | None]:
         if len(deduped):
             merged[tag] = deduped
     if not merged:
-        return task.server, None
+        return task.server, None, time.perf_counter() - started
     local = local_join_fragments(task.query, merged)
-    return task.server, (local if len(local) else None)
+    return (
+        task.server,
+        (local if len(local) else None),
+        time.perf_counter() - started,
+    )
 
 
 def server_join_task(
@@ -279,7 +298,10 @@ def join_over_pool(
         for server in servers:
             yield server_join_task(query, sim.server(server), server, prefix)
 
-    for server, local in pool.imap(join_task, tasks()):
+    trace = sim.trace
+    for server, local, seconds in pool.imap(join_task, tasks()):
+        if trace is not None:
+            trace.task("join", server, seconds)
         with timer.phase("merge"):
             if on_result is not None:
                 on_result(server, local)

@@ -52,6 +52,8 @@ reproducible and independent of ``max_workers``.
 from __future__ import annotations
 
 import os
+import pathlib
+import re
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -73,7 +75,7 @@ from repro.data.database import Database
 from repro.hashing.family import derive_seed
 from repro.hypercube.algorithm import _hypercube_impl
 from repro.mpc.report import LoadReport
-from repro.mpc.timing import format_phase_seconds
+from repro.mpc.timing import format_phases
 from repro.parallel.pool import get_pool
 from repro.parallel.tasks import RunJobTask, run_job_task
 from repro.multiround.executor import _multiround_impl
@@ -89,6 +91,16 @@ from repro.skew.heavy_hitters import HitterStatistics
 from repro.skew.star import _star_impl
 from repro.skew.triangle import _triangle_impl
 from repro.storage.manager import StorageManager
+from repro.trace.recorder import TraceRecorder, tracing
+
+_TRACE_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _repro_version() -> str:
+    # Lazy: repro/__init__ imports this module.
+    from repro import __version__
+
+    return __version__
 
 
 @runtime_checkable
@@ -153,6 +165,12 @@ class ClusterConfig:
     pool: PoolKind | None = None
     #: Workers per pool (``None``: one per CPU core, capped at 8).
     max_workers: int | None = None
+    #: Directory for per-run communication-trace artifacts (created if
+    #: missing).  ``None`` (the default) disables tracing.  When set,
+    #: every run records a :mod:`repro.trace` event stream, writes it
+    #: as one JSONL file under this directory, and points
+    #: ``RunRecord.trace_path`` at it.  Tracing never perturbs results.
+    trace: "str | pathlib.Path | None" = None
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -220,10 +238,25 @@ def dispatch_run(
             f"(expected one of {sorted(_IMPLEMENTATIONS)})"
         )
     resolved = settings.resolve(storage)
-    return impl(
+    before = storage.io_counters() if storage is not None else None
+    result = impl(
         query, database, p,
         seed=seed, settings=resolved, storage=storage, **overrides,
     )
+    if storage is not None:
+        # Managers outlive runs (a session shares one across a whole
+        # batch), so the run's own spill traffic is the counter delta.
+        # peak_live_bytes is manager-lifetime: concurrent runs share
+        # the disk, so a per-run peak would be fiction.
+        after = storage.io_counters()
+        result.load_report.attach_spill({
+            "bytes_written": after["bytes_written"] - before["bytes_written"],
+            "files_created": after["files_created"] - before["files_created"],
+            "bytes_read": after["bytes_read"] - before["bytes_read"],
+            "reads": after["reads"] - before["reads"],
+            "peak_live_bytes": after["peak_live_bytes"],
+        })
+    return result
 
 
 @dataclass(frozen=True)
@@ -275,6 +308,13 @@ class RunRecord:
     #: executor's :class:`~repro.mpc.timing.PhaseTimer`.  Empty for
     #: uninstrumented executors (the tuple-backend baselines).
     phase_seconds: Mapping[str, float] = field(default_factory=dict)
+    #: Exclusive per-phase *bits delivered* -- ``phase_seconds``'s
+    #: communication-volume twin (``LoadReport.phase_bytes``).  Sums to
+    #: ``total_bits`` for instrumented executors.
+    phase_bytes: Mapping[str, float] = field(default_factory=dict)
+    #: The run's JSONL trace artifact, when the session traced
+    #: (``ClusterConfig(trace=...)``); None otherwise.
+    trace_path: str | None = None
 
     def line(self) -> str:
         """A one-line rendering for workload summaries."""
@@ -287,8 +327,8 @@ class RunRecord:
             f", dropped {self.dropped_bits:.0f}" if self.dropped_bits else ""
         )
         phases = (
-            f" [{format_phase_seconds(self.phase_seconds)}]"
-            if self.phase_seconds
+            f" [{format_phases(self.phase_seconds, self.phase_bytes)}]"
+            if self.phase_seconds or self.phase_bytes
             else ""
         )
         return (
@@ -349,6 +389,7 @@ class Session:
         self._owned_storage: StorageManager | None = None
         self._closed = False
         self._lock = threading.Lock()
+        self._trace_counter = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -649,24 +690,43 @@ class Session:
                 query, database, self.config.p
             )
         run_seed = self.config.seed if seed is None else seed
-        started = time.perf_counter()
-        result = _planner_execute(
-            query,
-            database,
-            self.config.p,
-            seed=run_seed,
-            strategy=strategy,
-            stats=stats,
-            storage=storage,
-            settings=settings,
-            shares=shares,
-            exponents=exponents,
-            hitters=hitters,
-            plan=plan,
-            storage_optional=True,
+        recorder = (
+            TraceRecorder() if self.config.trace is not None else None
         )
+        started = time.perf_counter()
+        if recorder is not None:
+            # The context-variable scope makes every simulator and
+            # storage manager constructed during this run record into
+            # this recorder -- including on a run_many worker thread,
+            # where the context is private to the thread.
+            with tracing(recorder):
+                result = self._planner_run(
+                    query, database, strategy, run_seed, stats, storage,
+                    settings, shares, exponents, hitters, plan,
+                )
+        else:
+            result = self._planner_run(
+                query, database, strategy, run_seed, stats, storage,
+                settings, shares, exponents, hitters, plan,
+            )
         wall = time.perf_counter() - started
         report = result.load_report
+        trace_path: str | None = None
+        if recorder is not None:
+            trace = recorder.finish(
+                report=report,
+                meta={
+                    "query": query.name or "q",
+                    "strategy": result.strategy,
+                    "label": label,
+                    "seed": run_seed,
+                    "version": _repro_version(),
+                },
+                wall_seconds=wall,
+            )
+            trace_path = str(trace.write_jsonl(self._trace_file(
+                label or query.name or "run"
+            )))
         record = RunRecord(
             label=label,
             query=query.name or "q",
@@ -681,8 +741,45 @@ class Session:
             percentiles=report.load_percentiles(),
             wall_seconds=wall,
             phase_seconds=dict(report.phase_seconds),
+            phase_bytes=dict(report.phase_bytes),
+            trace_path=trace_path,
         )
         return result, record
+
+    def _planner_run(
+        self, query, database, strategy, run_seed, stats, storage,
+        settings, shares, exponents, hitters, plan,
+    ) -> PlannedExecution:
+        return _planner_execute(
+            query,
+            database,
+            self.config.p,
+            seed=run_seed,
+            strategy=strategy,
+            stats=stats,
+            storage=storage,
+            settings=settings,
+            shares=shares,
+            exponents=exponents,
+            hitters=hitters,
+            plan=plan,
+            storage_optional=True,
+        )
+
+    def _trace_file(self, stem: str) -> pathlib.Path:
+        """A fresh artifact path under the configured trace directory.
+
+        Unique across the session's threads (counter under the lock)
+        and across process-pool workers (each worker session is a new
+        process, so the pid disambiguates).
+        """
+        directory = pathlib.Path(self.config.trace)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            self._trace_counter += 1
+            counter = self._trace_counter
+        safe = _TRACE_SAFE_NAME.sub("_", stem)[:40] or "run"
+        return directory / f"{safe}-{os.getpid()}-{counter:04d}.jsonl"
 
     def _append_records(self, records: list[RunRecord]) -> None:
         with self._lock:

@@ -291,6 +291,7 @@ def _star_impl(
         capacity_bits=settings.capacity_bits,
         on_overflow=settings.on_overflow,
         storage=storage,
+        timer=timer,
     )
     family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()

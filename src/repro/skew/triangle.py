@@ -309,6 +309,7 @@ def _triangle_impl(
         capacity_bits=settings.capacity_bits,
         on_overflow=settings.on_overflow,
         storage=storage,
+        timer=timer,
     )
     family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()

@@ -166,13 +166,15 @@ class ChunkedRelation(Relation):
             return
         path = self._storage.new_chunk_path(f"{self.name}-{len(self._parts)}")
         np.save(path, chunk, allow_pickle=False)
-        self._storage.account_spill(chunk.nbytes)
+        self._storage.account_spill(chunk.nbytes, path)
         self._parts.append(path)
 
     def drop(self) -> None:
         """Discard all rows, deleting this spool's spill files."""
         for part in self._parts:
             if isinstance(part, pathlib.Path):
+                if self._storage is not None:
+                    self._storage.account_unlink(part)
                 part.unlink(missing_ok=True)
         self._parts = []
         self._tail = []
@@ -213,7 +215,10 @@ class ChunkedRelation(Relation):
                         f"results (answers, to_array()) before closing "
                         f"the manager"
                     )
-                yield np.load(part, mmap_mode="r", allow_pickle=False)
+                arr = np.load(part, mmap_mode="r", allow_pickle=False)
+                if self._storage is not None:
+                    self._storage.account_read(arr.nbytes, part)
+                yield arr
             else:
                 yield part
         if self._tail_rows:
@@ -233,6 +238,16 @@ class ChunkedRelation(Relation):
         rows of :meth:`chunks` in the same order.
         """
         handles: list[np.ndarray | pathlib.Path] = list(self._parts)
+        if self._storage is not None:
+            # Workers re-open path handles with bare np.load and cannot
+            # reach the manager, so each spilled handle's eventual read
+            # is accounted here, at creation.  Spilled chunks are always
+            # exactly chunk_rows rows (only full chunks spill).
+            for handle in handles:
+                if isinstance(handle, pathlib.Path):
+                    self._storage.account_read(
+                        self.chunk_rows * self.arity * 8, handle
+                    )
         if self._tail_rows:
             if len(self._tail) > 1:
                 self._tail = [np.concatenate(self._tail, axis=0)]

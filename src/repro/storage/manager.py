@@ -22,6 +22,8 @@ import shutil
 import tempfile
 import threading
 
+from repro.trace.recorder import active_recorder
+
 #: Rows per chunk when neither the caller nor a budget says otherwise
 #: (1M rows = 16 MB per binary int64 chunk).
 DEFAULT_CHUNK_ROWS = 1 << 20
@@ -81,6 +83,21 @@ class StorageManager:
         self.bytes_spilled = 0
         #: Spill files written over the manager's lifetime.
         self.chunks_spilled = 0
+        #: Bytes read back from spill files (parent-side accounting:
+        #: serial chunk reads count the memmap's full payload, and a
+        #: chunk handed to a pool worker counts once when the handle is
+        #: created -- every handle is loaded exactly once downstream).
+        self.bytes_read = 0
+        #: Spill-file read accesses (same accounting point as
+        #: :attr:`bytes_read`).
+        self.reads = 0
+        #: Bytes currently live on disk (written minus unlinked).
+        self.live_bytes = 0
+        #: High-water mark of :attr:`live_bytes` -- the run's real peak
+        #: disk footprint.
+        self.peak_live_bytes = 0
+        # Per-file sizes so unlink accounting needs no stat call.
+        self._chunk_sizes: dict[str, int] = {}
 
     @classmethod
     def from_budget(
@@ -138,11 +155,70 @@ class StorageManager:
         safe = _SAFE_NAME.sub("_", hint)[:80] or "chunk"
         return self.root / f"{counter:08d}-{safe}.npy"
 
-    def account_spill(self, nbytes: int) -> None:
+    def account_spill(
+        self, nbytes: int, path: str | pathlib.Path | None = None
+    ) -> None:
         """Record one spilled chunk (called by spools on every write)."""
+        nbytes = int(nbytes)
         with self._lock:
-            self.bytes_spilled += int(nbytes)
+            self.bytes_spilled += nbytes
             self.chunks_spilled += 1
+            self.live_bytes += nbytes
+            if self.live_bytes > self.peak_live_bytes:
+                self.peak_live_bytes = self.live_bytes
+            if path is not None:
+                self._chunk_sizes[str(path)] = nbytes
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.spill(
+                "write", str(path) if path is not None else None, nbytes
+            )
+
+    def account_read(
+        self, nbytes: int, path: str | pathlib.Path | None = None
+    ) -> None:
+        """Record one spill-chunk read access (or worker hand-off)."""
+        nbytes = int(nbytes)
+        with self._lock:
+            self.bytes_read += nbytes
+            self.reads += 1
+        recorder = active_recorder()
+        if recorder is not None:
+            recorder.spill(
+                "read", str(path) if path is not None else None, nbytes
+            )
+
+    def account_unlink(self, path: str | pathlib.Path) -> None:
+        """Record a spill file's deletion (keeps :attr:`live_bytes` true)."""
+        with self._lock:
+            nbytes = self._chunk_sizes.pop(str(path), 0)
+            self.live_bytes -= nbytes
+
+    def io_counters(self) -> dict[str, int]:
+        """A snapshot of the cumulative spill I/O counters.
+
+        ``dispatch_run`` diffs two snapshots to attach per-run spill
+        stats to the :class:`~repro.mpc.report.LoadReport`.
+        """
+        with self._lock:
+            return {
+                "bytes_written": self.bytes_spilled,
+                "files_created": self.chunks_spilled,
+                "bytes_read": self.bytes_read,
+                "reads": self.reads,
+                "live_bytes": self.live_bytes,
+                "peak_live_bytes": self.peak_live_bytes,
+            }
+
+    @property
+    def bytes_written(self) -> int:
+        """Alias of :attr:`bytes_spilled` under the I/O-counter naming."""
+        return self.bytes_spilled
+
+    @property
+    def files_created(self) -> int:
+        """Alias of :attr:`chunks_spilled` under the I/O-counter naming."""
+        return self.chunks_spilled
 
     # ------------------------------------------------------------ pickling
 

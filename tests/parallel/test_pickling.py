@@ -82,8 +82,8 @@ def test_route_task_computes_identically_after_pickle():
         dimension_variables=("x", "y"), atom_variables=("x", "y"),
         shares=(2, 2), family_seed=3, exclude=((0, (5,)),),
     )
-    tag, base, groups = route_task(task)
-    tag2, base2, groups2 = route_task(roundtrip(task))
+    tag, base, groups, _ = route_task(task)
+    tag2, base2, groups2, _ = route_task(roundtrip(task))
     assert (tag, base) == (tag2, base2) == ("R", 0)
     assert [s for s, _ in groups] == [s for s, _ in groups2]
     for (_, a), (_, b) in zip(groups, groups2):
@@ -105,8 +105,8 @@ def test_join_task_computes_identically_after_pickle():
             for name, batch in zip(names, (r, s, t))
         ),
     )
-    server, local = join_task(task)
-    server2, local2 = join_task(roundtrip(task))
+    server, local, _ = join_task(task)
+    server2, local2, _ = join_task(roundtrip(task))
     assert server == server2 == 5
     np.testing.assert_array_equal(local, local2)
     assert len(local) == 1

@@ -1,0 +1,60 @@
+"""Degenerate inputs through the full session path.
+
+A database whose relations are all empty produces zero answers, zero
+measured load -- and must still render every report surface: the
+``summary()`` prediction-ratio line used to be skipped whenever the
+ratio was falsy, which silently hid the (legitimate) 0.00x of a
+zero-load run against a positive prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.families import star_query, triangle_query
+from repro.data import Database, Relation
+from repro.session import Session
+
+
+def empty_database(query, domain_size=16):
+    return Database(
+        [Relation(name, query.arity(name), []) for name in query.relation_names],
+        domain_size=domain_size,
+    )
+
+
+class TestEmptyDatabase:
+    def test_run_succeeds_with_no_answers(self):
+        q = triangle_query()
+        with Session(p=4, seed=0) as session:
+            result = session.run(q, empty_database(q))
+        assert set(result.answers) == set()
+        assert result.load_report.total_bits == 0.0
+
+    def test_summary_renders_a_zero_ratio(self):
+        q = triangle_query()
+        with Session(p=4, seed=0) as session:
+            result = session.run(q, empty_database(q))
+        report = result.load_report
+        text = report.summary()
+        ratio = report.prediction_ratio()
+        if ratio is not None:
+            # The guard under test: ratio 0.0 must still be rendered.
+            assert f"{ratio:.2f}x" in text
+
+    def test_workload_summary_and_record_line_render(self):
+        q = star_query(2)
+        with Session(p=4, seed=0) as session:
+            session.run(q, empty_database(q), label="empty")
+            text = session.workload_summary()
+        assert "empty" in text
+
+    def test_traced_empty_run_reconciles(self, tmp_path):
+        from repro.trace import TraceQuery
+
+        q = triangle_query()
+        with Session(p=4, seed=0, trace=tmp_path) as session:
+            result = session.run(q, empty_database(q))
+            record = session.history[0]
+        assert record.trace_path is not None
+        query = TraceQuery(record.trace_path)
+        assert query.total_bits() == 0.0
+        assert query.reconcile(result.load_report) == {}
