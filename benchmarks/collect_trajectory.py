@@ -54,6 +54,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_trajectory.json"
 DEFAULT_BENCHES = (
     "benchmarks/bench_parallel_engine.py",
     "benchmarks/bench_session_batch.py",
+    "benchmarks/bench_heterogeneous.py",
 )
 
 
@@ -83,12 +84,17 @@ def condense(artifact: dict) -> list[dict]:
     rows = []
     for bench in artifact.get("benchmarks", []):
         stats = bench.get("stats", {})
-        rows.append({
+        row = {
             "name": bench.get("fullname") or bench.get("name"),
             "mean_s": round(float(stats.get("mean", 0.0)), 6),
             "stddev_s": round(float(stats.get("stddev", 0.0)), 6),
             "rounds": int(stats.get("rounds", 0)),
-        })
+        }
+        # Bench-declared facts (e.g. the heterogeneous makespan
+        # comparison) ride along so the trajectory tracks them too.
+        if bench.get("extra_info"):
+            row["extra_info"] = bench["extra_info"]
+        rows.append(row)
     rows.sort(key=lambda r: r["name"] or "")
     return rows
 

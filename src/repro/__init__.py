@@ -94,11 +94,15 @@ results, and writes compact JSONL artifacts::
 """
 
 from repro.config import (
+    MachineSpec,
     default_backend,
+    default_machines,
     default_pool,
     set_default_backend,
+    set_default_machines,
     set_default_pool,
     use_backend,
+    use_machines,
     use_pool,
 )
 from repro.core import (
@@ -137,7 +141,7 @@ from repro.session import (
 from repro.storage import ChunkedRelation, StorageManager
 from repro.trace import Trace, TraceQuery, TraceRecorder, tracing
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Atom",
@@ -168,6 +172,10 @@ __all__ = [
     "default_pool",
     "set_default_pool",
     "use_pool",
+    "MachineSpec",
+    "default_machines",
+    "set_default_machines",
+    "use_machines",
     "ChunkedRelation",
     "StorageManager",
     "MPCSimulation",

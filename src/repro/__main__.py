@@ -39,6 +39,7 @@ from repro import (
     ClusterConfig,
     DataStatistics,
     Job,
+    MachineSpec,
     Session,
     default_backend,
     default_pool,
@@ -47,6 +48,7 @@ from repro import (
     triangle_query,
     zipf_database,
 )
+from repro.config import ExecutionSettings
 from repro.bounds import lower_bound, upper_bound
 from repro.core.families import (
     binom_query,
@@ -186,6 +188,30 @@ def run_tour(trace_dir: str | None = None) -> None:
     _check(zplanned.answers == zexpected,
            "skewed star execution equals the sequential join")
 
+    print("\nHeterogeneous cluster (p=8: 4 machines at 1x + 4 at 4x):")
+    het_spec = MachineSpec.parse("4x1+4x4")
+    het_plan = planner_plan(q, db, 8, machines=het_spec)
+    _check(het_plan.machines is het_spec,
+           "EXPLAIN carries the machine spec")
+    winner = het_plan.winner
+    print(f"  planner winner {winner.name}: predicted makespan "
+          f"{winner.estimate.load_bits:.0f} bits/unit speed "
+          f"(see `python -m repro plan triangle --p 8 "
+          f"--machines 4x1,4x4`)")
+    with Session(p=8, seed=0, machines=het_spec) as het_session:
+        het_result = het_session.run(q, db, label="triangle-hetero")
+        _check(het_result.answers == expected,
+               "heterogeneous run equals the sequential join")
+        het_record = het_session.history[-1]
+        _check(het_record.makespan_bits is not None,
+               "heterogeneous run records its measured makespan")
+        print(f"  {het_record.line()}")
+        print(f"  (speed-weighted shares: fast servers take more bits; "
+              f"makespan {het_record.makespan_bits:.0f} <= "
+              f"L {het_result.max_load_bits:.0f})")
+        _check(het_record.makespan_bits <= het_result.max_load_bits + 1e-9,
+               "makespan never exceeds the raw max load")
+
     print("\nSession workload (one configured cluster, many queries,")
     print("traced -- every run records a queryable JSONL artifact):")
     # Always trace the session segment: into --trace-dir when given
@@ -238,6 +264,14 @@ def run_tour(trace_dir: str | None = None) -> None:
           "--benchmark-only` for all reproduction tables.")
 
 
+def _machine_spec(text: str) -> MachineSpec:
+    """argparse type for ``--machines``: a ``MachineSpec.parse`` spec."""
+    try:
+        return MachineSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _positive_mb(text: str) -> float:
     """argparse type for ``--memory-budget-mb``: a positive float."""
     try:
@@ -253,8 +287,15 @@ def _positive_mb(text: str) -> float:
 
 def run_plan_command(args: argparse.Namespace) -> None:
     query = args.query
+    machines = args.machines
+    if machines is not None and machines.p != args.p:
+        message = (
+            f"--machines describes {machines.p} machines but --p is {args.p}"
+        )
+        print(f"CHECK FAILED: {message}", file=sys.stderr)
+        raise TourCheckFailed(message)
     db = _generate_database(args)
-    explained = planner_plan(query, db, args.p)
+    explained = planner_plan(query, db, args.p, machines=machines)
     print(explained.table())
     if args.execute:
         budget_bytes = (
@@ -265,6 +306,11 @@ def run_plan_command(args: argparse.Namespace) -> None:
         planned = planner_execute(
             query, db, args.p, seed=args.seed, stats=explained.statistics,
             memory_budget_bytes=budget_bytes,
+            settings=(
+                ExecutionSettings(machines=machines)
+                if machines is not None
+                else None
+            ),
         )
         ratio = planned.report.prediction_ratio()
         print(f"\nexecuted {planned.strategy}: measured "
@@ -322,6 +368,13 @@ def run_run_command(args: argparse.Namespace) -> None:
         if args.memory_budget_mb is not None
         else None
     )
+    if args.machines is not None and args.machines.p != args.p:
+        message = (
+            f"--machines describes {args.machines.p} machines "
+            f"but --p is {args.p}"
+        )
+        print(f"CHECK FAILED: {message}", file=sys.stderr)
+        raise TourCheckFailed(message)
     config = ClusterConfig(
         p=args.p,
         seed=args.seed,
@@ -331,6 +384,7 @@ def run_run_command(args: argparse.Namespace) -> None:
         pool=args.pool,
         max_workers=args.max_workers,
         trace=args.trace_dir,
+        machines=args.machines,
     )
     expected = evaluate(args.query, db)
     # One statistics collection feeds every job: the repeats run over
@@ -407,6 +461,12 @@ def main(argv: list[str] | None = None) -> None:
                              help="zipf skew; 0 generates a matching "
                                   "database (default 0)")
     plan_parser.add_argument("--seed", type=int, default=0)
+    plan_parser.add_argument(
+        "--machines", type=_machine_spec, default=None, metavar="SPEC",
+        help="heterogeneous machine spec, e.g. 4x1,4x2 (4 machines at "
+             "speed 1 + 4 at speed 2; must match --p); estimates switch "
+             "to the speed-normalized makespan objective",
+    )
     plan_parser.add_argument("--execute", action="store_true",
                              help="also run the winning strategy")
     plan_parser.add_argument(
@@ -451,6 +511,12 @@ def main(argv: list[str] | None = None) -> None:
              "and for the batch itself (default: REPRO_DEFAULT_POOL or "
              "serial engines with a threaded batch; results are "
              "bit-identical across pools)",
+    )
+    run_parser.add_argument(
+        "--machines", type=_machine_spec, default=None, metavar="SPEC",
+        help="heterogeneous machine spec, e.g. 4x1,4x2 (4 machines at "
+             "speed 1 + 4 at speed 2; must match --p); shares and "
+             "routing become speed-weighted, summaries report makespan",
     )
     run_parser.add_argument("--capacity-bits", type=float, default=None,
                             help="per-server per-round load cap L")

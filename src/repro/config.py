@@ -179,6 +179,247 @@ def resolve_pool(pool: str | None) -> PoolKind:
     return pool  # type: ignore[return-value]
 
 
+@dataclass(frozen=True)
+class MachineSpec:
+    """Per-server relative speeds (and optional capacities) of a cluster.
+
+    The paper's MPC model assumes ``p`` identical servers; real clusters
+    mix machine generations.  A :class:`MachineSpec` describes one
+    heterogeneous cluster: ``speeds[s]`` is server ``s``'s relative
+    processing speed (any positive unit -- only ratios matter), and
+    ``capacities[s]``, when given, is that server's own per-round
+    receive cap in bits (tightening any global ``capacity_bits``).
+
+    The uniform spec (:meth:`uniform`, or ``machines=None`` everywhere)
+    is the degenerate default and is bit-identical to the homogeneous
+    code paths: equal speeds route through the unweighted ``% buckets``
+    hash and absent capacities leave the global cap comparisons
+    untouched.
+
+    Skew executors allocate *block* servers beyond ``p`` (the star
+    algorithm's heavy blocks, the triangle algorithm's case-1/case-2
+    grids); those logical servers live on the same physical machines,
+    so :meth:`speed` and :meth:`capacity` extend modularly
+    (``speeds[s % p]``).
+    """
+
+    speeds: tuple[float, ...]
+    capacities: tuple[float | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.speeds:
+            raise ValueError("MachineSpec needs at least one server")
+        object.__setattr__(self, "speeds", tuple(float(v) for v in self.speeds))
+        for v in self.speeds:
+            if not (v > 0.0) or v != v or v == float("inf"):
+                raise ValueError(f"machine speeds must be positive finite, got {v!r}")
+        if self.capacities is not None:
+            caps = tuple(
+                None if c is None else float(c) for c in self.capacities
+            )
+            object.__setattr__(self, "capacities", caps)
+            if len(caps) != len(self.speeds):
+                raise ValueError(
+                    f"capacities has {len(caps)} entries for "
+                    f"{len(self.speeds)} servers"
+                )
+            for c in caps:
+                if c is not None and c <= 0.0:
+                    raise ValueError("machine capacities must be positive")
+
+    @classmethod
+    def uniform(cls, p: int, speed: float = 1.0) -> "MachineSpec":
+        """The degenerate homogeneous cluster: ``p`` servers at ``speed``."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        return cls(speeds=(float(speed),) * p)
+
+    @classmethod
+    def parse(cls, text: str) -> "MachineSpec":
+        """Parse a CLI spec like ``"4x1,4x2"`` (four 1x plus four 2x).
+
+        Groups separated by ``,`` or ``+``; each group is
+        ``COUNTxSPEED`` or a bare ``SPEED`` (count 1).  The inverse of
+        :meth:`describe`, whose ``"4x1+4x2"`` form parses back exactly.
+        """
+        speeds: list[float] = []
+        for group in text.replace("+", ",").split(","):
+            group = group.strip()
+            if not group:
+                raise ValueError(f"empty group in machine spec {text!r}")
+            if "x" in group:
+                count_text, _, speed_text = group.partition("x")
+                try:
+                    count = int(count_text)
+                    speed = float(speed_text)
+                except ValueError:
+                    raise ValueError(
+                        f"bad machine group {group!r} (expected COUNTxSPEED)"
+                    ) from None
+                if count < 1:
+                    raise ValueError(f"machine group {group!r} has count < 1")
+            else:
+                count, speed = 1, float(group)
+            speeds.extend([speed] * count)
+        return cls(speeds=tuple(speeds))
+
+    def cycle_to(self, p: int) -> "MachineSpec":
+        """This spec's speed pattern repeated/truncated to ``p`` servers.
+
+        How the ``REPRO_DEFAULT_MACHINES`` pattern (e.g. ``"1,4"``)
+        applies to runs of any ``p``: server ``s`` gets the pattern's
+        ``s % len`` entry.
+        """
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        n = len(self.speeds)
+        speeds = tuple(self.speeds[s % n] for s in range(p))
+        caps = None
+        if self.capacities is not None:
+            caps = tuple(self.capacities[s % n] for s in range(p))
+        return MachineSpec(speeds=speeds, capacities=caps)
+
+    @property
+    def p(self) -> int:
+        return len(self.speeds)
+
+    @property
+    def is_uniform(self) -> bool:
+        """All speeds equal: routing degenerates to the unweighted hash."""
+        return min(self.speeds) == max(self.speeds)
+
+    @property
+    def total_speed(self) -> float:
+        return sum(self.speeds)
+
+    @property
+    def min_speed(self) -> float:
+        return min(self.speeds)
+
+    @property
+    def max_speed(self) -> float:
+        return max(self.speeds)
+
+    def speed(self, server: int) -> float:
+        """Server ``server``'s speed, extended modularly past ``p``."""
+        return self.speeds[server % len(self.speeds)]
+
+    def capacity(self, server: int) -> float | None:
+        """Server ``server``'s own capacity cap (None: no per-machine cap)."""
+        if self.capacities is None:
+            return None
+        return self.capacities[server % len(self.speeds)]
+
+    def weights(self, count: int | None = None) -> tuple[float, ...]:
+        """Speed-proportional routing weights over ``count`` servers.
+
+        Normalized to sum 1; servers beyond ``p`` take the modular
+        extension's speed.
+        """
+        if count is None:
+            count = len(self.speeds)
+        raw = [self.speed(s) for s in range(count)]
+        total = sum(raw)
+        return tuple(v / total for v in raw)
+
+    def speed_classes(self) -> dict[float, tuple[int, ...]]:
+        """Speed value -> the servers running at it (ascending speeds)."""
+        classes: dict[float, list[int]] = {}
+        for s, v in enumerate(self.speeds):
+            classes.setdefault(v, []).append(s)
+        return {v: tuple(classes[v]) for v in sorted(classes)}
+
+    def describe(self) -> str:
+        """The compact run-length form, e.g. ``"4x1+4x2"``."""
+
+        def fmt(v: float) -> str:
+            return f"{v:g}"
+
+        groups: list[tuple[float, int]] = []
+        for v in self.speeds:
+            if groups and groups[-1][0] == v:
+                groups[-1] = (v, groups[-1][1] + 1)
+            else:
+                groups.append((v, 1))
+        return "+".join(
+            fmt(v) if n == 1 else f"{n}x{fmt(v)}" for v, n in groups
+        )
+
+
+#: The machines default when neither a run nor the environment supplies
+#: one: ``None`` -- the homogeneous cluster, exactly the historical
+#: behavior.
+_default_machines: "MachineSpec | None" = None
+
+
+def _machines_from_env() -> "MachineSpec | None":
+    value = os.environ.get("REPRO_DEFAULT_MACHINES")
+    if value is None:
+        return None
+    return MachineSpec.parse(value)
+
+
+_default_machines = _machines_from_env()
+
+
+def default_machines() -> "MachineSpec | None":
+    """The system-wide default machine *pattern* (None: homogeneous)."""
+    return _default_machines
+
+
+def set_default_machines(machines: "MachineSpec | str | None") -> "MachineSpec | None":
+    """Set the system-wide machine pattern; returns the previous one.
+
+    The pattern is cycled to each run's ``p``
+    (:meth:`MachineSpec.cycle_to`), so ``"1,4"`` alternates slow/fast
+    servers at any cluster size.  The environment variable
+    ``REPRO_DEFAULT_MACHINES`` seeds this default at import time (the
+    knob CI uses to rerun whole suites on a heterogeneous cluster).
+    """
+    global _default_machines
+    if isinstance(machines, str):
+        machines = MachineSpec.parse(machines)
+    if machines is not None and not isinstance(machines, MachineSpec):
+        raise TypeError(f"expected MachineSpec, spec string or None, got {machines!r}")
+    previous = _default_machines
+    _default_machines = machines
+    return previous
+
+
+@contextmanager
+def use_machines(machines: "MachineSpec | str | None") -> Iterator["MachineSpec | None"]:
+    """Temporarily override the system-wide machine pattern.
+
+    The exception-safe scoped form of :func:`set_default_machines`,
+    exactly like :func:`use_pool` for the worker pool.
+    """
+    previous = set_default_machines(machines)
+    try:
+        yield _default_machines
+    finally:
+        set_default_machines(previous)
+
+
+def resolve_machines(
+    machines: "MachineSpec | None", p: int | None
+) -> "MachineSpec | None":
+    """An explicit spec, or the system-wide pattern cycled to ``p``.
+
+    An explicit spec must match ``p`` exactly when ``p`` is known; the
+    default *pattern* adapts to any ``p``.  Returns None for the
+    homogeneous cluster.
+    """
+    if machines is not None:
+        if p is not None and machines.p != p:
+            raise ValueError(
+                f"MachineSpec describes {machines.p} servers but p={p}"
+            )
+        return machines
+    if _default_machines is not None and p is not None:
+        return _default_machines.cycle_to(p)
+    return _default_machines
+
+
 _HASH_METHODS = ("splitmix64", "blake2b")
 _OVERFLOW_MODES = ("fail", "drop")
 
@@ -203,8 +444,13 @@ class ExecutionSettings:
     chunk_rows: int | None = None
     pool: PoolKind | None = None
     max_workers: int | None = None
+    machines: MachineSpec | None = None
 
     def __post_init__(self) -> None:
+        if self.machines is not None and not isinstance(self.machines, MachineSpec):
+            raise TypeError(
+                f"machines must be a MachineSpec or None, got {self.machines!r}"
+            )
         if self.backend is not None and self.backend not in _EXECUTION_BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r} "
@@ -227,8 +473,10 @@ class ExecutionSettings:
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
 
-    def resolve(self, storage: object | None = None) -> "ExecutionSettings":
-        """A copy with backend, chunk granularity and pool pinned down.
+    def resolve(
+        self, storage: object | None = None, p: int | None = None
+    ) -> "ExecutionSettings":
+        """A copy with backend, chunk granularity, pool and machines pinned.
 
         ``backend=None`` resolves to the system-wide default
         (:func:`default_backend`); an attached storage manager demands
@@ -236,10 +484,12 @@ class ExecutionSettings:
         the caller gave none.  ``pool=None`` resolves to the
         system-wide default (:func:`default_pool`); the tuple backend
         has no vectorized per-server task bodies to fan out, so it
-        always resolves to the serial pool.  This is the one shared
-        resolution step behind ``run_hypercube``/``run_star_skew``/
-        ``run_triangle_skew``/``run_plan`` and
-        :meth:`repro.session.Session.run`.
+        always resolves to the serial pool.  ``machines=None`` resolves
+        to the system-wide pattern cycled to ``p``
+        (:func:`resolve_machines`); an explicit spec must match ``p``.
+        This is the one shared resolution step behind
+        ``run_hypercube``/``run_star_skew``/``run_triangle_skew``/
+        ``run_plan`` and :meth:`repro.session.Session.run`.
         """
         backend = resolve_backend(self.backend)
         if storage is not None and backend != "numpy":
@@ -253,8 +503,10 @@ class ExecutionSettings:
         pool = resolve_pool(self.pool)
         if backend != "numpy":
             pool = "serial"
+        machines = resolve_machines(self.machines, p)
         return replace(
-            self, backend=backend, chunk_rows=chunk_rows, pool=pool
+            self, backend=backend, chunk_rows=chunk_rows, pool=pool,
+            machines=machines,
         )
 
 

@@ -84,3 +84,20 @@ def snap(value: float, max_denominator: int = 64) -> float:
 def snap_vector(values: Sequence[float], max_denominator: int = 64) -> tuple[float, ...]:
     """Snap every entry of a vector (see :func:`snap`)."""
     return tuple(snap(v, max_denominator) for v in values)
+
+
+def balanced_makespan(load: float, speeds: Sequence[float]) -> float:
+    """Minimal makespan of splitting a divisible ``load`` across machines.
+
+    The LP ``min max_s x_s / v_s  s.t.  sum x_s = load, x >= 0`` has the
+    closed-form optimum ``load / sum(v_s)``, achieved by the
+    speed-proportional split ``x_s = load * v_s / sum(v)`` (every
+    machine finishes simultaneously).  This is the heterogeneous-cluster
+    replacement for the homogeneous ``load / p``: with unit speeds the
+    two coincide, and with mixed speeds it is strictly smaller than the
+    uniform split's makespan ``load / (p * min v)``.
+    """
+    total = sum(speeds)
+    if total <= 0:
+        raise ValueError("need positive total speed")
+    return load / total

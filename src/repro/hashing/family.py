@@ -24,15 +24,26 @@ path never populates it).
 the HyperCube destination map: a tuple ``(a_1, ..., a_r)`` lands in bin
 ``(h_1(a_1), ..., h_r(a_r))`` of the share grid ``[p_1] x ... x [p_r]``
 (Lemma 3.2 / Eq. 9).
+
+Heterogeneous clusters (per-server speeds, :class:`repro.config.MachineSpec`)
+use *weighted* buckets: instead of ``mix(value) % buckets``, the raw
+64-bit mix is mapped through non-uniform cumulative thresholds, so a
+bucket with twice the weight owns twice the hash range and receives (in
+expectation) twice the keys.  ``weights=None`` -- and any all-equal
+weight vector -- keeps the exact historical modulo mapping, so the
+uniform cluster is bit-identical to the unweighted code path.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
+from bisect import bisect_right
 from typing import Literal, Sequence
 
 import numpy as np
+
+_TWO64 = 1 << 64
 
 HashMethod = Literal["splitmix64", "blake2b"]
 
@@ -74,11 +85,45 @@ def derive_seed(seed: int, salt: int) -> int:
     return _mix64(acc ^ (salt & _MASK64))
 
 
-class HashFunction:
-    """A deterministic pseudo-random function ``int -> [0, buckets)``."""
+def bucket_boundaries(weights: Sequence[float]) -> tuple[int, ...]:
+    """Integer cumulative thresholds splitting ``[0, 2^64)`` by weight.
 
-    __slots__ = ("seed", "salt", "buckets", "method", "cache_size", "_key",
-                 "_mixkey", "_cache")
+    Bucket ``b`` owns the half-open range ``[t_{b-1}, t_b)`` with
+    ``t_b = floor(2^64 * cum_b / W)`` -- exact integer arithmetic via
+    :class:`~fractions.Fraction`-free cross-multiplication, so the
+    scalar (:func:`bisect.bisect_right`) and vectorized
+    (``np.searchsorted(..., side="right")``) lookups agree bit-for-bit.
+    Returns the ``len(weights) - 1`` interior boundaries.
+    """
+    if any(not (w > 0.0) for w in weights):
+        raise ValueError("bucket weights must be positive")
+    # Scale to integers once so cumulative sums are exact.
+    scaled = [int(round(w * (1 << 32))) for w in weights]
+    if any(s <= 0 for s in scaled):
+        raise ValueError("bucket weights too small to resolve")
+    total = sum(scaled)
+    boundaries = []
+    cum = 0
+    for s in scaled[:-1]:
+        cum += s
+        boundaries.append((_TWO64 * cum) // total)
+    return tuple(boundaries)
+
+
+class HashFunction:
+    """A deterministic pseudo-random function ``int -> [0, buckets)``.
+
+    ``weights`` (optional, one positive weight per bucket) makes the
+    buckets non-uniform: the raw 64-bit mix is mapped through
+    :func:`bucket_boundaries` instead of ``% buckets``, so bucket ``b``
+    receives a ``weights[b] / sum(weights)`` fraction of keys in
+    expectation.  ``None`` -- or an all-equal vector, which is
+    normalized away -- keeps the historical modulo mapping exactly.
+    """
+
+    __slots__ = ("seed", "salt", "buckets", "method", "cache_size", "weights",
+                 "_key", "_mixkey", "_cache", "_boundaries",
+                 "_boundaries_array")
 
     def __init__(
         self,
@@ -87,6 +132,7 @@ class HashFunction:
         buckets: int,
         method: HashMethod = "splitmix64",
         cache_size: int = DEFAULT_CACHE_SIZE,
+        weights: Sequence[float] | None = None,
     ):
         if buckets < 1:
             raise ValueError("need at least one bucket")
@@ -94,16 +140,39 @@ class HashFunction:
             raise ValueError(f"unknown hash method {method!r}")
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != buckets:
+                raise ValueError(
+                    f"{len(weights)} weights for {buckets} buckets"
+                )
+            if min(weights) == max(weights):
+                weights = None  # uniform: keep the exact modulo path
         self.seed = seed
         self.salt = salt
         self.buckets = buckets
         self.method = method
         self.cache_size = cache_size
+        self.weights = weights
         self._key = struct.pack(">qq", seed & 0x7FFFFFFFFFFFFFFF, salt)
         # Two mixing rounds decorrelate (seed, salt) pairs before the
         # per-value round, so nearby seeds give independent functions.
         self._mixkey = _mix64(_mix64(seed & _MASK64) ^ ((salt * _GOLDEN) & _MASK64))
         self._cache: dict[int, int] = {}
+        if weights is None:
+            self._boundaries = None
+            self._boundaries_array = None
+        else:
+            self._boundaries = bucket_boundaries(weights)
+            self._boundaries_array = np.asarray(
+                self._boundaries, dtype=np.uint64
+            )
+
+    def _bucket_of_u64(self, mixed: int) -> int:
+        """Map a raw 64-bit hash to its (possibly weighted) bucket."""
+        if self._boundaries is None:
+            return mixed % self.buckets
+        return bisect_right(self._boundaries, mixed)
 
     # ------------------------------------------------------------ scalar path
 
@@ -111,7 +180,10 @@ class HashFunction:
         if self.method == "splitmix64":
             # Pure arithmetic; a dict probe costs as much as the mix,
             # so the scalar splitmix path does not use the cache.
-            return _mix64((value & _MASK64) ^ self._mixkey) % self.buckets
+            mixed = _mix64((value & _MASK64) ^ self._mixkey)
+            if self._boundaries is None:
+                return mixed % self.buckets
+            return bisect_right(self._boundaries, mixed)
         cached = self._cache.get(value)
         if cached is not None:
             return cached
@@ -120,15 +192,19 @@ class HashFunction:
             self._cache[value] = out
         return out
 
-    def _blake2b_raw(self, value: int) -> int:
-        """One keyed BLAKE2b evaluation, bypassing the cache."""
+    def _blake2b_u64(self, value: int) -> int:
+        """The raw keyed BLAKE2b 64-bit digest of a value."""
         length = max(1, (value.bit_length() + 8) // 8)
         digest = hashlib.blake2b(
             value.to_bytes(length, "big", signed=True),
             key=self._key,
             digest_size=8,
         ).digest()
-        return int.from_bytes(digest, "big") % self.buckets
+        return int.from_bytes(digest, "big")
+
+    def _blake2b_raw(self, value: int) -> int:
+        """One keyed BLAKE2b evaluation, bypassing the cache."""
+        return self._bucket_of_u64(self._blake2b_u64(value))
 
     # -------------------------------------------------------- vectorized path
 
@@ -136,8 +212,10 @@ class HashFunction:
         """Hash a whole column at once; never populates the scalar cache.
 
         Agrees elementwise with :meth:`__call__` for both methods (the
-        property tests cross-check this).  Accepts any integer dtype;
-        returns ``int64`` bucket indices.
+        property tests cross-check this), including the weighted-bucket
+        mapping (``searchsorted(..., side="right")`` matches the scalar
+        ``bisect_right`` exactly).  Accepts any integer dtype; returns
+        ``int64`` bucket indices.
         """
         values = np.ascontiguousarray(values)
         if values.dtype.kind not in "iu":
@@ -145,7 +223,12 @@ class HashFunction:
         if self.method == "splitmix64":
             # int64 -> uint64 wraps two's-complement, matching `& _MASK64`.
             x = values.astype(np.uint64) ^ np.uint64(self._mixkey)
-            return (_mix64_array(x) % np.uint64(self.buckets)).astype(np.int64)
+            mixed = _mix64_array(x)
+            if self._boundaries_array is None:
+                return (mixed % np.uint64(self.buckets)).astype(np.int64)
+            return np.searchsorted(
+                self._boundaries_array, mixed, side="right"
+            ).astype(np.int64)
         # blake2b: hash each distinct value once, scatter via the inverse.
         uniq, inverse = np.unique(values, return_inverse=True)
         table = np.fromiter(
@@ -156,9 +239,10 @@ class HashFunction:
         return table[inverse.reshape(values.shape)]
 
     def __repr__(self) -> str:
+        weighted = "" if self.weights is None else ", weighted"
         return (
             f"HashFunction(seed={self.seed}, salt={self.salt}, "
-            f"buckets={self.buckets}, method={self.method!r})"
+            f"buckets={self.buckets}, method={self.method!r}{weighted})"
         )
 
 
@@ -183,16 +267,38 @@ class HashFamily:
         self.method = method
         self.cache_size = cache_size
 
-    def function(self, salt: int, buckets: int) -> HashFunction:
+    def function(
+        self,
+        salt: int,
+        buckets: int,
+        weights: Sequence[float] | None = None,
+    ) -> HashFunction:
         return HashFunction(
-            self.seed, salt, buckets, method=self.method, cache_size=self.cache_size
+            self.seed, salt, buckets, method=self.method,
+            cache_size=self.cache_size, weights=weights,
         )
 
-    def functions(self, count: int, buckets: Sequence[int]) -> list[HashFunction]:
-        """``count`` independent functions with per-index bucket counts."""
+    def functions(
+        self,
+        count: int,
+        buckets: Sequence[int],
+        weights: Sequence[Sequence[float] | None] | None = None,
+    ) -> list[HashFunction]:
+        """``count`` independent functions with per-index bucket counts.
+
+        ``weights`` optionally supplies per-function bucket weights
+        (``None`` entries keep that function uniform).
+        """
         if len(buckets) != count:
             raise ValueError("need one bucket count per function")
-        return [self.function(i, b) for i, b in enumerate(buckets)]
+        if weights is None:
+            weights = [None] * count
+        if len(weights) != count:
+            raise ValueError("need one weight vector (or None) per function")
+        return [
+            self.function(i, b, w)
+            for i, (b, w) in enumerate(zip(buckets, weights))
+        ]
 
 
 class GridPartitioner:
@@ -204,12 +310,36 @@ class GridPartitioner:
     all cells it must reach -- Eq. (9)'s destination subcube ``D(t)``.
     """
 
-    def __init__(self, shares: Sequence[int], family: HashFamily | None = None):
+    def __init__(
+        self,
+        shares: Sequence[int],
+        family: HashFamily | None = None,
+        weights: Sequence[Sequence[float] | None] | None = None,
+    ):
         if any(s < 1 for s in shares):
             raise ValueError("shares must be >= 1")
         self.shares = tuple(int(s) for s in shares)
+        if weights is not None:
+            if len(weights) != len(self.shares):
+                raise ValueError("need one weight vector (or None) per dimension")
+            # All-equal vectors are uniform; canonicalize them to None so
+            # ``grid.weights is None`` iff routing is unweighted (the
+            # HashFunction applies the same normalization internally).
+            normalized = []
+            for w in weights:
+                if w is not None:
+                    w = tuple(float(x) for x in w)
+                    if min(w) == max(w):
+                        w = None
+                normalized.append(w)
+            weights = tuple(normalized)
+            if all(w is None for w in weights):
+                weights = None
+        self.weights = weights
         family = family or HashFamily(0)
-        self.functions = family.functions(len(self.shares), self.shares)
+        self.functions = family.functions(
+            len(self.shares), self.shares, weights
+        )
 
     @property
     def num_bins(self) -> int:
@@ -240,6 +370,8 @@ class GridPartitioner:
         the destination subcube, of size ``prod of shares over unknown
         dimensions`` (the replication factor of the tuple).
         """
+        # (weighted grids replicate over the same subcube: weights skew
+        # where *hashed* coordinates land, not which cells exist)
         if len(values) != len(self.shares):
             raise ValueError("tuple arity does not match grid dimension")
         cells: list[tuple[int, ...]] = [()]
@@ -259,3 +391,48 @@ class GridPartitioner:
                 raise ValueError(f"cell {tuple(cell)} outside grid {self.shares}")
             out = out * share + coordinate
         return out
+
+
+def grid_dimension_weights(
+    shares: Sequence[int], machines: object | None
+) -> tuple[tuple[float, ...] | None, ...] | None:
+    """Per-dimension routing weights marginalizing a machine spec.
+
+    For a row-major share grid, dimension ``i``'s bucket ``b`` covers
+    the servers whose ``i``-th grid coordinate is ``b``; its weight is
+    the total speed of those servers (``machines`` is a
+    :class:`repro.config.MachineSpec`, duck-typed via ``speed()`` to
+    keep this module a leaf).  Dimensions whose marginal comes out
+    uniform (and the whole result, when every dimension does) collapse
+    to ``None`` so uniform clusters keep the exact unweighted path.
+
+    Exact load balancing for effectively one-dimensional grids (a star
+    query's center axis); for genuine product grids it is the natural
+    rank-1 approximation -- each dimension is balanced against the
+    speed mass of its slices.
+    """
+    if machines is None:
+        return None
+    shares = tuple(int(s) for s in shares)
+    num_bins = 1
+    for s in shares:
+        num_bins *= s
+    strides = [1] * len(shares)
+    for i in range(len(shares) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shares[i + 1]
+    weights: list[tuple[float, ...] | None] = []
+    for i, share in enumerate(shares):
+        if share == 1:
+            weights.append(None)
+            continue
+        marginal = [0.0] * share
+        for server in range(num_bins):
+            marginal[(server // strides[i]) % share] += machines.speed(server)
+        if min(marginal) == max(marginal):
+            weights.append(None)
+        else:
+            total = sum(marginal)
+            weights.append(tuple(w / total for w in marginal))
+    if all(w is None for w in weights):
+        return None
+    return tuple(weights)

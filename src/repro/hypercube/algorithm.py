@@ -37,13 +37,18 @@ from typing import Iterator, Literal, Mapping, Sequence
 
 import numpy as np
 
-from repro.config import ExecutionSettings
+from repro.config import ExecutionSettings, MachineSpec
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.arrays import repeated_binding_filter
 from repro.data.database import Database
-from repro.hashing.family import GridPartitioner, HashFamily, HashMethod
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    HashMethod,
+    grid_dimension_weights,
+)
 from repro.join.multiway import evaluate_on_fragments
 from repro.join.vectorized import UnsupportedVectorizedQuery, evaluate_arrays
 from repro.mpc.report import LoadReport
@@ -253,6 +258,7 @@ def run_hypercube(
     chunk_rows: int | None = None,
     pool: PoolKind | None = None,
     max_workers: int | None = None,
+    machines: "MachineSpec | None" = None,
 ) -> HyperCubeResult:
     """Run the one-round HyperCube algorithm on ``p`` servers.
 
@@ -288,6 +294,14 @@ def run_hypercube(
     per-server per-round loads are bit-identical at any pool kind and
     worker count.
 
+    ``machines`` describes a heterogeneous cluster
+    (:class:`repro.config.MachineSpec`): non-uniform speeds weight the
+    grid's hash ranges so fast servers receive proportionally more
+    tuples, per-machine capacities tighten the cap server-by-server,
+    and the report gains speed-normalized (makespan) metrics.  ``None``
+    follows :func:`repro.config.default_machines` (the homogeneous
+    cluster unless ``REPRO_DEFAULT_MACHINES`` is set).
+
     This is a thin delegating wrapper: the actual execution flows
     through the shared run path of :mod:`repro.session`, which resolves
     the backend/storage/chunk-size interaction once for every executor.
@@ -309,6 +323,7 @@ def run_hypercube(
             chunk_rows=chunk_rows,
             pool=pool,
             max_workers=max_workers,
+            machines=machines,
         ),
         shares=shares,
         exponents=exponents,
@@ -338,9 +353,17 @@ def _hypercube_impl(
         stats = database.statistics(query)
         resolved = resolve_shares(query, stats, p, shares, exponents)
         dimension_variables = query.variables
+        # Heterogeneous clusters weight each dimension's hash ranges by
+        # the marginal speed mass of its slices, so fast servers own
+        # proportionally larger ranges; None (the uniform cluster)
+        # keeps the exact unweighted modulo routing.
+        grid_weights = grid_dimension_weights(
+            [resolved[v] for v in dimension_variables], settings.machines
+        )
         partitioner = GridPartitioner(
             [resolved[v] for v in dimension_variables],
             HashFamily(seed, method=settings.hash_method),
+            weights=grid_weights,
         )
 
     sim = MPCSimulation(
@@ -350,6 +373,7 @@ def _hypercube_impl(
         on_overflow=settings.on_overflow,
         storage=storage,
         timer=timer,
+        machines=settings.machines,
     )
     if backend == "numpy":
         _communicate_arrays(
@@ -363,6 +387,7 @@ def _hypercube_impl(
             chunk_rows,
             pool,
             timer,
+            weights=grid_weights,
         )
     else:
         with timer.phase("route"):
@@ -422,6 +447,7 @@ def _communicate_arrays(
     chunk_rows: int | None,
     pool: WorkerPool,
     timer: PhaseTimer,
+    weights: tuple[tuple[float, ...] | None, ...] | None = None,
 ) -> None:
     """The communication phase, relations as arrays (chunk-streamed).
 
@@ -432,6 +458,9 @@ def _communicate_arrays(
     pool kind and worker count.  With ``chunk_rows=None`` and in-memory
     relations this is the one-chunk-per-relation monolith route;
     chunked relations ship spilled chunks to process workers by path.
+    ``weights`` carries the heterogeneous grid's per-dimension bucket
+    weights into each task, so workers rebuild the identical weighted
+    partitioner.
     """
 
     def tasks():
@@ -447,6 +476,7 @@ def _communicate_arrays(
                     shares=shares,
                     family_seed=seed,
                     hash_method=hash_method,
+                    weights=weights,
                 )
 
     sim.begin_round()

@@ -11,8 +11,12 @@ from a finished simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.config import MachineSpec
 
 
 @dataclass
@@ -92,6 +96,12 @@ class LoadReport:
     #: (:meth:`attach_spill`): ``bytes_written``, ``bytes_read``,
     #: ``files_created``, ``peak_live_bytes``.  None for in-memory runs.
     spill_stats: dict[str, int] | None = None
+    #: The cluster's machine spec when the run was heterogeneous
+    #: (per-server speeds/capacities); None for the homogeneous model.
+    #: Enables the speed-normalized metrics (:meth:`makespan_bits`,
+    #: :meth:`normalized_percentiles`) -- with unit speeds they all
+    #: coincide with the raw-load ones.
+    machines: "MachineSpec | None" = None
 
     def attach_prediction(
         self,
@@ -197,6 +207,69 @@ class LoadReport:
         """Bits discarded by capacity truncation (0 in normal runs)."""
         return sum(sum(r.dropped_bits.values()) for r in self.rounds)
 
+    def server_dropped_bits(self, server: int) -> float:
+        """Bits capacity-truncation discarded at one server, all rounds.
+
+        The per-server view of :attr:`dropped_bits`: on a cluster with
+        per-machine capacities, drops concentrate at the small-cap
+        servers, and this is how a report answers "who dropped?".
+        """
+        return sum(r.dropped_bits.get(server, 0.0) for r in self.rounds)
+
+    # ------------------------------------------------- heterogeneous metrics
+
+    def speeds_array(self) -> np.ndarray:
+        """Per-server relative speeds (all 1.0 without a machine spec).
+
+        Servers beyond ``machines.p`` (skew executors' block servers)
+        take the spec's modular extension, matching the simulator.
+        """
+        if self.machines is None:
+            return np.ones(self.p, dtype=np.float64)
+        return np.array(
+            [self.machines.speed(s) for s in range(self.p)], dtype=np.float64
+        )
+
+    @property
+    def makespan_bits(self) -> float:
+        """Predicted-completion load: ``max over rounds, servers of L_s / v_s``.
+
+        The heterogeneous-cluster replacement for :attr:`max_load_bits`
+        (arXiv 2501.08896's objective): a server processes its received
+        bits at its own speed, so the round finishes when the *slowest
+        relative to its load* server does.  With unit speeds this is
+        exactly ``max_load_bits``.
+        """
+        speeds = self.speeds_array()
+        out = 0.0
+        for r in self.rounds:
+            if r.bits:
+                out = max(out, float((r.bits_array(self.p) / speeds).max()))
+        return out
+
+    def normalized_server_bits_array(self) -> np.ndarray:
+        """Each server's worst-round load divided by its speed."""
+        return self.server_bits_array() / self.speeds_array()
+
+    def normalized_percentiles(
+        self, quantiles: tuple[int, ...] = (50, 90, 99)
+    ) -> dict[str, float]:
+        """Percentiles of speed-normalized per-server loads.
+
+        The heterogeneity twin of :meth:`load_percentiles`: a fast
+        server carrying proportionally more bits is *balanced* here even
+        though its raw load sticks out.  ``max`` is the worst-round
+        per-server makespan contribution (equals :attr:`makespan_bits`
+        when all of a server's load arrives in its worst round).
+        """
+        bits = self.normalized_server_bits_array()
+        out = {
+            f"p{q}": float(np.percentile(bits, q)) if len(bits) else 0.0
+            for q in quantiles
+        }
+        out["max"] = float(bits.max()) if len(bits) else 0.0
+        return out
+
     def summary(self) -> str:
         lines = [f"MPC execution: p={self.p}, rounds={self.num_rounds}"]
         for i, r in enumerate(self.rounds, 1):
@@ -206,6 +279,13 @@ class LoadReport:
             )
         lines.append(f"  L = {self.max_load_bits:.0f} bits")
         lines.append(f"  {self.percentile_line()}")
+        if self.machines is not None and not self.machines.is_uniform:
+            pct = self.normalized_percentiles()
+            lines.append(
+                f"  machines: {self.machines.describe()}, makespan "
+                f"{self.makespan_bits:.0f} bits/speed (normalized p50 "
+                f"{pct['p50']:.0f}, p99 {pct['p99']:.0f})"
+            )
         if self.phase_seconds or self.phase_bytes:
             from repro.mpc.timing import format_phases
 

@@ -48,18 +48,26 @@ from repro.mpc.report import LoadReport, RoundLoad
 from repro.trace.recorder import active_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.config import MachineSpec
     from repro.mpc.timing import PhaseTimer
     from repro.storage.manager import StorageManager
     from repro.trace.recorder import TraceRecorder
 
 
 class LoadExceededError(RuntimeError):
-    """A server's per-round received bits exceeded ``capacity_bits``."""
+    """A server's per-round received bits exceeded its capacity.
+
+    ``capacity`` is the *breaching server's own* effective cap -- on a
+    heterogeneous cluster (per-machine ``capacity_bits`` in a
+    :class:`~repro.config.MachineSpec`) servers cap at different
+    levels, so the error carries the one that was actually exceeded,
+    not a global number.
+    """
 
     def __init__(self, server: int, round_index: int, bits: float, capacity: float):
         super().__init__(
             f"server {server} received {bits:.0f} bits in round "
-            f"{round_index}, exceeding the capacity {capacity:.0f}"
+            f"{round_index}, exceeding its capacity {capacity:.0f}"
         )
         self.server = server
         self.round_index = round_index
@@ -173,6 +181,7 @@ class MPCSimulation:
         storage: "StorageManager | None" = None,
         timer: "PhaseTimer | None" = None,
         trace: "TraceRecorder | None" = None,
+        machines: "MachineSpec | None" = None,
     ):
         if p < 1:
             raise ValueError("need at least one server")
@@ -185,6 +194,19 @@ class MPCSimulation:
         self.capacity_bits = capacity_bits
         self.on_overflow = on_overflow
         self.storage = storage
+        # Per-server effective caps: each server's own machine cap (the
+        # spec extends modularly past machines.p -- block servers of the
+        # skew executors live on the same physical machines) tightened
+        # by the global cap.  Homogeneous clusters put the global cap in
+        # every slot, so the per-delivery comparisons are unchanged.
+        self.machines = machines
+        caps: list[float | None] = [capacity_bits] * p
+        if machines is not None and machines.capacities is not None:
+            for s in range(p):
+                own = machines.capacity(s)
+                if own is not None:
+                    caps[s] = own if capacity_bits is None else min(own, capacity_bits)
+        self._caps = caps
         # Accounting side-channels.  The timer attributes delivered bits
         # to the executor's current phase (phase_bytes); the recorder
         # gets one event per delivery.  Neither affects results: both
@@ -194,16 +216,19 @@ class MPCSimulation:
         self.timer = timer
         self.trace = trace if trace is not None else active_recorder()
         if self.trace is not None:
-            self.trace.emit({
+            event = {
                 "t": "sim",
                 "p": p,
                 "value_bits": value_bits,
                 "capacity_bits": capacity_bits,
                 "on_overflow": on_overflow,
                 "storage": storage is not None,
-            })
+            }
+            if machines is not None:
+                event["machines"] = machines.describe()
+            self.trace.emit(event)
         self._servers = [ServerState(s, storage) for s in range(p)]
-        self._report = LoadReport(p)
+        self._report = LoadReport(p, machines=machines)
         self._in_round = False
         self._round_load: RoundLoad | None = None
         self._received_bits: list[float] = []
@@ -250,20 +275,21 @@ class MPCSimulation:
         """Deliver a tuple batch with per-tuple capacity accounting."""
         round_load = self._round_load
         received_bits = self._received_bits
+        capacity = self._caps[dest]
         accepted: list[tuple[int, ...]] = []
         dropped = 0.0
         for t in batch:
             cost = bits_per_tuple
             if (
-                self.capacity_bits is not None
-                and received_bits[dest] + cost > self.capacity_bits
+                capacity is not None
+                and received_bits[dest] + cost > capacity
             ):
                 if self.on_overflow == "fail":
                     raise LoadExceededError(
                         dest,
                         self._report.num_rounds + 1,
                         received_bits[dest] + cost,
-                        self.capacity_bits,
+                        capacity,
                     )
                 round_load.drop(dest, cost)
                 dropped += cost
@@ -302,10 +328,11 @@ class MPCSimulation:
         """
         round_load = self._round_load
         received_bits = self._received_bits
+        capacity = self._caps[dest]
         accept = len(rows)
         dropped = 0.0
-        if self.capacity_bits is not None and bits_per_tuple > 0:
-            headroom = self.capacity_bits - received_bits[dest]
+        if capacity is not None and bits_per_tuple > 0:
+            headroom = capacity - received_bits[dest]
             fit = int(headroom // bits_per_tuple) if headroom > 0 else 0
             if fit < accept:
                 if self.on_overflow == "fail":
@@ -313,7 +340,7 @@ class MPCSimulation:
                         dest,
                         self._report.num_rounds + 1,
                         received_bits[dest] + (fit + 1) * bits_per_tuple,
-                        self.capacity_bits,
+                        capacity,
                     )
                 dropped = (accept - fit) * bits_per_tuple
                 round_load.drop(dest, dropped)

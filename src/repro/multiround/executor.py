@@ -56,13 +56,18 @@ from typing import Literal
 
 import numpy as np
 
-from repro.config import ExecutionSettings
+from repro.config import ExecutionSettings, MachineSpec
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.data.arrays import unique_rows
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
-from repro.hashing.family import GridPartitioner, HashFamily, derive_seed
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    derive_seed,
+    grid_dimension_weights,
+)
 from repro.hypercube.algorithm import route_relation
 from repro.join.binary import reorder
 from repro.join.multiway import evaluate_on_fragments
@@ -171,6 +176,7 @@ def run_plan(
     chunk_rows: int | None = None,
     pool: PoolKind | None = None,
     max_workers: int | None = None,
+    machines: MachineSpec | None = None,
 ) -> MultiRoundResult:
     """Execute ``plan`` in ``plan.depth`` rounds on ``p`` servers.
 
@@ -198,6 +204,12 @@ def run_plan(
     deterministically, so answers and per-round loads are bit-identical
     at any worker count.
 
+    ``machines`` (a heterogeneous :class:`~repro.config.MachineSpec`)
+    weights every round's per-operator grids speed-proportionally
+    (marginals over each operator's share cube) and applies per-server
+    capacities to every round's cap enforcement.  A uniform spec is
+    bit-identical to ``machines=None``.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -218,6 +230,7 @@ def run_plan(
             chunk_rows=chunk_rows,
             pool=pool,
             max_workers=max_workers,
+            machines=machines,
         ),
         plan=plan,
         keep_view_fragments=keep_view_fragments,
@@ -257,6 +270,7 @@ def _multiround_impl(
         on_overflow=settings.on_overflow,
         storage=storage,
         timer=timer,
+        machines=settings.machines,
     )
 
     by_depth = plan.root.nodes_by_depth()
@@ -303,10 +317,14 @@ def _multiround_impl(
                 op_stats = Statistics(operator, sizes, database.domain_size)
                 exponents = share_exponents(operator, op_stats, p).exponents
                 shares = integerize_shares(exponents, p)
+                share_list = [shares[v] for v in operator.variables]
                 grids[node.name] = GridPartitioner(
-                    [shares[v] for v in operator.variables],
+                    share_list,
                     HashFamily(derive_seed(seed, _stable_salt(node.name)),
                                method=settings.hash_method),
+                    weights=grid_dimension_weights(
+                        share_list, settings.machines
+                    ),
                 )
         sim.begin_round()
         if backend == "numpy":
@@ -345,6 +363,7 @@ def _multiround_impl(
                                         seed, _stable_salt(node.name)
                                     ),
                                     hash_method=settings.hash_method,
+                                    weights=grid.weights,
                                 )
 
             with timer.phase("route"):

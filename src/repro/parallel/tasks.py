@@ -114,12 +114,15 @@ class RouteTask:
     """Route one chunk of one relation over one HyperCube grid.
 
     Plain data only: the worker rebuilds the grid from
-    ``(shares, family_seed, hash_method)`` -- hash functions are pure
-    functions of the seed, so the rebuilt grid routes identically to
-    the parent's.  ``exclude`` drops rows whose value at a position is
+    ``(shares, family_seed, hash_method, weights)`` -- hash functions
+    are pure functions of the seed (and the weighted-bucket thresholds
+    of the weights), so the rebuilt grid routes identically to the
+    parent's.  ``exclude`` drops rows whose value at a position is
     in the given set before routing (the skew algorithms' light-part
     filter; filtering commutes with chunking).  ``tag``/``base`` ride
     along so the driver can replay the send without holding the task.
+    ``weights`` is the heterogeneous cluster's per-dimension bucket
+    weighting (None: the uniform modulo grid).
     """
 
     tag: str
@@ -131,6 +134,7 @@ class RouteTask:
     hash_method: str = "splitmix64"
     base: int = 0
     exclude: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    weights: tuple[tuple[float, ...] | None, ...] | None = None
 
 
 def route_task(
@@ -153,6 +157,7 @@ def route_task(
     grid = GridPartitioner(
         list(task.shares),
         HashFamily(task.family_seed, method=task.hash_method),
+        weights=task.weights,
     )
     groups = list(
         route_relation_arrays(

@@ -27,6 +27,13 @@ All estimates are in bits of maximum per-server, per-round load -- the
 MPC model's ``L`` -- so they are directly comparable with each other,
 with the Theorem 3.15 lower bound, and with measured
 :class:`~repro.mpc.report.LoadReport` maxima.
+
+On a heterogeneous cluster (``machines=`` a
+:class:`~repro.config.MachineSpec` with per-server speeds) every
+estimator prices the *makespan* instead: ``max_s load_s / v_s`` in
+bits per unit speed, the objective the optimizer minimizes when fast
+servers can absorb proportionally more load.  With unit speeds the two
+objectives coincide exactly, so homogeneous rankings are unchanged.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.friedgut import agm_bound, expected_output_size
+from repro.core.lp import balanced_makespan
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import (
     integerize_shares,
@@ -45,7 +54,11 @@ from repro.core.shares import (
 from repro.core.stats import Statistics
 from repro.hypercube.analysis import (
     predicted_load_bits_with_frequencies,
+    predicted_makespan_bits,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import MachineSpec
 from repro.multiround.plans import Plan
 from repro.planner.statistics import DataStatistics
 from repro.skew.heavy_hitters import HitterStatistics
@@ -83,19 +96,33 @@ def hypercube_cost(
     dstats: DataStatistics,
     p: int,
     skew_oblivious: bool = False,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """Price one-round HyperCube with LP (10) or LP (18) shares."""
+    """Price one-round HyperCube with LP (10) or LP (18) shares.
+
+    With a heterogeneous ``machines`` spec the executor routes through
+    speed-weighted grid marginals, so the estimate is the predicted
+    makespan over that weighted grid
+    (:func:`~repro.hypercube.analysis.predicted_makespan_bits`).
+    """
     stats = dstats.stats
     solve = skew_oblivious_share_exponents if skew_oblivious else share_exponents
     solution = solve(query, stats, p)
     shares = solution.integer_shares()
-    load = predicted_load_bits_with_frequencies(
-        query, stats, shares, dstats.frequency_maps()
-    )
     label = "LP(18)" if skew_oblivious else "LP(10)"
     detail = f"{label} shares " + "x".join(
         str(shares[v]) for v in query.variables
     )
+    if machines is None:
+        load = predicted_load_bits_with_frequencies(
+            query, stats, shares, dstats.frequency_maps()
+        )
+    else:
+        load = predicted_makespan_bits(
+            query, stats, shares, machines, dstats.frequency_maps()
+        )
+        if not machines.is_uniform:
+            detail += ", speed-weighted makespan"
     return CostEstimate(load_bits=load, rounds=1, servers=p, detail=detail)
 
 
@@ -103,9 +130,20 @@ def hypercube_cost(
 
 
 def star_cost(
-    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """Price the Section 4.2.1 star algorithm via Eq. (20)."""
+    """Price the Section 4.2.1 star algorithm via Eq. (20).
+
+    Heterogeneous pricing mirrors the executor: the light part is
+    speed-weighted on the center axis (exactly rebalanceable, so it
+    divides by the *total* speed), while the per-hitter heavy blocks
+    route unweighted over modularly-extended servers (their worst
+    server is the slowest one, so those terms divide by the minimum
+    speed).
+    """
     center = star_center(query)
     stats = dstats.stats
     hitters = dstats.hitters.get(center)
@@ -124,7 +162,15 @@ def star_cost(
     # ceiling).  The executor uses exact degrees and drops hitters
     # absent from some relation -- absent and merely-light are
     # indistinguishable here, so the planner prices both conservatively.
-    load = sum(stats.bits(r) for r in query.relation_names) / p
+    total_light_bits = sum(stats.bits(r) for r in query.relation_names)
+    if machines is None:
+        load = total_light_bits / p
+        block_speed = 1.0
+    else:
+        load = balanced_makespan(
+            total_light_bits, [machines.speed(s) for s in range(p)]
+        )
+        block_speed = machines.min_speed
     relations = query.relation_names
     heavy = hitters.hitters
 
@@ -141,7 +187,10 @@ def star_cost(
                     product *= residual_tuples(r, h) * 2 * stats.value_bits
                 total += product
             if total > 0:
-                load = max(load, size * (total / p) ** (1.0 / size))
+                load = max(
+                    load,
+                    size * (total / p) ** (1.0 / size) / block_speed,
+                )
 
     # Server budget: mirrors the executor's per-hitter allocation, with
     # the same sub-threshold approximation as above.
@@ -155,6 +204,8 @@ def star_cost(
     allocation = _heavy_allocation(query.relation_names, bits_per_hitter, p)
     servers = p + sum(allocation.values())
     detail = f"{len(hitters.hitters)} heavy hitter(s) on {center}"
+    if machines is not None and not machines.is_uniform:
+        detail += ", speed-weighted light part"
     return CostEstimate(load_bits=load, rounds=1, servers=servers, detail=detail)
 
 
@@ -162,14 +213,34 @@ def star_cost(
 
 
 def triangle_cost(
-    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """Price the Section 4.2.2 triangle algorithm."""
+    """Price the Section 4.2.2 triangle algorithm.
+
+    Heterogeneous pricing mirrors the executor: the light block's
+    speed-weighted marginals rebalance its load toward speed-
+    proportional (scale by ``p / total_speed``), while the
+    case-1/case-2 blocks route unweighted (divide by the minimum
+    speed).
+    """
     stats = dstats.stats
+    if machines is None:
+        light_speed = 1.0
+        block_speed = 1.0
+    else:
+        light_speed = machines.total_speed / p
+        block_speed = machines.min_speed
     # Sum-form convention throughout (see the module docstring): a
     # light-block server receives fragments of all three relations, a
     # case-2 block server its share of both residual sides.
-    load = sum(stats.bits(r) for r in query.relation_names) / p ** (2.0 / 3.0)
+    load = (
+        sum(stats.bits(r) for r in query.relation_names)
+        / p ** (2.0 / 3.0)
+        / light_speed
+    )
     m = max(stats.tuples(r) for r in query.relation_names)
     threshold2 = max(1.0, m / p ** (1.0 / 3.0))
     tuple_bits = 2 * stats.value_bits
@@ -193,11 +264,13 @@ def triangle_cost(
                 * tuple_bits
             )
         if total > 0:
-            load = max(load, 2.0 * math.sqrt(total / p))
+            load = max(load, 2.0 * math.sqrt(total / p) / block_speed)
     # Light block + three case-1 blocks + >= p^{2/3} per case-2 hitter,
     # boosted by ~p in total -- the executor's Theta(p) budget.
     servers = 4 * p + case2 * math.ceil(p ** (2.0 / 3.0)) + (p if case2 else 0)
     detail = f"{case2} case-2 hitter(s)"
+    if machines is not None and not machines.is_uniform:
+        detail += ", speed-weighted light block"
     return CostEstimate(load_bits=load, rounds=1, servers=servers, detail=detail)
 
 
@@ -205,7 +278,10 @@ def triangle_cost(
 
 
 def multiround_plan_cost(
-    plan: Plan, dstats: DataStatistics, p: int
+    plan: Plan,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
     """Price a query plan: per-round sums of per-operator LP loads.
 
@@ -234,9 +310,17 @@ def multiround_plan_cost(
             op_stats = Statistics(operator, sizes, domain)
             solution = share_exponents(operator, op_stats, p)
             shares = solution.integer_shares()
-            load = predicted_load_bits_with_frequencies(
-                operator, op_stats, shares, frequency_maps
-            )
+            if machines is None:
+                load = predicted_load_bits_with_frequencies(
+                    operator, op_stats, shares, frequency_maps
+                )
+            else:
+                # Every round's per-operator grid routes through
+                # speed-weighted marginals, so each operator contributes
+                # its predicted makespan over that weighted grid.
+                load = predicted_makespan_bits(
+                    operator, op_stats, shares, machines, frequency_maps
+                )
             round_loads[depth] = round_loads.get(depth, 0.0) + load
             estimate = expected_output_size(op_stats)
             bound = agm_bound(operator, op_stats.tuples_vector())
@@ -255,14 +339,23 @@ def multiround_plan_cost(
 
 
 def broadcast_cost(
-    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """Partition the largest relation, broadcast the rest (Lemma 3.18)."""
+    """Partition the largest relation, broadcast the rest (Lemma 3.18).
+
+    The baseline executor routes unweighted, so on a heterogeneous
+    cluster its makespan is pinned by the slowest server.
+    """
     stats = dstats.stats
     partition = max(query.relation_names, key=lambda r: stats.bits(r))
     load = stats.bits(partition) / p + sum(
         stats.bits(r) for r in query.relation_names if r != partition
     )
+    if machines is not None:
+        load /= machines.min_speed
     return CostEstimate(
         load_bits=load, rounds=1, servers=p, detail=f"partition {partition}"
     )
@@ -273,8 +366,13 @@ def hash_join_cost(
     dstats: DataStatistics,
     p: int,
     join_variables: tuple[str, ...],
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """All shares spread over the common join variables (Example 4.1)."""
+    """All shares spread over the common join variables (Example 4.1).
+
+    The baseline executor routes unweighted, so heterogeneous pricing
+    divides by the slowest server's speed.
+    """
     stats = dstats.stats
     exponents = {v: 1.0 / len(join_variables) for v in join_variables}
     shares = integerize_shares(
@@ -283,16 +381,29 @@ def hash_join_cost(
     load = predicted_load_bits_with_frequencies(
         query, stats, shares, dstats.frequency_maps()
     )
+    if machines is not None:
+        load /= machines.min_speed
     detail = "hash on " + ",".join(join_variables)
     return CostEstimate(load_bits=load, rounds=1, servers=p, detail=detail)
 
 
 def single_server_cost(
-    query: ConjunctiveQuery, dstats: DataStatistics, p: int
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec | None" = None,
 ) -> CostEstimate:
-    """Ship the whole input to one server: ``L = |I|``."""
+    """Ship the whole input to one server: ``L = |I|``.
+
+    The baseline always ships to server 0, so heterogeneous pricing
+    divides by *that* server's speed -- an honest makespan for what the
+    executor actually does.
+    """
+    load = dstats.stats.total_bits
+    if machines is not None:
+        load /= machines.speed(0)
     return CostEstimate(
-        load_bits=dstats.stats.total_bits,
+        load_bits=load,
         rounds=1,
         servers=p,
         detail="everything to server 0",

@@ -15,7 +15,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.config import ExecutionSettings
+from repro.config import ExecutionSettings, resolve_machines
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.mpc.report import LoadReport
@@ -193,7 +193,14 @@ def execute(
             dstats = DataStatistics.from_sample(query, database, p)
         else:
             dstats = DataStatistics.from_database(query, database, p)
-        explained = rank_strategies(query, dstats, p, strategies=strategies)
+        # Rank under the cluster's machine spec (config/default), so a
+        # heterogeneous session's winner minimizes predicted makespan.
+        machines = resolve_machines(
+            settings.machines if settings is not None else None, p
+        )
+        explained = rank_strategies(
+            query, dstats, p, strategies=strategies, machines=machines
+        )
         if strategy is None:
             candidate = explained.winner
         else:

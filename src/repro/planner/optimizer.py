@@ -15,7 +15,7 @@ cost close to the floor means the winner is essentially optimal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.bounds.one_round import lower_bound
 from repro.core.query import ConjunctiveQuery
@@ -24,6 +24,9 @@ from repro.data.database import Database
 from repro.planner.cost import CostEstimate
 from repro.planner.statistics import DataStatistics
 from repro.planner.strategies import Strategy, default_strategies
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import MachineSpec
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,10 @@ class ExplainedPlan:
     statistics: DataStatistics
     candidates: tuple[Candidate, ...]
     lower_bound_bits: float
+    #: The machine spec the estimates were priced against; None for the
+    #: homogeneous model.  Non-uniform specs switch every estimate to
+    #: the speed-normalized makespan objective (bits per unit speed).
+    machines: "MachineSpec | None" = None
 
     @property
     def ranked(self) -> tuple[Candidate, ...]:
@@ -87,8 +94,18 @@ class ExplainedPlan:
             f"(|I| = {stats.total_bits:.3g} bits, one-round floor "
             f"L_lower = {self.lower_bound_bits:.3g} bits)"
         ]
+        heterogeneous = (
+            self.machines is not None and not self.machines.is_uniform
+        )
+        if heterogeneous:
+            lines.append(
+                f"  machines: {self.machines.describe()} "
+                f"(total speed {self.machines.total_speed:g}; estimates "
+                f"are makespan, bits per unit speed)"
+            )
+        cost_label = "predicted span" if heterogeneous else "predicted L"
         header = (
-            f"  {'rank':>4}  {'strategy':<16} {'predicted L':>14} "
+            f"  {'rank':>4}  {'strategy':<16} {cost_label:>14} "
             f"{'rounds':>6} {'servers':>8}  detail"
         )
         lines.append(header)
@@ -111,6 +128,7 @@ def plan(
     stats: DataStatistics | Statistics | Database,
     p: int,
     strategies: Sequence[Strategy] | None = None,
+    machines: "MachineSpec | None" = None,
 ) -> ExplainedPlan:
     """Rank every strategy for ``query`` at ``p`` servers.
 
@@ -118,6 +136,12 @@ def plan(
     :class:`Statistics` (no skew information -- every strategy is priced
     skew-free), or a :class:`Database` (statistics are collected from
     it).  Nothing is executed.
+
+    ``machines`` (a heterogeneous :class:`~repro.config.MachineSpec`)
+    reprices every strategy under the makespan objective
+    ``max_s load_s / v_s``, so the ranking favors strategies whose
+    routing can exploit fast servers; with ``None`` (or a uniform
+    spec) the classic homogeneous ``L`` is used.
     """
     dstats = DataStatistics.coerce(query, stats, p)
     if dstats.query.relation_names != query.relation_names:
@@ -134,7 +158,12 @@ def plan(
         if reason is not None:
             pruned.append(Candidate(strategy, None, reason))
             continue
-        estimate = strategy.estimate(query, dstats, p)
+        if machines is None:
+            # Two-arg call keeps pre-heterogeneity custom strategies
+            # (whose estimate() lacks the machines parameter) working.
+            estimate = strategy.estimate(query, dstats, p)
+        else:
+            estimate = strategy.estimate(query, dstats, p, machines)
         applicable.append((order, Candidate(strategy, estimate)))
 
     applicable.sort(key=lambda item: (item[1].estimate.sort_key(), item[0]))
@@ -146,4 +175,5 @@ def plan(
         statistics=dstats,
         candidates=candidates,
         lower_bound_bits=floor,
+        machines=machines,
     )

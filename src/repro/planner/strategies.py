@@ -20,7 +20,7 @@ import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.config import ExecutionSettings, resolve_backend
+from repro.config import ExecutionSettings, resolve_backend, resolve_machines
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hypercube.algorithm import run_hypercube
@@ -108,6 +108,7 @@ def _settings_kwargs(settings: ExecutionSettings) -> dict:
         "chunk_rows": settings.chunk_rows,
         "pool": settings.pool,
         "max_workers": settings.max_workers,
+        "machines": settings.machines,
     }
 
 
@@ -161,8 +162,15 @@ class Strategy:
         return None
 
     def estimate(
-        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+        self,
+        query: ConjunctiveQuery,
+        dstats: DataStatistics,
+        p: int,
+        machines=None,
     ) -> CostEstimate:
+        """Predicted cost; ``machines`` (a heterogeneous
+        :class:`~repro.config.MachineSpec`) switches every estimator to
+        the speed-normalized makespan objective."""
         raise NotImplementedError
 
     def run(
@@ -275,11 +283,11 @@ class OneRoundHyperCube(Strategy):
             + (", default backend" if backend is None else f", {backend} backend")
         )
 
-    def estimate(self, query, dstats, p):
+    def estimate(self, query, dstats, p, machines=None):
         return _memoized(
             dstats,
-            ("hypercube", query, p),
-            lambda: hypercube_cost(query, dstats, p),
+            ("hypercube", query, p, machines),
+            lambda: hypercube_cost(query, dstats, p, machines=machines),
         )
 
     def _run(self, query, database, p, seed, dstats, storage, settings,
@@ -304,8 +312,10 @@ class SkewObliviousHyperCube(Strategy):
     name = "skew-oblivious"
     summary = "HyperCube, LP(18) worst-case-skew shares"
 
-    def estimate(self, query, dstats, p):
-        return hypercube_cost(query, dstats, p, skew_oblivious=True)
+    def estimate(self, query, dstats, p, machines=None):
+        return hypercube_cost(
+            query, dstats, p, skew_oblivious=True, machines=machines
+        )
 
     def streams(self, settings=None) -> bool:
         return resolve_backend(_effective_backend(None, settings)) == "numpy"
@@ -338,8 +348,8 @@ class SkewAwareStar(Strategy):
             return str(exc)
         return None
 
-    def estimate(self, query, dstats, p):
-        return star_cost(query, dstats, p)
+    def estimate(self, query, dstats, p, machines=None):
+        return star_cost(query, dstats, p, machines=machines)
 
     def streams(self, settings=None) -> bool:
         return resolve_backend(_effective_backend(None, settings)) == "numpy"
@@ -374,8 +384,8 @@ class SkewAwareTriangle(Strategy):
             return "only the C3 triangle query"
         return None
 
-    def estimate(self, query, dstats, p):
-        return triangle_cost(query, dstats, p)
+    def estimate(self, query, dstats, p, machines=None):
+        return triangle_cost(query, dstats, p, machines=machines)
 
     def streams(self, settings=None) -> bool:
         return resolve_backend(_effective_backend(None, settings)) == "numpy"
@@ -435,21 +445,29 @@ class MultiRoundPlan(Strategy):
         return resolve_backend(_effective_backend(self.backend, settings)) == "numpy"
 
     def best_plan(
-        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+        self,
+        query: ConjunctiveQuery,
+        dstats: DataStatistics,
+        p: int,
+        machines=None,
     ) -> tuple[str, Plan, CostEstimate]:
         """The minimum-predicted-cost plan from :func:`candidate_plans`."""
         return _memoized(
             dstats,
-            ("multiround", query, p),
-            lambda: self._compute_best_plan(query, dstats, p),
+            ("multiround", query, p, machines),
+            lambda: self._compute_best_plan(query, dstats, p, machines),
         )
 
     def _compute_best_plan(
-        self, query: ConjunctiveQuery, dstats: DataStatistics, p: int
+        self,
+        query: ConjunctiveQuery,
+        dstats: DataStatistics,
+        p: int,
+        machines=None,
     ) -> tuple[str, Plan, CostEstimate]:
         best: tuple[str, Plan, CostEstimate] | None = None
         for label, plan in candidate_plans(query):
-            estimate = multiround_plan_cost(plan, dstats, p)
+            estimate = multiround_plan_cost(plan, dstats, p, machines=machines)
             if best is None or estimate.sort_key() < best[2].sort_key():
                 best = (label, plan, estimate)
         if best is None:
@@ -460,15 +478,17 @@ class MultiRoundPlan(Strategy):
             estimate.load_bits, estimate.rounds, estimate.servers, detail
         )
 
-    def estimate(self, query, dstats, p):
-        return self.best_plan(query, dstats, p)[2]
+    def estimate(self, query, dstats, p, machines=None):
+        return self.best_plan(query, dstats, p, machines)[2]
 
     def _run(self, query, database, p, seed, dstats, storage, settings,
              plan=None):
         if plan is None:
             if dstats is None:
                 dstats = DataStatistics.from_database(query, database, p)
-            _, plan, _ = self.best_plan(query, dstats, p)
+            _, plan, _ = self.best_plan(
+                query, dstats, p, resolve_machines(settings.machines, p)
+            )
         elif plan.query != query:
             # run_plan executes whatever the plan answers; catching the
             # mismatch here keeps a pinned override from silently
@@ -510,8 +530,10 @@ class ParallelHashJoin(Strategy):
             return "no variable common to all atoms"
         return None
 
-    def estimate(self, query, dstats, p):
-        return hash_join_cost(query, dstats, p, self._join_variables(query))
+    def estimate(self, query, dstats, p, machines=None):
+        return hash_join_cost(
+            query, dstats, p, self._join_variables(query), machines=machines
+        )
 
     def _run(self, query, database, p, seed, dstats, storage, settings):
         result = run_parallel_hash_join(
@@ -533,8 +555,8 @@ class BroadcastJoin(Strategy):
     name = "broadcast"
     summary = "partition largest relation, broadcast the rest"
 
-    def estimate(self, query, dstats, p):
-        return broadcast_cost(query, dstats, p)
+    def estimate(self, query, dstats, p, machines=None):
+        return broadcast_cost(query, dstats, p, machines=machines)
 
     def _run(self, query, database, p, seed, dstats, storage, settings):
         result = run_broadcast_join(
@@ -556,8 +578,8 @@ class SingleServer(Strategy):
             return "needs p >= 1"
         return None
 
-    def estimate(self, query, dstats, p):
-        return single_server_cost(query, dstats, p)
+    def estimate(self, query, dstats, p, machines=None):
+        return single_server_cost(query, dstats, p, machines=machines)
 
     def _run(self, query, database, p, seed, dstats, storage, settings):
         result = run_single_server(

@@ -69,7 +69,14 @@ from typing import (
 
 import numpy as np
 
-from repro.config import Backend, ExecutionSettings, PoolKind, resolve_pool
+from repro.config import (
+    Backend,
+    ExecutionSettings,
+    MachineSpec,
+    PoolKind,
+    resolve_machines,
+    resolve_pool,
+)
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hashing.family import derive_seed
@@ -171,10 +178,26 @@ class ClusterConfig:
     #: as one JSONL file under this directory, and points
     #: ``RunRecord.trace_path`` at it.  Tracing never perturbs results.
     trace: "str | pathlib.Path | None" = None
+    #: Per-machine speeds and capacities (a :class:`MachineSpec`, or a
+    #: pattern string like ``"4x1,4x2"``).  ``None`` follows
+    #: :func:`repro.config.default_machines` (the
+    #: ``REPRO_DEFAULT_MACHINES`` environment variable, else the
+    #: homogeneous model).  An explicit spec must have exactly ``p``
+    #: machines; a default pattern is cycled to ``p``.
+    machines: "MachineSpec | str | None" = None
 
     def __post_init__(self) -> None:
         if self.p < 1:
             raise ValueError("need at least one server")
+        if isinstance(self.machines, str):
+            object.__setattr__(
+                self, "machines", MachineSpec.parse(self.machines)
+            )
+        if self.machines is not None and self.machines.p != self.p:
+            raise ValueError(
+                f"machines spec describes {self.machines.p} machine(s), "
+                f"but the cluster has p={self.p}"
+            )
         if (
             self.memory_budget_bytes is not None
             and self.memory_budget_bytes < 1
@@ -195,6 +218,7 @@ class ClusterConfig:
             chunk_rows=self.chunk_rows,
             pool=self.pool,
             max_workers=self.max_workers,
+            machines=self.machines,
         )
 
 
@@ -222,9 +246,10 @@ def dispatch_run(
 ) -> RunResult:
     """The shared internal run path behind every executor entry point.
 
-    Resolves ``settings`` against ``storage`` exactly once
+    Resolves ``settings`` against ``storage`` and ``p`` exactly once
     (:meth:`ExecutionSettings.resolve` -- the backend default, the
-    storage/backend compatibility check, the chunk-size default) and
+    storage/backend compatibility check, the chunk-size default, the
+    machine-spec default and its ``p``-match validation) and
     invokes the named executor core.  ``run_hypercube`` /
     ``run_star_skew`` / ``run_triangle_skew`` / ``run_plan`` are thin
     wrappers over this function, and the planner's strategies run
@@ -237,7 +262,7 @@ def dispatch_run(
             f"unknown executor strategy {strategy!r} "
             f"(expected one of {sorted(_IMPLEMENTATIONS)})"
         )
-    resolved = settings.resolve(storage)
+    resolved = settings.resolve(storage, p)
     before = storage.io_counters() if storage is not None else None
     result = impl(
         query, database, p,
@@ -315,6 +340,14 @@ class RunRecord:
     #: The run's JSONL trace artifact, when the session traced
     #: (``ClusterConfig(trace=...)``); None otherwise.
     trace_path: str | None = None
+    #: The run's machine spec (``MachineSpec.describe()`` form, e.g.
+    #: ``"4x1+4x4"``) when the cluster was heterogeneous; None for the
+    #: homogeneous model.
+    machines: str | None = None
+    #: ``max over rounds, servers of L_s / v_s`` -- the speed-normalized
+    #: load (``LoadReport.makespan_bits``); recorded only for
+    #: heterogeneous runs (it equals ``max_load_bits`` otherwise).
+    makespan_bits: float | None = None
 
     def line(self) -> str:
         """A one-line rendering for workload summaries."""
@@ -331,9 +364,15 @@ class RunRecord:
             if self.phase_seconds or self.phase_bytes
             else ""
         )
+        makespan = (
+            f", makespan {self.makespan_bits:.0f}"
+            if self.makespan_bits is not None
+            else ""
+        )
         return (
             f"{self.label}: {self.strategy}, {self.rounds} round(s), "
-            f"L = {self.max_load_bits:.0f} bits{predicted}{dropped}, "
+            f"L = {self.max_load_bits:.0f} bits{predicted}{dropped}"
+            f"{makespan}, "
             f"p99 {self.percentiles.get('p99', 0.0):.0f}, "
             f"{self.wall_seconds * 1e3:.1f} ms{phases}"
         )
@@ -499,9 +538,17 @@ class Session:
 
         ``source`` is a :class:`Database` (statistics are collected),
         pre-collected :class:`DataStatistics`, or bare
-        :class:`~repro.core.stats.Statistics`.
+        :class:`~repro.core.stats.Statistics`.  A heterogeneous cluster
+        (``ClusterConfig(machines=...)``) prices every strategy under
+        the makespan objective; the table says so.
         """
-        return _planner_plan(query, source, self.config.p, strategies=strategies)
+        return _planner_plan(
+            query,
+            source,
+            self.config.p,
+            strategies=strategies,
+            machines=resolve_machines(self.config.machines, self.config.p),
+        )
 
     def run_many(
         self,
@@ -614,8 +661,14 @@ class Session:
 
     def workload_summary(self) -> str:
         """The accumulated history, one line per run plus percentiles."""
+        machines = self.config.machines
+        cluster = (
+            f", machines {machines.describe()}"
+            if machines is not None and not machines.is_uniform
+            else ""
+        )
         lines = [
-            f"session workload: p={self.config.p}, "
+            f"session workload: p={self.config.p}{cluster}, "
             f"{len(self.history)} run(s)"
         ]
         lines += [f"  {record.line()}" for record in self.history]
@@ -711,6 +764,13 @@ class Session:
             )
         wall = time.perf_counter() - started
         report = result.load_report
+        # The spec the run actually used (report.machines is set by the
+        # simulator from the resolved settings; the config/default spec
+        # is the fallback for executors that bypass a simulator).
+        machines = report.machines
+        if machines is None:
+            machines = resolve_machines(settings.machines, self.config.p)
+        heterogeneous = machines is not None and not machines.is_uniform
         trace_path: str | None = None
         if recorder is not None:
             trace = recorder.finish(
@@ -721,6 +781,9 @@ class Session:
                     "label": label,
                     "seed": run_seed,
                     "version": _repro_version(),
+                    "machines": (
+                        machines.describe() if machines is not None else None
+                    ),
                 },
                 wall_seconds=wall,
             )
@@ -743,6 +806,12 @@ class Session:
             phase_seconds=dict(report.phase_seconds),
             phase_bytes=dict(report.phase_bytes),
             trace_path=trace_path,
+            machines=(
+                machines.describe() if heterogeneous else None
+            ),
+            makespan_bits=(
+                report.makespan_bits if heterogeneous else None
+            ),
         )
         return result, record
 

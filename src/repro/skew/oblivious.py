@@ -17,7 +17,7 @@ from repro.data.database import Database
 from repro.hypercube.algorithm import HyperCubeResult, run_hypercube
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.config import PoolKind
+    from repro.config import MachineSpec, PoolKind
     from repro.storage.manager import StorageManager
 
 
@@ -34,6 +34,7 @@ def run_skew_oblivious_hypercube(
     chunk_rows: int | None = None,
     pool: "PoolKind | None" = None,
     max_workers: int | None = None,
+    machines: "MachineSpec | None" = None,
 ) -> HyperCubeResult:
     """HyperCube with the LP (18) skew-resistant shares.
 
@@ -59,6 +60,7 @@ def run_skew_oblivious_hypercube(
         chunk_rows=chunk_rows,
         pool=pool,
         max_workers=max_workers,
+        machines=machines,
     )
     result.strategy = "skew-oblivious"
     return result

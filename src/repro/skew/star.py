@@ -29,12 +29,16 @@ from typing import Literal
 
 import numpy as np
 
-from repro.config import ExecutionSettings
+from repro.config import ExecutionSettings, MachineSpec
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.core.shares import integerize_shares, share_exponents
 from repro.core.stats import Statistics
 from repro.data.database import Database
-from repro.hashing.family import GridPartitioner, HashFamily
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    grid_dimension_weights,
+)
 from repro.hypercube.algorithm import route_relation
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
@@ -164,6 +168,7 @@ def run_star_skew(
     chunk_rows: int | None = None,
     pool: PoolKind | None = None,
     max_workers: int | None = None,
+    machines: MachineSpec | None = None,
 ) -> StarSkewResult:
     """Run the Section 4.2.1 algorithm in one MPC round.
 
@@ -203,6 +208,13 @@ def run_star_skew(
     by construction and stay serial); results merge deterministically,
     so answers and loads are bit-identical at any worker count.
 
+    ``machines`` (a heterogeneous :class:`~repro.config.MachineSpec`)
+    weights the light grid's center axis speed-proportionally -- the
+    light part is one-dimensional on ``z``, so the weighting is exact --
+    and applies per-server capacities across light and heavy servers
+    (block servers take the spec's modular extension).  A uniform spec
+    is bit-identical to ``machines=None``.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -223,6 +235,7 @@ def run_star_skew(
             chunk_rows=chunk_rows,
             pool=pool,
             max_workers=max_workers,
+            machines=machines,
         ),
         hitters=hitters,
     )
@@ -292,6 +305,7 @@ def _star_impl(
         on_overflow=settings.on_overflow,
         storage=storage,
         timer=timer,
+        machines=settings.machines,
     )
     family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()
@@ -299,7 +313,12 @@ def _star_impl(
     # ---- Light part: vanilla HyperCube with all shares on z. ----------
     dims = query.variables  # (z, x_1, ..., x_l) in head order
     light_shares = [p if v == center else 1 for v in dims]
-    light_grid = GridPartitioner(light_shares, family)
+    # The light grid is 1-D on the center axis, so speed-proportional
+    # weighting is exact there.  The per-hitter heavy blocks below stay
+    # unweighted: their servers are the modular extension past p, with
+    # no per-block speed structure to exploit.
+    light_weights = grid_dimension_weights(light_shares, settings.machines)
+    light_grid = GridPartitioner(light_shares, family, weights=light_weights)
     heavy_sorted = tuple(int(h) for h in sorted(heavy_values))
     if backend == "numpy":
         # Filter-then-route per chunk (one task per chunk, fanned out
@@ -321,6 +340,7 @@ def _star_impl(
                         family_seed=seed,
                         hash_method=settings.hash_method,
                         exclude=((zpos, heavy_sorted),),
+                        weights=light_weights,
                     )
 
         with timer.phase("route"):

@@ -33,13 +33,17 @@ from typing import Literal, Mapping
 
 import numpy as np
 
-from repro.config import ExecutionSettings
+from repro.config import ExecutionSettings, MachineSpec
 from repro.core.families import triangle_query
 from repro.core.query import ConjunctiveQuery
 from repro.core.shares import integerize_shares
 from repro.core.stats import Statistics
 from repro.data.database import Database
-from repro.hashing.family import GridPartitioner, HashFamily
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    grid_dimension_weights,
+)
 from repro.hypercube.algorithm import route_relation
 from repro.join.multiway import evaluate_on_fragments
 from repro.mpc.report import LoadReport
@@ -123,6 +127,7 @@ def run_triangle_skew(
     chunk_rows: int | None = None,
     pool: PoolKind | None = None,
     max_workers: int | None = None,
+    machines: MachineSpec | None = None,
 ) -> TriangleSkewResult:
     """Run the Section 4.2.2 algorithm in one MPC round.
 
@@ -162,6 +167,13 @@ def run_triangle_skew(
     stay serial); results merge deterministically, so answers and loads
     are bit-identical at any worker count.
 
+    ``machines`` (a heterogeneous :class:`~repro.config.MachineSpec`)
+    weights the light grid's axes speed-proportionally (a rank-1
+    marginal approximation over the share cube) and applies per-server
+    capacities across all blocks (case-1/case-2 servers take the spec's
+    modular extension).  A uniform spec is bit-identical to
+    ``machines=None``.
+
     A thin delegating wrapper over the shared run path of
     :mod:`repro.session`.
     """
@@ -182,6 +194,7 @@ def run_triangle_skew(
             chunk_rows=chunk_rows,
             pool=pool,
             max_workers=max_workers,
+            machines=machines,
         ),
         hitters=hitters,
     )
@@ -310,6 +323,7 @@ def _triangle_impl(
         on_overflow=settings.on_overflow,
         storage=storage,
         timer=timer,
+        machines=settings.machines,
     )
     family = HashFamily(seed, method=settings.hash_method)
     sim.begin_round()
@@ -317,7 +331,15 @@ def _triangle_impl(
     # ---------------- Light block: vanilla HC on [0, p). ----------------
     dims = query.variables
     light_shares = integerize_shares({v: 1.0 / 3.0 for v in dims}, p)
-    light_grid = GridPartitioner([light_shares[v] for v in dims], family)
+    # Speed-proportional marginals over the share cube; the
+    # case-1/case-2 blocks below stay unweighted (their servers are the
+    # modular extension past p, chosen by heavy-hitter structure).
+    light_weights = grid_dimension_weights(
+        [light_shares[v] for v in dims], settings.machines
+    )
+    light_grid = GridPartitioner(
+        [light_shares[v] for v in dims], family, weights=light_weights
+    )
     if backend == "numpy":
         # Filter-then-route per chunk (one task per chunk, fanned out
         # over the pool): filtering commutes with chunking, and results
@@ -342,6 +364,7 @@ def _triangle_impl(
                         family_seed=seed,
                         hash_method=settings.hash_method,
                         exclude=exclude,
+                        weights=light_weights,
                     )
 
         with timer.phase("route"):

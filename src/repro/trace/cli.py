@@ -35,7 +35,9 @@ def render_trace(path: str | pathlib.Path, top: int = 5) -> str:
     if meta is not None:
         fields = ", ".join(
             f"{key}={meta[key]}"
-            for key in ("label", "query", "strategy", "seed", "version")
+            for key in (
+                "label", "query", "strategy", "seed", "version", "machines",
+            )
             if meta.get(key) is not None
         )
         if fields:
@@ -78,6 +80,22 @@ def render_trace(path: str | pathlib.Path, top: int = 5) -> str:
             for server, bits in ranked_servers
         )
         lines.append(f"  top {len(ranked_servers)} servers: {rendered}")
+
+    classes = query.speed_class_bits()
+    if classes:
+        lines.append("  per speed class:")
+        for row in classes:
+            lines.append(
+                f"    {row['servers']} server(s) at {row['speed']:g}x: "
+                f"{format_bits(row['bits'])} "
+                f"({format_bits(row['bits_per_speed'])}/unit speed)"
+            )
+        makespan = query.makespan_bits()
+        if makespan is not None:
+            lines.append(
+                f"  measured makespan: {format_bits(makespan)} "
+                f"(bits per unit speed)"
+            )
 
     hot_tags = query.hottest_tags(k=top)
     if hot_tags:

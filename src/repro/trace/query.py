@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.trace.recorder import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import MachineSpec
     from repro.mpc.report import LoadReport
 
 
@@ -209,6 +210,75 @@ class TraceQuery:
             if e.get("t") == "run":
                 return e
         return None
+
+    # -------------------------------------------------------- heterogeneity
+
+    def machines(self) -> "MachineSpec | None":
+        """The machine spec the traced run executed under, if recorded.
+
+        Parsed back from the ``machines`` describe string that the
+        ``meta`` header (session runs) or the ``sim`` event (bare
+        simulator runs) carries; ``None`` for traces of homogeneous
+        runs, which record no spec.
+        """
+        from repro.config import MachineSpec
+
+        for e in self.events:
+            if e.get("t") in ("meta", "sim") and e.get("machines"):
+                return MachineSpec.parse(e["machines"])
+        return None
+
+    def speed_class_bits(
+        self, round_index: int | None = None
+    ) -> list[dict] | None:
+        """Accepted bits grouped by machine speed class.
+
+        Each row: ``{"speed", "servers", "bits", "bits_per_speed"}``
+        (``bits_per_speed`` = the class's summed bits divided by its
+        summed speed -- the class's contribution to makespan pressure).
+        Servers beyond the spec's size map modularly onto it, matching
+        the executors' block-server placement.  ``None`` when the trace
+        records no machine spec.
+        """
+        machines = self.machines()
+        if machines is None:
+            return None
+        per_class: dict[float, dict] = {
+            speed: {"speed": speed, "servers": len(servers), "bits": 0.0}
+            for speed, servers in machines.speed_classes().items()
+        }
+        for server, bits in self.server_bits(round_index=round_index).items():
+            per_class[machines.speed(server)]["bits"] += bits
+        rows = []
+        for speed in sorted(per_class):
+            row = per_class[speed]
+            row["bits_per_speed"] = row["bits"] / (speed * row["servers"])
+            rows.append(row)
+        return rows
+
+    def makespan_bits(self) -> float | None:
+        """Measured makespan: max over rounds and servers of bits/speed.
+
+        The speed-normalized analogue of the ``L`` the ``run`` footer
+        carries (both take the worst round), recomputed from the send
+        stream; ``None`` when the trace records no machine spec.
+        """
+        machines = self.machines()
+        if machines is None:
+            return None
+        rounds: dict[int, dict[int, float]] = {}
+        for e in self._of_type("send"):
+            per_server = rounds.setdefault(e["r"], {})
+            dst = e["dst"]
+            per_server[dst] = per_server.get(dst, 0.0) + e.get("bits", 0.0)
+        return max(
+            (
+                bits / machines.speed(s)
+                for per_server in rounds.values()
+                for s, bits in per_server.items()
+            ),
+            default=0.0,
+        )
 
     def predicted_deltas(self) -> list[dict]:
         """Per-round measured max load vs the planner's predicted L.

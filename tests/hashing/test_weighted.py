@@ -1,0 +1,99 @@
+"""Weighted (non-uniform) hash buckets: exactness and scalar/vector parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MachineSpec
+from repro.hashing.family import (
+    GridPartitioner,
+    HashFamily,
+    HashFunction,
+    bucket_boundaries,
+    grid_dimension_weights,
+)
+
+
+class TestBucketBoundaries:
+    def test_interior_count_and_monotonicity(self):
+        bounds = bucket_boundaries((1.0, 2.0, 1.0))
+        assert len(bounds) == 2
+        assert bounds[0] < bounds[1] < 2**64
+
+    def test_proportional_split(self):
+        bounds = bucket_boundaries((1.0, 3.0))
+        assert bounds[0] == 2**64 // 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bucket_boundaries((1.0, 0.0))
+        with pytest.raises(ValueError):
+            bucket_boundaries((1.0, -2.0))
+
+
+class TestWeightedHashFunction:
+    @pytest.mark.parametrize("method", ("splitmix64", "blake2b"))
+    def test_scalar_matches_vectorized(self, method):
+        h = HashFunction(7, 3, 8, method=method,
+                         weights=(1, 1, 1, 1, 4, 4, 4, 4))
+        values = np.arange(-500, 500, dtype=np.int64)
+        vector = h.hash_array(values)
+        scalar = [h(int(v)) for v in values]
+        assert vector.tolist() == scalar
+
+    def test_all_equal_weights_normalize_to_modulo_path(self):
+        plain = HashFunction(7, 3, 8)
+        weighted = HashFunction(7, 3, 8, weights=(2.0,) * 8)
+        assert weighted.weights is None
+        values = np.arange(1000, dtype=np.int64)
+        assert np.array_equal(weighted.hash_array(values),
+                              plain.hash_array(values))
+
+    def test_distribution_tracks_weights(self):
+        h = HashFunction(0, 0, 2, weights=(1.0, 3.0))
+        buckets = h.hash_array(np.arange(40_000, dtype=np.int64))
+        share = float(np.mean(buckets == 1))
+        assert share == pytest.approx(0.75, abs=0.02)
+
+    def test_weight_arity_checked(self):
+        with pytest.raises(ValueError):
+            HashFunction(0, 0, 4, weights=(1.0, 2.0))
+
+
+class TestGridWeights:
+    def test_uniform_machines_collapse_to_none(self):
+        assert grid_dimension_weights((2, 2), None) is None
+        assert grid_dimension_weights((2, 2), MachineSpec.uniform(4)) is None
+
+    def test_one_dimensional_marginal_is_exact(self):
+        machines = MachineSpec.parse("1,1,3,3")
+        weights = grid_dimension_weights((4,), machines)
+        assert weights == ((0.125, 0.125, 0.375, 0.375),)
+
+    def test_share_one_dimensions_skipped(self):
+        machines = MachineSpec.parse("2x1,2x3")
+        weights = grid_dimension_weights((4, 1), machines)
+        assert weights is not None
+        assert weights[1] is None
+
+    def test_row_major_marginals(self):
+        # Grid (2, 2) over speeds (1, 1, 3, 3): dimension 0 separates
+        # servers {0,1} from {2,3} (mass 2 vs 6); dimension 1 separates
+        # {0,2} from {1,3} (mass 4 vs 4 -- uniform, collapses to None).
+        machines = MachineSpec.parse("2x1,2x3")
+        weights = grid_dimension_weights((2, 2), machines)
+        assert weights == ((0.25, 0.75), None)
+
+    def test_grid_partitioner_canonicalizes_uniform(self):
+        grid = GridPartitioner((2, 2), HashFamily(0),
+                               weights=((0.5, 0.5), (0.5, 0.5)))
+        assert grid.weights is None
+
+    def test_weighted_grid_routes_more_to_heavy_buckets(self):
+        family = HashFamily(1)
+        grid = GridPartitioner((4,), family, weights=((1, 1, 3, 3),))
+        counts = [0] * 4
+        for v in range(20_000):
+            counts[grid.bin_of((v,))[0]] += 1
+        assert counts[2] + counts[3] > 2.5 * (counts[0] + counts[1])

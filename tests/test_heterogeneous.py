@@ -1,0 +1,358 @@
+"""Heterogeneity end-to-end: uniform bit-identity, caps, planner, trace.
+
+The heterogeneous machine model's central invariant is that the uniform
+spec is *bit-identical* to the pre-heterogeneity code paths: equal
+speeds normalize away to the unweighted modulo hash and absent
+per-machine caps leave the global capacity comparisons untouched.
+These tests pin that down for all four engines across backends, pools
+and storage, then exercise the genuinely heterogeneous behavior --
+per-server caps in :class:`LoadExceededError`, makespan pricing in the
+planner, speed-weighted routing reducing measured makespan, and the
+trace/record/summary plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    MachineSpec,
+    Session,
+    matching_database,
+    plan_query,
+    star_query,
+    triangle_query,
+    use_machines,
+    zipf_database,
+)
+from repro.core.families import chain_query
+from repro.hypercube import run_hypercube
+from repro.hypercube.analysis import (
+    predicted_load_bits_with_frequencies,
+    predicted_makespan_bits,
+    predicted_server_loads_bits,
+)
+from repro.join import evaluate
+from repro.mpc.simulator import LoadExceededError, MPCSimulation
+from repro.multiround.executor import run_plan
+from repro.multiround.plans import chain_plan
+from repro.planner.statistics import DataStatistics
+from repro.skew.star import run_star_skew
+from repro.skew.triangle import run_triangle_skew
+from repro.storage.manager import StorageManager
+from repro.trace import TraceQuery, TraceRecorder, tracing
+
+
+def fingerprint(result):
+    """Everything that must be bit-identical (see test_pool_identity)."""
+    report = result.report
+    return (
+        sorted(result.answers),
+        [sorted(r.bits.items()) for r in report.rounds],
+        [sorted(r.tuples.items()) for r in report.rounds],
+        [sorted(r.dropped_bits.items()) for r in report.rounds],
+    )
+
+
+HETERO = MachineSpec.parse("4x1,4x4")
+
+
+@pytest.fixture(autouse=True)
+def homogeneous_default():
+    """Pin the machine default to None for every test in this module.
+
+    The identity tests compare explicit specs against the bare
+    ``machines=None`` path, which must mean *homogeneous* here even
+    when the suite runs under ``REPRO_DEFAULT_MACHINES`` (the CI leg
+    that reruns everything on a heterogeneous pattern).  Tests that
+    exercise the default pattern set their own scope inside.
+    """
+    with use_machines(None):
+        yield
+
+
+# --------------------------------------------------------------------------
+# Tentpole invariant: MachineSpec.uniform(p) is bit-identical to None.
+# --------------------------------------------------------------------------
+
+
+class TestUniformIdentity:
+    @pytest.mark.parametrize("backend", ("tuples", "numpy"))
+    @pytest.mark.parametrize("speed", (1.0, 2.5))
+    def test_hypercube(self, backend, speed):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=3)
+        plain = run_hypercube(q, db, 8, seed=1, backend=backend)
+        uniform = run_hypercube(
+            q, db, 8, seed=1, backend=backend,
+            machines=MachineSpec.uniform(8, speed=speed),
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    @pytest.mark.parametrize("backend", ("tuples", "numpy"))
+    def test_star_skew(self, backend):
+        q = star_query(2)
+        db = zipf_database(q, m=500, n=500, skew=1.0, seed=2)
+        plain = run_star_skew(q, db, 8, seed=1, backend=backend)
+        uniform = run_star_skew(
+            q, db, 8, seed=1, backend=backend,
+            machines=MachineSpec.uniform(8),
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    @pytest.mark.parametrize("backend", ("tuples", "numpy"))
+    def test_triangle_skew(self, backend):
+        q = triangle_query()
+        db = zipf_database(q, m=400, n=400, skew=1.0, seed=4)
+        plain = run_triangle_skew(db, 4, seed=1, backend=backend)
+        uniform = run_triangle_skew(
+            db, 4, seed=1, backend=backend, machines=MachineSpec.uniform(4),
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    @pytest.mark.parametrize("backend", ("tuples", "numpy"))
+    def test_multiround(self, backend):
+        q = chain_query(4)
+        db = matching_database(q, m=400, n=1600, seed=5)
+        plan = chain_plan(4)
+        plain = run_plan(plan, db, 8, seed=1, backend=backend)
+        uniform = run_plan(
+            plan, db, 8, seed=1, backend=backend,
+            machines=MachineSpec.uniform(8),
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    @pytest.mark.parametrize("pool", ("thread", "process"))
+    def test_across_pools(self, pool):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=3)
+        plain = run_hypercube(q, db, 8, seed=1, pool="serial")
+        uniform = run_hypercube(
+            q, db, 8, seed=1, pool=pool, max_workers=2,
+            machines=MachineSpec.uniform(8),
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    def test_with_storage(self, tmp_path):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=3)
+        plain = run_hypercube(q, db, 8, seed=1)
+        with StorageManager(root=tmp_path / "spill", chunk_rows=64) as st:
+            uniform = run_hypercube(
+                q, db, 8, seed=1, storage=st,
+                machines=MachineSpec.uniform(8),
+            )
+            assert fingerprint(uniform) == fingerprint(plain)
+
+    def test_truncation_identical_under_uniform_spec(self):
+        q = triangle_query()
+        db = matching_database(q, m=400, n=1600, seed=3)
+        kwargs = dict(seed=1, capacity_bits=3000.0, on_overflow="drop")
+        plain = run_hypercube(q, db, 8, **kwargs)
+        assert plain.report.dropped_bits > 0
+        uniform = run_hypercube(
+            q, db, 8, machines=MachineSpec.uniform(8), **kwargs
+        )
+        assert fingerprint(uniform) == fingerprint(plain)
+
+    def test_session_records_uniform_as_homogeneous(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=0)
+        with Session(p=8, seed=0) as session:
+            plain = session.run(q, db)
+            baseline = fingerprint(plain)
+        with Session(p=8, seed=0, machines=MachineSpec.uniform(8)) as session:
+            uniform = session.run(q, db)
+            record = session.history[-1]
+        assert fingerprint(uniform) == baseline
+        # Degenerate spec: the record carries no heterogeneity fields.
+        assert record.machines is None
+        assert record.makespan_bits is None
+
+    def test_predicted_loads_reduce_to_homogeneous(self):
+        q = triangle_query()
+        db = matching_database(q, m=500, n=2000, seed=0)
+        dstats = DataStatistics.from_database(q, db, 8)
+        shares = {v: 2 for v in q.variables}
+        classic = predicted_load_bits_with_frequencies(
+            q, dstats.stats, shares, dstats.frequency_maps()
+        )
+        for spec in (None, MachineSpec.uniform(8), MachineSpec.uniform(8, 3.0)):
+            loads = predicted_server_loads_bits(
+                q, dstats.stats, shares, spec, dstats.frequency_maps()
+            )
+            assert max(loads) == pytest.approx(classic)
+        assert predicted_makespan_bits(
+            q, dstats.stats, shares, MachineSpec.uniform(8),
+            dstats.frequency_maps(),
+        ) == pytest.approx(classic)
+
+
+# --------------------------------------------------------------------------
+# Per-server capacities (satellite: LoadExceededError carries the
+# breaching server's own cap).
+# --------------------------------------------------------------------------
+
+
+class TestPerServerCapacities:
+    def test_error_carries_breaching_servers_cap(self):
+        machines = MachineSpec(
+            (1.0, 1.0), capacities=(10_000.0, 64.0)
+        )
+        sim = MPCSimulation(p=2, value_bits=32, machines=machines)
+        sim.begin_round()
+        sim.send(0, "R", [(1, 2)] * 10)  # well under server 0's cap
+        with pytest.raises(LoadExceededError) as err:
+            sim.send(1, "R", [(1, 2)] * 10)
+        assert err.value.server == 1
+        assert err.value.capacity == 64.0  # its own cap, not a global one
+        assert err.value.bits > 64.0
+
+    def test_global_cap_tightens_machine_cap(self):
+        machines = MachineSpec((1.0, 1.0), capacities=(None, 1000.0))
+        sim = MPCSimulation(p=2, value_bits=32, capacity_bits=64.0,
+                            machines=machines)
+        sim.begin_round()
+        with pytest.raises(LoadExceededError) as err:
+            sim.send(1, "R", [(1, 2)] * 10)
+        assert err.value.capacity == 64.0
+
+    def test_drop_mode_truncates_at_per_server_cap(self):
+        machines = MachineSpec((1.0, 1.0), capacities=(None, 128.0))
+        sim = MPCSimulation(p=2, value_bits=32, on_overflow="drop",
+                            machines=machines)
+        sim.begin_round()
+        sim.send(0, "R", [(i, i) for i in range(10)])
+        sim.send(1, "R", [(i, i) for i in range(10)])
+        load = sim.end_round()
+        assert load.dropped_bits.get(1, 0.0) > 0
+        assert 0 not in load.dropped_bits  # uncapped server keeps all
+        assert load.bits[1] <= 128.0
+
+    def test_session_config_threads_per_server_caps(self):
+        q = triangle_query()
+        db = matching_database(q, m=400, n=1600, seed=3)
+        # One crippled server out of eight: its cap binds, the rest don't.
+        caps = tuple([None] * 7 + [900.0])
+        machines = MachineSpec((1.0,) * 8, capacities=caps)
+        config = ClusterConfig(p=8, seed=0, on_overflow="drop",
+                               machines=machines)
+        with Session(config) as session:
+            result = session.run(q, db, strategy="hypercube")
+        report = result.load_report
+        assert report.dropped_bits > 0
+        dropped_servers = {
+            s for r in report.rounds for s in r.dropped_bits
+        }
+        assert dropped_servers == {7}
+
+
+# --------------------------------------------------------------------------
+# Heterogeneous behavior: planner pricing, weighted routing, makespan.
+# --------------------------------------------------------------------------
+
+
+class TestHeterogeneousPlanning:
+    def test_explain_table_reports_makespan(self):
+        q = triangle_query()
+        db = matching_database(q, m=500, n=2000, seed=0)
+        explained = plan_query(q, db, 8, machines=HETERO)
+        table = explained.table()
+        assert "machines: 4x1+4x4" in table
+        assert "predicted span" in table
+        assert explained.machines is HETERO
+
+    def test_uniform_spec_prices_like_none(self):
+        q = triangle_query()
+        db = matching_database(q, m=500, n=2000, seed=0)
+        plain = plan_query(q, db, 8)
+        uniform = plan_query(q, db, 8, machines=MachineSpec.uniform(8))
+        assert [
+            (c.name, c.estimate.load_bits) for c in uniform.ranked
+        ] == [(c.name, c.estimate.load_bits) for c in plain.ranked]
+
+    def test_makespan_estimates_beat_homogeneous_load(self):
+        # 4 fast machines shoulder more bits, so every speed-weighted
+        # makespan estimate is at most the homogeneous L estimate.
+        q = triangle_query()
+        db = matching_database(q, m=500, n=2000, seed=0)
+        plain = plan_query(q, db, 8)
+        hetero = plan_query(q, db, 8, machines=HETERO)
+        for candidate in hetero.ranked:
+            classic = plain.candidate(candidate.name).estimate.load_bits
+            assert candidate.estimate.load_bits <= classic + 1e-9
+
+
+class TestHeterogeneousExecution:
+    def test_weighted_shares_cut_measured_makespan(self):
+        q = star_query(2)
+        db = matching_database(q, m=2000, n=8000, seed=1)
+        expected = evaluate(q, db)
+        uniform = run_star_skew(q, db, 8, seed=1)
+        weighted = run_star_skew(q, db, 8, seed=1, machines=HETERO)
+        assert weighted.answers == expected
+        assert uniform.answers == expected
+
+        def makespan(result):
+            return max(
+                bits / HETERO.speed(s)
+                for r in result.report.rounds
+                for s, bits in r.bits.items()
+            )
+
+        # Speed-weighted routing must strictly beat uniform hashing on
+        # the same heterogeneous cluster.
+        assert makespan(weighted) < makespan(uniform)
+        assert weighted.report.makespan_bits == pytest.approx(
+            makespan(weighted)
+        )
+
+    def test_session_records_and_traces_machines(self, tmp_path):
+        q = triangle_query()
+        db = matching_database(q, m=400, n=1600, seed=0)
+        config = ClusterConfig(p=8, seed=0, machines="4x1,4x4",
+                               trace=tmp_path)
+        with Session(config) as session:
+            result = session.run(q, db, label="het")
+            record = session.history[-1]
+            summary = session.workload_summary()
+        assert result.answers == evaluate(q, db)
+        assert record.machines == "4x1+4x4"
+        assert record.makespan_bits is not None
+        assert "makespan" in record.line()
+        assert "machines 4x1+4x4" in summary
+
+        view = TraceQuery(record.trace_path)
+        assert view.machines() == HETERO
+        classes = view.speed_class_bits()
+        assert [row["speed"] for row in classes] == [1.0, 4.0]
+        assert sum(row["bits"] for row in classes) == pytest.approx(
+            view.total_bits()
+        )
+        assert view.makespan_bits() == pytest.approx(record.makespan_bits)
+
+    def test_config_rejects_mismatched_spec(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(p=16, machines="4x1,4x4")
+
+    def test_default_pattern_reaches_session(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=0)
+        with use_machines("1,4"):
+            with Session(p=8, seed=0) as session:
+                session.run(q, db)
+                record = session.history[-1]
+        assert record.machines == MachineSpec.parse("1,4").cycle_to(8).describe()
+        assert record.makespan_bits is not None
+
+    def test_homogeneous_trace_has_no_machine_rows(self):
+        q = triangle_query()
+        db = matching_database(q, m=300, n=1200, seed=0)
+        recorder = TraceRecorder()
+        with tracing(recorder):
+            run_hypercube(q, db, 8, seed=1)
+        view = TraceQuery(recorder.finish())
+        assert view.machines() is None
+        assert view.speed_class_bits() is None
+        assert view.makespan_bits() is None
