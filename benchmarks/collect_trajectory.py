@@ -27,11 +27,26 @@ Idempotence: an entry whose ``(host_id, version, benchmarks)`` already
 appears verbatim is not appended again, so re-running a CI job does not
 duplicate rows.  The file stays sorted by collection time.
 
+Every entry also records its execution context -- resolved worker-pool
+kind, machine spec, git commit -- so a trend break can be traced to
+"the default pool changed", not just "it got slower".
+
+``--check`` turns the script into a CI perf-regression gate: instead of
+appending, the fresh results are compared against the committed
+trajectory and the process exits nonzero when a benchmark regressed
+beyond ``--tolerance`` (default 1.5x).  Wall-clock means compare only
+against the most recent entry from a *comparable host* (same CPU count
+and architecture -- a 1-core CI runner cannot regress against a laptop);
+deterministic ``extra_info`` facts (e.g. the heterogeneous makespan
+comparison) compare host-independently.  No comparable baseline means
+the wall-clock comparison is skipped with a note, not failed.
+
 Usage::
 
     python benchmarks/collect_trajectory.py                 # run + append
     python benchmarks/collect_trajectory.py --from-json bench_planner.json
     python benchmarks/collect_trajectory.py --dry-run       # print, no write
+    python benchmarks/collect_trajectory.py --check         # CI perf gate
 """
 
 from __future__ import annotations
@@ -77,6 +92,46 @@ def repro_version() -> str:
         return "unknown"
     finally:
         sys.path.pop(0)
+
+
+def git_sha() -> str | None:
+    """The current commit, or None outside a usable git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def execution_context() -> dict:
+    """The execution-environment facts that explain an entry's numbers.
+
+    A trend break reads differently when the default pool flipped from
+    serial to process, or the machines default became heterogeneous,
+    between two entries -- so record both, plus the commit.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.config import default_machines, default_pool
+
+        machines = default_machines()
+        context = {
+            "pool": default_pool(),
+            "machines": (
+                machines.describe() if machines is not None else None
+            ),
+        }
+    except Exception:
+        context = {"pool": None, "machines": None}
+    finally:
+        sys.path.pop(0)
+    context["git_sha"] = git_sha()
+    return context
 
 
 def condense(artifact: dict) -> list[dict]:
@@ -177,6 +232,90 @@ def append_entry(trajectory: list[dict], entry: dict) -> bool:
     return True
 
 
+def comparable_hosts(a: dict, b: dict) -> bool:
+    """Wall-clock numbers transfer only between matching hosts."""
+    return (
+        a.get("cpus") == b.get("cpus")
+        and a.get("machine") == b.get("machine")
+    )
+
+
+def check_against_baseline(
+    benchmarks: list[dict],
+    trajectory: list[dict],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """The perf gate: ``(failures, notes)`` for fresh vs recorded.
+
+    Wall-clock means are compared per benchmark against the most recent
+    entry from a comparable host; deterministic ``extra_info`` numeric
+    facts are compared against the most recent entry carrying them,
+    host-independently (a makespan in model bits does not depend on the
+    machine that computed it).  A fresh value more than ``tolerance``
+    times the baseline is a failure; benchmarks the baseline never saw
+    pass silently (they have no history to regress against).
+    """
+    host = host_info()
+    failures: list[str] = []
+    notes: list[str] = []
+
+    baseline = None
+    for entry in reversed(trajectory):
+        if comparable_hosts(entry.get("host", {}), host):
+            baseline = entry
+            break
+    if baseline is None:
+        notes.append(
+            "no comparable-host baseline entry (cpus/arch differ); "
+            "wall-clock means not compared"
+        )
+    else:
+        base_rows = {
+            row["name"]: row for row in baseline.get("benchmarks", [])
+        }
+        for row in benchmarks:
+            base = base_rows.get(row["name"])
+            if base is None or not base.get("mean_s"):
+                continue
+            ratio = row["mean_s"] / base["mean_s"]
+            if ratio > tolerance:
+                failures.append(
+                    f"{row['name']}: mean {row['mean_s']:.6f}s is "
+                    f"{ratio:.2f}x the {base['mean_s']:.6f}s baseline "
+                    f"from {baseline.get('collected_at')} "
+                    f"(tolerance {tolerance:g}x)"
+                )
+
+    latest_facts: dict[str, dict] = {}
+    for entry in trajectory:  # chronological: later entries win
+        for row in entry.get("benchmarks", []):
+            if row.get("extra_info"):
+                latest_facts[row["name"]] = row["extra_info"]
+    for row in benchmarks:
+        base_info = latest_facts.get(row["name"])
+        info = row.get("extra_info")
+        if not base_info or not info:
+            continue
+        for key, base_value in base_info.items():
+            value = info.get(key)
+            if (
+                isinstance(base_value, bool)
+                or not isinstance(base_value, (int, float))
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or base_value <= 0
+            ):
+                continue
+            ratio = value / base_value
+            if ratio > tolerance:
+                failures.append(
+                    f"{row['name']} extra_info[{key!r}]: {value:g} is "
+                    f"{ratio:.2f}x the recorded {base_value:g} "
+                    f"(tolerance {tolerance:g}x)"
+                )
+    return failures, notes
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         description="Condense benchmark JSON into BENCH_trajectory.json."
@@ -203,7 +342,23 @@ def main(argv: list[str] | None = None) -> None:
         "--dry-run", action="store_true",
         help="print the condensed entry without touching the file",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="perf-regression gate: compare fresh results against the "
+             "committed trajectory instead of appending; exit nonzero "
+             "when a benchmark regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None, metavar="FILE",
+        help="trajectory file to check against (default: --output)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5, metavar="X",
+        help="allowed slowdown factor for --check (default 1.5)",
+    )
     args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0")
 
     if args.from_json:
         benchmarks: list[dict] = []
@@ -214,12 +369,32 @@ def main(argv: list[str] | None = None) -> None:
     else:
         benchmarks = condense(run_benches(DEFAULT_BENCHES))
 
+    if args.check:
+        baseline_path = args.baseline or args.output
+        trajectory = load_trajectory(baseline_path)
+        failures, notes = check_against_baseline(
+            benchmarks, trajectory, args.tolerance
+        )
+        for note in notes:
+            print(f"note: {note}")
+        if failures:
+            print(f"PERF REGRESSION vs {baseline_path}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print(
+            f"perf check passed: {len(benchmarks)} benchmark(s) vs "
+            f"{baseline_path} (tolerance {args.tolerance:g}x)"
+        )
+        return
+
     entry = {
         "collected_at": datetime.datetime.now(
             datetime.timezone.utc
         ).isoformat(timespec="seconds"),
         "version": repro_version(),
         "host": host_info(),
+        "context": execution_context(),
         "benchmarks": benchmarks,
     }
     if args.label:

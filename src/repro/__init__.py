@@ -50,6 +50,9 @@ Package map (see DESIGN.md for the paper-section correspondence):
   door and the shared run path behind every executor
 * :mod:`repro.trace` -- per-event communication traces (JSONL
   artifacts, `TraceQuery` analysis, `python -m repro trace`)
+* :mod:`repro.metrics` -- live workload telemetry (counters / gauges /
+  histograms, prediction-calibration tracking, `python -m repro
+  metrics`)
 
 The low-level layer stays available: the free functions
 ``run_hypercube`` / ``run_star_skew`` / ``run_triangle_skew`` /
@@ -91,7 +94,21 @@ results, and writes compact JSONL artifacts::
         record = session.run(q, db)
     print(TraceQuery(session.history[0].trace_path).top_servers(k=5))
     # or offline: python -m repro trace traces/
+
+For *live* aggregates instead of event streams -- how many bits a
+workload shipped, run latency histograms, how well the cost model
+predicted each strategy -- turn on metrics (also never perturbs
+results)::
+
+    from repro import Session, global_metrics, render_text
+    with Session(p=64, seed=0, metrics=True) as session:
+        session.run_many(jobs, metrics_every=10)   # progress lines
+        print(session.metrics.calibration.stats()) # measured/predicted
+    print(render_text(global_metrics().snapshot()))
+    # or scoped: with repro.collecting() as reg: ...
 """
+
+import logging as _logging
 
 from repro.config import (
     MachineSpec,
@@ -126,6 +143,13 @@ from repro.data import (
     zipf_database,
 )
 from repro.hypercube import run_hypercube
+from repro.metrics import (
+    CalibrationTracker,
+    MetricsRegistry,
+    collecting,
+    global_metrics,
+    render_text,
+)
 from repro.mpc import MPCSimulation
 from repro.bounds import lower_bound, upper_bound
 from repro.planner import DataStatistics, ExplainedPlan, PlannedExecution
@@ -141,7 +165,15 @@ from repro.session import (
 from repro.storage import ChunkedRelation, StorageManager
 from repro.trace import Trace, TraceQuery, TraceRecorder, tracing
 
-__version__ = "1.7.0"
+# Library logging convention: everything logs under the "repro"
+# namespace and the root handler is a NullHandler, so the library is
+# silent unless the application configures logging.  The few warnings
+# (silent-fallback sites: a forced-serial pool, a legacy estimate()
+# signature, nested process fan-out) surface with plain
+# ``logging.basicConfig()``.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+__version__ = "1.8.0"
 
 __all__ = [
     "Atom",
@@ -183,6 +215,11 @@ __all__ = [
     "TraceQuery",
     "TraceRecorder",
     "tracing",
+    "CalibrationTracker",
+    "MetricsRegistry",
+    "collecting",
+    "global_metrics",
+    "render_text",
     "lower_bound",
     "upper_bound",
     "DataStatistics",

@@ -25,6 +25,13 @@ servers, per-round bytes, hottest tags, per-phase bytes/seconds, spill
 I/O, predicted-vs-measured deltas.  Record traces with ``--trace-dir``
 (the tour, ``run``) or ``ClusterConfig(trace=...)``.
 
+``python -m repro metrics PATH`` renders a :mod:`repro.metrics`
+snapshot artifact as Prometheus-style text (``--json`` for the raw
+snapshot, ``--diff OTHER`` for per-series deltas).  Record snapshots
+with ``run --metrics --metrics-out FILE`` -- which also self-checks
+that the registry's totals reconcile exactly with the runs'
+``LoadReport`` counters -- or :func:`repro.metrics.write_snapshot`.
+
 For the full harness run ``pytest benchmarks/ --benchmark-only``.
 """
 
@@ -64,6 +71,8 @@ from repro.core.query import ConjunctiveQuery
 from repro.core.shares import space_exponent_bound
 from repro.hypercube import run_hypercube
 from repro.join import evaluate
+from repro.metrics import render_text, write_snapshot
+from repro.metrics.cli import render_snapshot_path
 from repro.multiround.gamma import chain_rounds_upper_bound
 from repro.multiround.lowerbounds import chain_round_lower_bound
 from repro.planner import execute as planner_execute
@@ -385,6 +394,7 @@ def run_run_command(args: argparse.Namespace) -> None:
         max_workers=args.max_workers,
         trace=args.trace_dir,
         machines=args.machines,
+        metrics=args.metrics or args.metrics_out is not None,
     )
     expected = evaluate(args.query, db)
     # One statistics collection feeds every job: the repeats run over
@@ -397,7 +407,11 @@ def run_run_command(args: argparse.Namespace) -> None:
             for i in range(args.repeat)
         ]
         try:
-            results = session.run_many(jobs, max_workers=args.max_workers)
+            results = session.run_many(
+                jobs,
+                max_workers=args.max_workers,
+                metrics_every=args.metrics_every,
+            )
         except (KeyError, ValueError) as exc:
             # Unknown/inapplicable strategy etc.: a clean nonzero exit.
             print(f"CHECK FAILED: {exc}", file=sys.stderr)
@@ -426,6 +440,47 @@ def run_run_command(args: argparse.Namespace) -> None:
                 f"{session.storage.chunks_spilled} chunks "
                 f"(chunk_rows={session.storage.chunk_rows})"
             )
+        if session.metrics is not None:
+            registry = session.metrics
+            # Self-check: the live registry's totals must reconcile
+            # *exactly* (float ==) with the runs' LoadReport counters
+            # -- bit counts are integer-valued doubles, so the sums are
+            # order-independent and exact.
+            _check(
+                registry.total("repro_runs_total") == float(len(results)),
+                "metrics run count equals the batch size",
+            )
+            _check(
+                registry.value("repro_sim_bits_total")
+                == sum(r.load_report.total_bits for r in results),
+                "metrics bits total reconciles with the LoadReports",
+            )
+            _check(
+                registry.value("repro_sim_dropped_bits_total")
+                == sum(r.load_report.dropped_bits for r in results),
+                "metrics dropped-bits total reconciles with the "
+                "LoadReports",
+            )
+            # The spill totals reconcile against the shared manager's
+            # own counters (not summed per-run deltas, which overlap
+            # under thread concurrency).  Process-mode batches spill
+            # into worker-side managers that die with their process,
+            # so there is nothing to reconcile against here.
+            if session.storage is not None:
+                _check(
+                    registry.value("repro_spill_bytes_written_total")
+                    == float(session.storage.bytes_spilled),
+                    "metrics spill bytes reconcile with the storage "
+                    "manager",
+                )
+            print("\nmetrics (totals reconcile with the LoadReports):")
+            print(render_text(registry.snapshot()), end="")
+            if args.metrics_out is not None:
+                write_snapshot(registry.snapshot(), args.metrics_out)
+                print(
+                    f"metrics snapshot -> {args.metrics_out} (render with "
+                    f"`python -m repro metrics {args.metrics_out}`)"
+                )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -530,6 +585,23 @@ def main(argv: list[str] | None = None) -> None:
              "session's shared spill directory (identical results)",
     )
     run_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect live telemetry (repro.metrics) for the workload, "
+             "print the Prometheus-style exposition, and self-check "
+             "that the totals reconcile exactly with the LoadReports",
+    )
+    run_parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also write the registry snapshot as JSON to FILE "
+             "(render or diff it with `python -m repro metrics`); "
+             "implies --metrics",
+    )
+    run_parser.add_argument(
+        "--metrics-every", type=int, default=None, metavar="N",
+        help="print a progress line every N completed jobs "
+             "(works with or without --metrics)",
+    )
+    run_parser.add_argument(
         "--backend", choices=("tuples", "numpy"), default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
@@ -552,6 +624,23 @@ def main(argv: list[str] | None = None) -> None:
         help="entries in the top-servers / hottest-tags tables "
              "(default 5)",
     )
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="render or diff a metrics snapshot artifact "
+             "(from `run --metrics-out` or repro.metrics.write_snapshot)",
+    )
+    metrics_parser.add_argument(
+        "path", help="a snapshot JSON file (schema repro.metrics/1)"
+    )
+    metrics_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw snapshot JSON instead of the "
+             "Prometheus-style text",
+    )
+    metrics_parser.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="print per-series deltas from PATH to OTHER",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -566,6 +655,17 @@ def main(argv: list[str] | None = None) -> None:
         try:
             print(render_path(args.path, top=args.top))
         except FileNotFoundError as exc:
+            print(f"CHECK FAILED: {exc}", file=sys.stderr)
+            raise TourCheckFailed(str(exc)) from exc
+    elif args.command == "metrics":
+        try:
+            print(
+                render_snapshot_path(
+                    args.path, as_json=args.json, diff=args.diff
+                ),
+                end="",
+            )
+        except (FileNotFoundError, ValueError) as exc:
             print(f"CHECK FAILED: {exc}", file=sys.stderr)
             raise TourCheckFailed(str(exc)) from exc
     else:

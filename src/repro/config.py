@@ -31,10 +31,13 @@ submodule may consult it without import cycles.
 
 from __future__ import annotations
 
+import logging
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator, Literal
+
+logger = logging.getLogger("repro.config")
 
 Backend = Literal["tuples", "numpy"]
 GeneratorBackend = Literal["python", "numpy"]
@@ -501,7 +504,14 @@ class ExecutionSettings:
         if chunk_rows is None and storage is not None:
             chunk_rows = storage.chunk_rows  # type: ignore[attr-defined]
         pool = resolve_pool(self.pool)
-        if backend != "numpy":
+        if backend != "numpy" and pool != "serial":
+            # Warn only when the caller asked for parallelism by name;
+            # a defaulted pool silently resolving serial is expected.
+            if self.pool is not None:
+                logger.warning(
+                    "the %s backend has no vectorized task bodies; "
+                    "forcing pool=%r to 'serial'", backend, pool,
+                )
             pool = "serial"
         machines = resolve_machines(self.machines, p)
         return replace(

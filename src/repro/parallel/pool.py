@@ -37,12 +37,17 @@ and every task argument a plain dataclass.
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing
 import os
 import threading
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, Literal, TypeVar
+
+from repro.metrics.registry import active_metrics
+
+logger = logging.getLogger("repro.parallel.pool")
 
 PoolKind = Literal["serial", "thread", "process"]
 
@@ -54,6 +59,9 @@ _R = TypeVar("_R")
 #: Set in process-pool workers by the pool initializer; consulted by
 #: :func:`get_pool` so nested fan-out degrades to serial execution.
 _IN_WORKER = False
+
+#: One warning per process when a nested fan-out actually degrades.
+_NESTED_WARNED = False
 
 
 def _mark_worker() -> None:  # pragma: no cover - runs in the worker
@@ -134,6 +142,12 @@ class _ExecutorPool(WorkerPool):
     def imap(self, fn, tasks):
         executor = self.executor
         prefetch = 2 * self.max_workers
+        metrics = active_metrics()
+        depth = (
+            metrics.gauge("repro_pool_queue_depth", kind=self.kind)
+            if metrics is not None
+            else None
+        )
 
         def results() -> Iterator:
             pending: deque = deque()
@@ -147,6 +161,8 @@ class _ExecutorPool(WorkerPool):
                         exhausted = True
                         break
                     pending.append(executor.submit(fn, task))
+                if depth is not None:
+                    depth.set(float(len(pending)))
                 if not pending:
                     return
                 yield pending.popleft().result()
@@ -210,6 +226,15 @@ def get_pool(kind: str, max_workers: int | None = None) -> WorkerPool:
             f"unknown pool kind {kind!r} (expected one of {POOL_KINDS})"
         )
     if kind == "serial" or _IN_WORKER:
+        if kind != "serial" and _IN_WORKER:
+            global _NESTED_WARNED
+            if not _NESTED_WARNED:
+                _NESTED_WARNED = True
+                logger.warning(
+                    "nested %s-pool fan-out requested inside a process-pool "
+                    "worker; degrading to serial execution",
+                    kind,
+                )
         return _SERIAL
     workers = max_workers if max_workers is not None else default_max_workers()
     if workers < 1:

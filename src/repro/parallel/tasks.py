@@ -44,6 +44,7 @@ import numpy as np
 from repro.data.arrays import unique_rows
 from repro.data.relation import Relation
 from repro.hashing.family import GridPartitioner, HashFamily
+from repro.metrics.registry import active_metrics
 from repro.mpc.timing import PhaseTimer
 from repro.parallel.pool import WorkerPool
 from repro.storage.chunked import ChunkedRelation
@@ -184,9 +185,18 @@ def route_over_pool(
     """
     timer = timer or PhaseTimer()
     trace = sim.trace
+    metrics = active_metrics()
+    if metrics is not None:
+        tasks_total = metrics.counter("repro_pool_tasks_total", kind=pool.kind)
+        task_seconds = metrics.histogram(
+            "repro_pool_task_seconds", kind=pool.kind
+        )
     for tag, base, groups, seconds in pool.imap(route_task, tasks):
         if trace is not None:
             trace.task("route", tag, seconds)
+        if metrics is not None:
+            tasks_total.inc()
+            task_seconds.observe(seconds)
         with timer.phase("ship"):
             for server, batch in groups:
                 sim.send_array(base + server, tag, batch)
@@ -304,9 +314,18 @@ def join_over_pool(
             yield server_join_task(query, sim.server(server), server, prefix)
 
     trace = sim.trace
+    metrics = active_metrics()
+    if metrics is not None:
+        tasks_total = metrics.counter("repro_pool_tasks_total", kind=pool.kind)
+        task_seconds = metrics.histogram(
+            "repro_pool_task_seconds", kind=pool.kind
+        )
     for server, local, seconds in pool.imap(join_task, tasks()):
         if trace is not None:
             trace.task("join", server, seconds)
+        if metrics is not None:
+            tasks_total.inc()
+            task_seconds.observe(seconds)
         with timer.phase("merge"):
             if on_result is not None:
                 on_result(server, local)
@@ -397,12 +416,18 @@ def _portable_error(exc: Exception) -> Exception:
 
 def run_job_task(
     task: RunJobTask,
-) -> tuple["MaterializedRunResult | None", object, Exception | None]:
+) -> tuple[
+    "MaterializedRunResult | None", object, Exception | None, dict | None
+]:
     """Worker body: run one batch job inside a private session.
 
-    Returns ``(result, record, error)`` with the same
+    Returns ``(result, record, error, metrics)`` with the same
     capture-don't-raise semantics as the thread path, so one failing
-    job cannot poison its siblings' results.
+    job cannot poison its siblings' results.  ``metrics`` is the worker
+    session's registry snapshot when the config enables metrics (the
+    worker runs exactly one job, so its session registry *is* this
+    job's delta); the parent merges it so the aggregated view is
+    pool-kind-independent.
     """
     from repro.session import Session
 
@@ -412,6 +437,11 @@ def run_job_task(
             # Materialize before the session (and any worker-side
             # spill directory) closes.
             snapshot = MaterializedRunResult.from_result(result)
-        return snapshot, record, None
+            metrics = (
+                session.metrics.snapshot()
+                if session.metrics is not None
+                else None
+            )
+        return snapshot, record, None, metrics
     except Exception as exc:  # noqa: BLE001 - mirrored to the parent
-        return None, None, _portable_error(exc)
+        return None, None, _portable_error(exc), None

@@ -14,6 +14,8 @@ cost close to the floor means the winner is essentially optimal.
 
 from __future__ import annotations
 
+import inspect
+import logging
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -27,6 +29,50 @@ from repro.planner.strategies import Strategy, default_strategies
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.config import MachineSpec
+
+logger = logging.getLogger("repro.planner.optimizer")
+
+#: Strategy classes already warned about a pre-heterogeneity
+#: ``estimate()`` signature (one warning per class per process).
+_LEGACY_ESTIMATE_WARNED: set[type] = set()
+
+
+def _estimate_with_machines(
+    strategy: Strategy,
+    query: ConjunctiveQuery,
+    dstats: DataStatistics,
+    p: int,
+    machines: "MachineSpec",
+) -> CostEstimate:
+    """Price one strategy against a machine spec, tolerating old APIs.
+
+    Custom strategies written before the heterogeneity work have a
+    three-parameter ``estimate()``; they used to raise ``TypeError``
+    the moment a cluster had a machine spec.  Now they are priced
+    against the homogeneous model instead, with one warning per
+    strategy class -- the signature is checked first so a genuine
+    ``TypeError`` raised *inside* a four-parameter estimate still
+    propagates.
+    """
+    try:
+        return strategy.estimate(query, dstats, p, machines)
+    except TypeError:
+        parameters = inspect.signature(strategy.estimate).parameters
+        takes_machines = len(parameters) >= 4 or any(
+            param.kind is inspect.Parameter.VAR_POSITIONAL
+            for param in parameters.values()
+        )
+        if takes_machines:
+            raise
+    cls = type(strategy)
+    if cls not in _LEGACY_ESTIMATE_WARNED:
+        _LEGACY_ESTIMATE_WARNED.add(cls)
+        logger.warning(
+            "strategy %r has a pre-heterogeneity estimate() without the "
+            "machines parameter; pricing it against the homogeneous model",
+            strategy.name,
+        )
+    return strategy.estimate(query, dstats, p)
 
 
 @dataclass(frozen=True)
@@ -159,11 +205,11 @@ def plan(
             pruned.append(Candidate(strategy, None, reason))
             continue
         if machines is None:
-            # Two-arg call keeps pre-heterogeneity custom strategies
-            # (whose estimate() lacks the machines parameter) working.
             estimate = strategy.estimate(query, dstats, p)
         else:
-            estimate = strategy.estimate(query, dstats, p, machines)
+            estimate = _estimate_with_machines(
+                strategy, query, dstats, p, machines
+            )
         applicable.append((order, Candidate(strategy, estimate)))
 
     applicable.sort(key=lambda item: (item[1].estimate.sort_key(), item[0]))

@@ -51,6 +51,7 @@ reproducible and independent of ``max_workers``.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pathlib
 import re
@@ -81,6 +82,12 @@ from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database
 from repro.hashing.family import derive_seed
 from repro.hypercube.algorithm import _hypercube_impl
+from repro.metrics.registry import (
+    MetricsRegistry,
+    active_metrics,
+    collecting,
+    global_metrics,
+)
 from repro.mpc.report import LoadReport
 from repro.mpc.timing import format_phases
 from repro.parallel.pool import get_pool
@@ -185,6 +192,13 @@ class ClusterConfig:
     #: homogeneous model).  An explicit spec must have exactly ``p``
     #: machines; a default pattern is cycled to ``p``.
     machines: "MachineSpec | str | None" = None
+    #: Collect live telemetry (:mod:`repro.metrics`) for every run.
+    #: The session keeps one aggregated :class:`MetricsRegistry`
+    #: (:attr:`Session.metrics`) and rolls every run into the
+    #: process-wide registry; per-run counter totals reconcile exactly
+    #: with the run's :class:`~repro.mpc.report.LoadReport`, and
+    #: results stay bit-identical to a metrics-off run.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.p < 1:
@@ -264,6 +278,10 @@ def dispatch_run(
         )
     resolved = settings.resolve(storage, p)
     before = storage.io_counters() if storage is not None else None
+    metrics = active_metrics()
+    # The wall clock is read only when metrics are on, and only around
+    # the whole run -- never on an identity-sensitive path.
+    run_started = time.perf_counter() if metrics is not None else 0.0
     result = impl(
         query, database, p,
         seed=seed, settings=resolved, storage=storage, **overrides,
@@ -281,6 +299,22 @@ def dispatch_run(
             "reads": after["reads"] - before["reads"],
             "peak_live_bytes": after["peak_live_bytes"],
         })
+    if metrics is not None:
+        elapsed = time.perf_counter() - run_started
+        report = result.load_report
+        name = result.strategy
+        metrics.counter("repro_runs_total", strategy=name).inc()
+        metrics.histogram("repro_run_seconds", strategy=name).observe(elapsed)
+        metrics.histogram("repro_run_rounds", strategy=name).observe(
+            report.num_rounds
+        )
+        metrics.histogram("repro_run_load_bits", strategy=name).observe(
+            report.max_load_bits
+        )
+        if report.machines is not None and not report.machines.is_uniform:
+            metrics.gauge("repro_run_makespan_bits", strategy=name).set(
+                report.makespan_bits
+            )
     return result
 
 
@@ -424,6 +458,11 @@ class Session:
             )
         self.config = config
         self.history: list[RunRecord] = []
+        #: The session's aggregated telemetry view
+        #: (``ClusterConfig(metrics=True)``); None when disabled.
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if config.metrics else None
+        )
         self._external_storage = storage
         self._owned_storage: StorageManager | None = None
         self._closed = False
@@ -555,6 +594,7 @@ class Session:
         jobs: Iterable[Job | tuple[ConjunctiveQuery, Database]],
         max_workers: int | None = None,
         pool: PoolKind | None = None,
+        metrics_every: int | None = None,
     ) -> list[PlannedExecution]:
         """Run independent jobs concurrently over shared storage.
 
@@ -591,10 +631,18 @@ class Session:
         holds up to ``max_workers`` runs' working sets at once, so
         size ``memory_budget_bytes`` for the batch (divide a hard
         machine budget by the worker count) when it is tight.
+
+        ``metrics_every=N`` prints one progress line per ``N``
+        completed jobs (and at the end of the batch) -- jobs done,
+        elapsed wall time, and the last run's strategy and latency.
+        It works with or without ``ClusterConfig(metrics=True)``:
+        the lines read :class:`RunRecord` fields, not the registry.
         """
         normalized = [self._coerce_job(job) for job in jobs]
         if not normalized:
             return []
+        if metrics_every is not None and metrics_every < 1:
+            raise ValueError("metrics_every must be >= 1")
         if max_workers is None:
             max_workers = min(os.cpu_count() or 1, 8, len(normalized))
         if max_workers < 1:
@@ -610,30 +658,68 @@ class Session:
                 f"(expected 'serial', 'thread' or 'process')"
             )
         indices = range(len(normalized))
+        total = len(normalized)
+        batch_started = time.perf_counter()
+        done = 0
+
+        def note_done(record: RunRecord | None) -> None:
+            """Emit the ``metrics_every`` progress line (parent only)."""
+            nonlocal done
+            if metrics_every is None:
+                return
+            done += 1
+            if done % metrics_every and done != total:
+                return
+            elapsed = time.perf_counter() - batch_started
+            last = (
+                f"last {record.strategy} "
+                f"{record.wall_seconds * 1e3:.1f} ms"
+                if record is not None
+                else "last job failed"
+            )
+            print(
+                f"[repro.metrics] {done}/{total} job(s) done, "
+                f"{elapsed:.1f}s elapsed, {last}"
+            )
+
         if pool == "process" and max_workers > 1 and len(normalized) > 1:
             worker_pool = get_pool("process", max_workers)
             tasks = [
                 RunJobTask(config=self.config, job=job, index=index)
                 for index, job in zip(indices, normalized)
             ]
-            outcomes = [
-                ((result, record) if error is None else None, error)
-                for result, record, error in worker_pool.map(
-                    run_job_task, tasks
+            outcomes = []
+            for result, record, error, delta in worker_pool.imap(
+                run_job_task, tasks
+            ):
+                if delta is not None and self.metrics is not None:
+                    # The worker session counted exactly this job; fold
+                    # its shipped registry snapshot into the parent's
+                    # views so the aggregate is pool-kind-independent.
+                    self.metrics.merge(delta)
+                    global_metrics().merge(delta)
+                outcomes.append(
+                    ((result, record) if error is None else None, error)
                 )
-            ]
+                note_done(record if error is None else None)
         elif (
             pool == "serial" or max_workers == 1 or len(normalized) == 1
         ):
-            outcomes = [
-                self._try_run_job(job, index)
-                for index, job in zip(indices, normalized)
-            ]
+            outcomes = []
+            for index, job in zip(indices, normalized):
+                outcome = self._try_run_job(job, index)
+                outcomes.append(outcome)
+                note_done(outcome[0][1] if outcome[1] is None else None)
         else:
             with ThreadPoolExecutor(max_workers=max_workers) as executor:
-                outcomes = list(
-                    executor.map(self._try_run_job, normalized, indices)
-                )
+                outcomes = []
+                for outcome in executor.map(
+                    self._try_run_job, normalized, indices
+                ):
+                    outcomes.append(outcome)
+                    note_done(
+                        outcome[0][1] if outcome[1] is None else None
+                    )
         self._append_records(
             [pair[1] for pair, error in outcomes if error is None]
         )
@@ -746,24 +832,33 @@ class Session:
         recorder = (
             TraceRecorder() if self.config.trace is not None else None
         )
+        # Each run collects into a fresh registry (so per-run totals
+        # reconcile exactly with the run's LoadReport) that is merged
+        # into the session and process-wide views afterwards.  The
+        # context-variable scopes make every simulator and storage
+        # manager constructed during this run record into this
+        # recorder/registry -- including on a run_many worker thread,
+        # where the context is private to the thread.
+        run_metrics = MetricsRegistry() if self.metrics is not None else None
         started = time.perf_counter()
-        if recorder is not None:
-            # The context-variable scope makes every simulator and
-            # storage manager constructed during this run record into
-            # this recorder -- including on a run_many worker thread,
-            # where the context is private to the thread.
-            with tracing(recorder):
-                result = self._planner_run(
-                    query, database, strategy, run_seed, stats, storage,
-                    settings, shares, exponents, hitters, plan,
-                )
-        else:
+        with contextlib.ExitStack() as scope:
+            if recorder is not None:
+                scope.enter_context(tracing(recorder))
+            if run_metrics is not None:
+                scope.enter_context(collecting(run_metrics))
             result = self._planner_run(
                 query, database, strategy, run_seed, stats, storage,
                 settings, shares, exponents, hitters, plan,
             )
         wall = time.perf_counter() - started
         report = result.load_report
+        if run_metrics is not None:
+            ratio = report.prediction_ratio()
+            if ratio is not None:
+                run_metrics.calibration.observe(result.strategy, ratio)
+            delta = run_metrics.snapshot()
+            self.metrics.merge(delta)
+            global_metrics().merge(delta)
         # The spec the run actually used (report.machines is set by the
         # simulator from the resolved settings; the config/default spec
         # is the fallback for executors that bypass a simulator).
@@ -781,6 +876,7 @@ class Session:
                     "label": label,
                     "seed": run_seed,
                     "version": _repro_version(),
+                    "pool": resolve_pool(self.config.pool),
                     "machines": (
                         machines.describe() if machines is not None else None
                     ),

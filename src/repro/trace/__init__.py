@@ -30,7 +30,10 @@ Trace schema (JSONL: one JSON object per line, typed by ``"t"``)
 ``meta``
     Run identity, first line when present.  Keys: ``query`` (name),
     ``strategy``, ``label``, ``seed``, ``index`` (position in a
-    ``run_many`` batch), ``version`` (repro release).
+    ``run_many`` batch), ``version`` (repro release), ``pool`` (the
+    session's resolved worker-pool kind), ``machines`` (the
+    heterogeneous spec's ``describe()`` form, None for the
+    homogeneous model).
 ``sim``
     Emitted when an ``MPCSimulation`` is constructed inside the traced
     scope.  Keys: ``p`` (number of servers, including any extra heavy

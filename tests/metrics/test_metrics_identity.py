@@ -1,0 +1,155 @@
+"""Metrics collection must never perturb results.
+
+Mirrors ``tests/trace/test_identity.py``: every engine must produce
+bit-identical results (answers, per-round bits, drops) with metrics
+collection on and off, across pool kinds and spill-backed storage --
+and the registry's totals must reconcile *exactly* (float ``==``)
+with the run's :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import (
+    matching_database,
+    run_hypercube,
+    star_query,
+    triangle_query,
+    zipf_database,
+)
+from repro.metrics import MetricsRegistry, collecting
+from repro.multiround.executor import run_plan
+from repro.multiround.plans import chain_plan
+from repro.skew.star import run_star_skew
+from repro.skew.triangle import run_triangle_skew
+from repro.storage.manager import StorageManager
+
+ENGINES = ["hypercube", "skew-star", "skew-triangle", "multiround"]
+
+
+def run_engine(name, pool=None, storage=None, **knobs):
+    """One deterministic run of the named engine; returns its result."""
+    if name == "hypercube":
+        q = triangle_query()
+        db = matching_database(q, m=120, n=480, seed=7)
+        return run_hypercube(q, db, p=8, seed=3, pool=pool,
+                             storage=storage, **knobs)
+    if name == "skew-star":
+        q = star_query(2)
+        db = zipf_database(q, m=150, n=60, seed=11, skew=1.0)
+        return run_star_skew(q, db, p=8, seed=5, pool=pool,
+                             storage=storage, **knobs)
+    if name == "skew-triangle":
+        q = triangle_query()
+        db = zipf_database(q, m=120, n=50, seed=13, skew=1.1)
+        return run_triangle_skew(db, p=8, seed=9, pool=pool,
+                                 storage=storage, **knobs)
+    if name == "multiround":
+        plan = chain_plan(4)
+        db = matching_database(plan.query, m=120, n=480, seed=17)
+        return run_plan(plan, db, p=8, seed=21, pool=pool,
+                        storage=storage, **knobs)
+    raise AssertionError(name)
+
+
+def result_snapshot(result):
+    """Everything bit-identity covers, in comparable form."""
+    report = result.load_report
+    return (
+        set(result.answers),
+        [dict(r.bits) for r in report.rounds],
+        [dict(r.dropped_bits) for r in report.rounds],
+        report.total_bits,
+        report.max_load_bits,
+    )
+
+
+def run_with_metrics(name, **kwargs):
+    reg = MetricsRegistry()
+    with collecting(reg):
+        result = run_engine(name, **kwargs)
+    return result, reg
+
+
+def assert_reconciles(reg, result):
+    """Registry totals must equal the LoadReport exactly."""
+    report = result.load_report
+    assert reg.value("repro_sim_bits_total") == report.total_bits
+    assert reg.value("repro_sim_dropped_bits_total") == report.dropped_bits
+    assert reg.value("repro_sim_rounds_total") == float(report.num_rounds)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pool", [None, "thread"])
+def test_metrics_do_not_perturb_results(engine, pool):
+    baseline = result_snapshot(run_engine(engine, pool=pool))
+    observed, reg = run_with_metrics(engine, pool=pool)
+    assert result_snapshot(observed) == baseline
+    assert_reconciles(reg, observed)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_metrics_identity_with_storage(engine, tmp_path):
+    with StorageManager(root=tmp_path / "off", chunk_rows=64) as storage:
+        baseline = result_snapshot(run_engine(engine, storage=storage))
+    with StorageManager(root=tmp_path / "on", chunk_rows=64) as storage:
+        observed, reg = run_with_metrics(engine, storage=storage)
+        # Spill counters reconcile with the manager's own accounting.
+        counters = storage.io_counters()
+        assert reg.value("repro_spill_bytes_written_total") == float(
+            counters["bytes_written"]
+        )
+        assert reg.value("repro_spill_writes_total") == float(
+            counters["files_created"]
+        )
+    assert result_snapshot(observed) == baseline
+    assert_reconciles(reg, observed)
+
+
+def test_metrics_identity_with_process_pool():
+    baseline = result_snapshot(run_engine("hypercube", pool="process"))
+    observed, reg = run_with_metrics("hypercube", pool="process")
+    assert result_snapshot(observed) == baseline
+    assert_reconciles(reg, observed)
+    # Worker task timings replay in the parent across the process hop.
+    assert reg.total("repro_pool_tasks_total") > 0
+
+
+def test_metrics_identity_under_capacity_drops():
+    knobs = dict(capacity_bits=1_200.0, on_overflow="drop")
+    baseline = result_snapshot(run_engine("hypercube", **knobs))
+    observed, reg = run_with_metrics("hypercube", **knobs)
+    assert result_snapshot(observed) == baseline
+    assert observed.load_report.dropped_bits > 0
+    assert_reconciles(reg, observed)
+
+
+def test_metrics_overhead_stays_small():
+    """Collected wall time <= 1.1x uncollected at n = 10**5 (min of 3).
+
+    The disabled path is one ``is None`` check per hook, and even the
+    enabled path only bumps in-process counters -- so the full enabled
+    run must stay within 10% of the plain run (plus timer noise).
+    """
+    q = triangle_query()
+    db = matching_database(q, m=25_000, n=100_000, seed=0)
+
+    def best_of(collected, repeats=3):
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if collected:
+                with collecting():
+                    run_hypercube(q, db, p=8, skip_local_join=True)
+            else:
+                run_hypercube(q, db, p=8, skip_local_join=True)
+            samples.append(time.perf_counter() - start)
+        return min(samples)
+
+    best_of(collected=False, repeats=1)  # warm caches before timing
+    plain = best_of(collected=False)
+    collected = best_of(collected=True)
+    assert collected <= plain * 1.1 + 0.02

@@ -181,8 +181,9 @@ def test_run_job_task_roundtrips_and_executes():
         job=Job(q, db, label="probe"),
         index=0,
     ))
-    result, record, error = run_job_task(task)
+    result, record, error, metrics = run_job_task(task)
     assert error is None
+    assert metrics is None  # config did not enable metrics
     assert isinstance(result, MaterializedRunResult)
     assert record.label == "probe"
     # The materialized result survives another pickle hop (the trip
@@ -200,7 +201,7 @@ def test_run_job_task_returns_portable_error():
         job=Job(q, db, strategy="no-such-strategy"),
         index=0,
     )
-    result, record, error = run_job_task(task)
-    assert result is None and record is None
+    result, record, error, metrics = run_job_task(task)
+    assert result is None and record is None and metrics is None
     assert error is not None
     assert isinstance(roundtrip(error), Exception)

@@ -1,0 +1,184 @@
+"""The CI perf-regression gate in ``benchmarks/collect_trajectory.py``."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "collect_trajectory", REPO_ROOT / "benchmarks" / "collect_trajectory.py"
+)
+collect = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(collect)
+
+
+def fresh_rows():
+    return [
+        {"name": "bench_route", "mean_s": 0.010, "stddev_s": 0.001,
+         "rounds": 5},
+        {"name": "bench_join", "mean_s": 0.020, "stddev_s": 0.002,
+         "rounds": 5,
+         "extra_info": {"makespan_bits": 1000.0, "note": "text"}},
+    ]
+
+
+def entry_for(rows, host=None, collected_at="2026-01-01T00:00:00Z"):
+    return {
+        "collected_at": collected_at,
+        "host": host if host is not None else collect.host_info(),
+        "version": "1.7.0",
+        "benchmarks": rows,
+    }
+
+
+class TestComparableHosts:
+    def test_same_cpus_and_arch_match(self):
+        host = collect.host_info()
+        assert collect.comparable_hosts(host, dict(host))
+
+    def test_differing_cpus_do_not(self):
+        host = collect.host_info()
+        other = dict(host, cpus=(host.get("cpus") or 0) + 64)
+        assert not collect.comparable_hosts(host, other)
+
+
+class TestCheckAgainstBaseline:
+    def test_passes_against_identical_baseline(self):
+        trajectory = [entry_for(fresh_rows())]
+        failures, notes = collect.check_against_baseline(
+            fresh_rows(), trajectory, tolerance=1.5
+        )
+        assert failures == []
+        assert notes == []
+
+    def test_fails_on_injected_2x_regression(self):
+        trajectory = [entry_for(fresh_rows())]
+        slow = fresh_rows()
+        slow[0]["mean_s"] *= 2  # the acceptance scenario
+        failures, _ = collect.check_against_baseline(
+            slow, trajectory, tolerance=1.5
+        )
+        assert len(failures) == 1
+        assert "bench_route" in failures[0]
+        assert "2.00x" in failures[0]
+
+    def test_no_comparable_host_notes_and_passes(self):
+        foreign = dict(collect.host_info())
+        foreign["cpus"] = (foreign.get("cpus") or 0) + 64
+        trajectory = [entry_for(fresh_rows(), host=foreign)]
+        slow = fresh_rows()
+        slow[0]["mean_s"] *= 10
+        failures, notes = collect.check_against_baseline(
+            slow, trajectory, tolerance=1.5
+        )
+        assert failures == []  # wall clock never compared across hosts
+        assert any("no comparable-host baseline" in n for n in notes)
+
+    def test_extra_info_facts_checked_host_independently(self):
+        foreign = dict(collect.host_info())
+        foreign["cpus"] = (foreign.get("cpus") or 0) + 64
+        trajectory = [entry_for(fresh_rows(), host=foreign)]
+        worse = fresh_rows()
+        worse[1]["extra_info"]["makespan_bits"] = 5000.0  # model units
+        failures, _ = collect.check_against_baseline(
+            worse, trajectory, tolerance=1.5
+        )
+        assert len(failures) == 1
+        assert "makespan_bits" in failures[0]
+
+    def test_latest_entry_wins_for_facts(self):
+        old = fresh_rows()
+        old[1]["extra_info"]["makespan_bits"] = 100.0
+        trajectory = [
+            entry_for(old, collected_at="2026-01-01T00:00:00Z"),
+            entry_for(fresh_rows(), collected_at="2026-02-01T00:00:00Z"),
+        ]
+        # 1000.0 would be 10x the stale entry, but matches the latest.
+        failures, _ = collect.check_against_baseline(
+            fresh_rows(), trajectory, tolerance=1.5
+        )
+        assert failures == []
+
+    def test_new_benchmark_has_no_history_to_fail(self):
+        trajectory = [entry_for(fresh_rows())]
+        rows = fresh_rows() + [
+            {"name": "bench_new", "mean_s": 99.0, "stddev_s": 0.0,
+             "rounds": 3}
+        ]
+        failures, _ = collect.check_against_baseline(
+            rows, trajectory, tolerance=1.5
+        )
+        assert failures == []
+
+
+class TestMainCheckMode:
+    def run_main(self, argv, capsys):
+        try:
+            collect.main(argv)
+        except SystemExit as exc:
+            return int(exc.code or 0), capsys.readouterr()
+        return 0, capsys.readouterr()
+
+    def write_artifact(self, tmp_path, rows):
+        artifact = {
+            "benchmarks": [
+                {"fullname": row["name"],
+                 "stats": {"mean": row["mean_s"],
+                           "stddev": row["stddev_s"],
+                           "rounds": row["rounds"]},
+                 **({"extra_info": row["extra_info"]}
+                    if "extra_info" in row else {})}
+                for row in rows
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(artifact))
+        return str(path)
+
+    def test_check_passes_and_does_not_append(self, tmp_path, capsys):
+        baseline = tmp_path / "trajectory.json"
+        baseline.write_text(json.dumps([entry_for(fresh_rows())]))
+        artifact = self.write_artifact(tmp_path, fresh_rows())
+        code, captured = self.run_main(
+            ["--from-json", artifact, "--check",
+             "--baseline", str(baseline)], capsys,
+        )
+        assert code == 0
+        assert "perf check passed" in captured.out
+        assert len(json.loads(baseline.read_text())) == 1  # unchanged
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "trajectory.json"
+        baseline.write_text(json.dumps([entry_for(fresh_rows())]))
+        slow = fresh_rows()
+        slow[0]["mean_s"] *= 2
+        artifact = self.write_artifact(tmp_path, slow)
+        code, captured = self.run_main(
+            ["--from-json", artifact, "--check",
+             "--baseline", str(baseline)], capsys,
+        )
+        assert code == 1
+        assert "PERF REGRESSION" in captured.err
+
+    def test_tolerance_must_exceed_one(self, tmp_path, capsys):
+        artifact = self.write_artifact(tmp_path, fresh_rows())
+        code, _ = self.run_main(
+            ["--from-json", artifact, "--check", "--tolerance", "0.9"],
+            capsys,
+        )
+        assert code != 0
+
+
+class TestExecutionContext:
+    def test_context_shape(self):
+        context = collect.execution_context()
+        assert "pool" in context
+        assert "machines" in context
+        # The repo is a git checkout: the SHA should resolve here.
+        sha = context.get("git_sha")
+        assert sha is None or (isinstance(sha, str) and len(sha) >= 7)
