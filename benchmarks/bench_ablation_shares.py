@@ -14,7 +14,6 @@ constant factor over the fractional LP prediction.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -10,7 +10,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.data.generators import matching_relation
 from repro.hashing.balls import (

@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 
 import networkx as nx
-import pytest
 
 from repro.data.generators import layered_path_graph
 from repro.multiround.connected import connected_components_mpc

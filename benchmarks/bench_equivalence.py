@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bounds.one_round import equivalence_gap, lower_bound, upper_bound
 from repro.core.families import (

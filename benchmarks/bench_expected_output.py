@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.families import chain_query, simple_join_query, triangle_query
 from repro.core.friedgut import (

@@ -67,7 +67,7 @@ def test_star_weighted_vs_uniform_makespan(report_table):
             f"{measured_uniform:>14.0f}",
             f"{'weighted':>10} {predicted_weighted:>15.0f} "
             f"{measured_weighted:>14.0f}",
-            f"  measured improvement: "
+            "  measured improvement: "
             f"{measured_uniform / measured_weighted:.2f}x",
         ],
     )
@@ -139,7 +139,7 @@ def test_triangle_hypercube_weighted_vs_uniform_makespan(report_table):
             f"{measured_uniform:>14.0f}",
             f"{'weighted':>10} {predicted_weighted:>15.0f} "
             f"{measured_weighted:>14.0f}",
-            f"  measured improvement: "
+            "  measured improvement: "
             f"{measured_uniform / measured_weighted:.2f}x",
         ],
     )

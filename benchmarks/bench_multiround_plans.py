@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.families import spk_query
 from repro.data.generators import matching_database

@@ -8,9 +8,7 @@ fraction bound at the critical load.
 
 from __future__ import annotations
 
-import math
 
-import pytest
 
 from repro.core.families import chain_query
 from repro.multiround.gamma import chain_rounds_upper_bound, rounds_upper_bound

@@ -10,7 +10,6 @@ prediction.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.families import simple_join_query
 from repro.data.generators import planted_heavy_hitter_database

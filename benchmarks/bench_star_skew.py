@@ -10,7 +10,6 @@ hashing once a hitter dominates.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.families import star_query
 from repro.data.generators import degree_sequence_database

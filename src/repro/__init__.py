@@ -173,7 +173,7 @@ from repro.trace import Trace, TraceQuery, TraceRecorder, tracing
 # ``logging.basicConfig()``.
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Atom",

@@ -130,7 +130,7 @@ def parse_query(name: str) -> ConjunctiveQuery:
         return binom_query(int(match.group(1)), int(match.group(2)))
     raise argparse.ArgumentTypeError(
         f"unknown query {name!r} (try triangle, join, K4, L5, C4, T3, "
-        f"SP2, B4_2)"
+        "SP2, B4_2)"
     )
 
 
@@ -190,7 +190,7 @@ def run_tour(trace_dir: str | None = None) -> None:
     zq = star_query(2)
     zdb = zipf_database(zq, m=2000, n=2000, skew=1.0, seed=2)
     zplanned = planner_execute(zq, zdb, 16, seed=0)
-    print(f"\nZipf-skewed star join T2 (m=2000, skew=1.0, p=16): planner "
+    print("\nZipf-skewed star join T2 (m=2000, skew=1.0, p=16): planner "
           f"picks {zplanned.strategy}, measured "
           f"L = {zplanned.max_load_bits:.0f} bits")
     zexpected = evaluate(zq, zdb)
@@ -205,8 +205,8 @@ def run_tour(trace_dir: str | None = None) -> None:
     winner = het_plan.winner
     print(f"  planner winner {winner.name}: predicted makespan "
           f"{winner.estimate.load_bits:.0f} bits/unit speed "
-          f"(see `python -m repro plan triangle --p 8 "
-          f"--machines 4x1,4x4`)")
+          "(see `python -m repro plan triangle --p 8 "
+          "--machines 4x1,4x4`)")
     with Session(p=8, seed=0, machines=het_spec) as het_session:
         het_result = het_session.run(q, db, label="triangle-hetero")
         _check(het_result.answers == expected,
@@ -215,7 +215,7 @@ def run_tour(trace_dir: str | None = None) -> None:
         _check(het_record.makespan_bits is not None,
                "heterogeneous run records its measured makespan")
         print(f"  {het_record.line()}")
-        print(f"  (speed-weighted shares: fast servers take more bits; "
+        print("  (speed-weighted shares: fast servers take more bits; "
               f"makespan {het_record.makespan_bits:.0f} <= "
               f"L {het_result.max_load_bits:.0f})")
         _check(het_record.makespan_bits <= het_result.max_load_bits + 1e-9,
@@ -258,7 +258,7 @@ def run_tour(trace_dir: str | None = None) -> None:
             print("  triangle trace: "
                   + ", ".join(f"#{s} {bits:.0f}b" for s, bits in top)
                   + f" (top 3 of {len(query_view.server_bits())} servers; "
-                  f"see `python -m repro trace`)")
+                  "see `python -m repro trace`)")
     finally:
         if tmp_trace is not None:
             tmp_trace.cleanup()
@@ -330,21 +330,21 @@ def run_plan_command(args: argparse.Namespace) -> None:
         if planned.budget_outcome == "chunked":
             print(
                 f"out-of-core: budget {args.memory_budget_mb:g} MiB -> "
-                f"chunked execution, spilled "
+                "chunked execution, spilled "
                 f"{planned.storage.bytes_spilled / 2**20:.1f} MiB in "
                 f"{planned.storage.chunks_spilled} chunks "
                 f"(chunk_rows={planned.storage.chunk_rows})"
             )
         elif planned.budget_outcome == "fits":
             print(
-                f"in-memory: input fits the "
+                "in-memory: input fits the "
                 f"{args.memory_budget_mb:g} MiB budget"
             )
         elif planned.budget_outcome == "not-enforced":
             print(
                 f"in-memory: {planned.strategy} cannot stream chunks "
                 f"(the {args.memory_budget_mb:g} MiB budget was not "
-                f"enforced)"
+                "enforced)"
             )
         _check(planned.answers == evaluate(query, db),
                "planned execution equals the sequential join")
@@ -435,7 +435,7 @@ def run_run_command(args: argparse.Namespace) -> None:
             )
         if session.storage is not None:
             print(
-                f"out-of-core: spilled "
+                "out-of-core: spilled "
                 f"{session.storage.bytes_spilled / 2**20:.1f} MiB in "
                 f"{session.storage.chunks_spilled} chunks "
                 f"(chunk_rows={session.storage.chunk_rows})"
@@ -641,6 +641,27 @@ def main(argv: list[str] | None = None) -> None:
         "--diff", default=None, metavar="OTHER",
         help="print per-series deltas from PATH to OTHER",
     )
+    check_parser = sub.add_parser(
+        "check",
+        help="statically check source for determinism / parallel-safety "
+             "/ hook-hygiene invariants (repro.checks)",
+    )
+    check_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    check_parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE",
+        help="run only this rule id (repeatable; see --list-rules)",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable repro.checks/1 report",
+    )
+    check_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its description and exit",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -657,6 +678,19 @@ def main(argv: list[str] | None = None) -> None:
         except FileNotFoundError as exc:
             print(f"CHECK FAILED: {exc}", file=sys.stderr)
             raise TourCheckFailed(str(exc)) from exc
+    elif args.command == "check":
+        from repro.checks import cli as checks_cli
+
+        check_argv = list(args.paths)
+        for rule in args.rules or ():
+            check_argv += ["--rule", rule]
+        if args.json:
+            check_argv.append("--json")
+        if args.list_rules:
+            check_argv.append("--list-rules")
+        code = checks_cli.main(check_argv)
+        if code:
+            raise SystemExit(code)
     elif args.command == "metrics":
         try:
             print(

@@ -1,0 +1,45 @@
+"""`repro.checks` — AST-based invariant analysis for this codebase.
+
+Every major bugfix sweep in this repo's history (PR 3's unsorted
+fragment routing, PR 6's picklability audit, PR 7/9's hook discipline)
+violated an invariant that is mechanically checkable from source.
+This package checks them: ``python -m repro check`` runs the rules in
+:mod:`repro.checks.rules` over ``src/`` and exits nonzero on findings.
+
+Public surface::
+
+    from repro.checks import check_paths, all_rules, Finding
+
+    result = check_paths(["src"])      # CheckResult
+    result.clean                        # bool
+    [f.render() for f in result.findings]
+"""
+
+from repro.checks.engine import (
+    SCHEMA,
+    CheckResult,
+    Finding,
+    Module,
+    Rule,
+    check_paths,
+    check_source,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+from repro.checks.rules import all_rules, rule_ids
+
+__all__ = [
+    "SCHEMA",
+    "CheckResult",
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,419 @@
+"""The rule engine: parse once, run every rule, honor suppressions.
+
+One :class:`Module` is built per source file (path, source, ``ast``
+tree, lazily-computed parent links); every registered :class:`Rule`
+walks it and yields file/line-anchored :class:`Finding` values.  The
+engine then applies inline suppressions and returns a deterministic,
+sorted :class:`CheckResult`.
+
+Suppression syntax (one comment, same line or the line above)::
+
+    x = time.time()  # repro: allow(wall-clock) -- bench timing only
+
+    # repro: allow(unseeded-random) -- exploring, results unrecorded
+    random.shuffle(candidates)
+
+A suppression **must** carry a justification after ``--``; a bare
+``# repro: allow(rule)`` suppresses nothing and is itself reported
+under the ``suppression`` rule id, so every exemption in the tree is a
+written decision.  Unknown rule ids in ``allow(...)`` are reported the
+same way.
+
+Comments are found with :mod:`tokenize` (never by substring search), so
+a suppression-shaped string literal cannot silence a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: JSON artifact schema tag; bump only with a breaking layout change.
+SCHEMA = "repro.checks/1"
+
+#: The rule id under which suppression-comment problems are reported.
+SUPPRESSION_RULE = "suppression"
+
+#: The rule id under which unparseable files are reported.
+SYNTAX_RULE = "syntax"
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[A-Za-z0-9_\-\s,]+?)\s*\)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Module:
+    """One parsed source file, shared by every rule.
+
+    ``path`` is reported in findings exactly as given; ``posix`` is the
+    forward-slash form rules use for allowlist matching (for example
+    the wall-clock rule's timing/metrics module exemptions).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.posix = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._imports: dict[str, str] | None = None
+
+    @property
+    def parents(self) -> Mapping[ast.AST, ast.AST]:
+        """Child node -> parent node, for ancestor walks."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    @property
+    def imports(self) -> Mapping[str, str]:
+        """Local alias -> dotted module/object path (module scope only).
+
+        ``import numpy as np`` maps ``np -> numpy``;
+        ``from time import perf_counter as pc`` maps
+        ``pc -> time.perf_counter``.  Rules resolve call targets
+        through this table so aliased imports cannot dodge a check.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        name = alias.asname or alias.name.split(".", 1)[0]
+                        table[name] = alias.name if alias.asname else name
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+            self._imports = table
+        return self._imports
+
+    def dotted(self, node: ast.expr) -> str | None:
+        """The canonical dotted path of a Name/Attribute chain.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; returns None for anything that is not a
+        plain name chain (subscripts, calls, literals).
+        """
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def statement_of(self, node: ast.AST) -> ast.stmt | None:
+        """The innermost statement containing ``node``."""
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parents.get(current)
+        return current
+
+    def in_loop(self, node: ast.AST) -> bool:
+        """Is ``node`` executed per-iteration of an enclosing loop?
+
+        Stops at the nearest function boundary: a loop *outside* the
+        enclosing function does not count, because the function body is
+        the unit the rules reason about.  Comprehensions count as
+        loops.
+        """
+        current = self.parents.get(node)
+        child = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return False
+            if isinstance(current, (ast.For, ast.AsyncFor, ast.While)):
+                # The loop *target/iter* themselves evaluate once.
+                if child in getattr(current, "body", []) or child in getattr(
+                    current, "orelse", []
+                ):
+                    return True
+            if isinstance(
+                current,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                return True
+            child = current
+            current = self.parents.get(current)
+        return False
+
+    def inside(self, node: ast.AST, kinds: tuple[type, ...]) -> bool:
+        """Does any ancestor of ``node`` have one of these types?"""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                return True
+            current = self.parents.get(current)
+        return False
+
+
+class Rule:
+    """One mechanically-checkable invariant.
+
+    Subclasses set ``id`` (the kebab-case name used in ``--rule`` and
+    suppression comments) and ``description``, and implement
+    :meth:`check` as a generator of findings over one :class:`Module`.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Everything one analyzer run produced."""
+
+    findings: tuple[Finding, ...]
+    files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "files": self.files,
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+def _code_lines(tokens: list[tokenize.TokenInfo]) -> set[int]:
+    """Physical line numbers that carry actual code tokens."""
+    skip = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    lines: set[int] = set()
+    for token in tokens:
+        if token.type in skip:
+            continue
+        for row in range(token.start[0], token.end[0] + 1):
+            lines.add(row)
+    return lines
+
+
+def parse_suppressions(
+    path: str, source: str, known_rules: Iterable[str]
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Suppressed-(line -> rule ids), plus the malformed-comment findings.
+
+    A trailing comment suppresses its own line; a standalone comment
+    suppresses the next line that carries code.  Reasonless or
+    unknown-rule suppressions suppress nothing and are reported under
+    :data:`SUPPRESSION_RULE`.
+    """
+    known = set(known_rules)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return {}, []
+    code_lines = _code_lines(tokens)
+    suppressed: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        row = token.start[0]
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        reason = match.group("reason")
+        if not reason:
+            findings.append(Finding(
+                rule=SUPPRESSION_RULE,
+                path=path,
+                line=row,
+                col=token.start[1] + 1,
+                message=(
+                    "suppression without a justification; write "
+                    "`# repro: allow(<rule>) -- <reason>`"
+                ),
+            ))
+            continue
+        unknown = sorted(rules - known - {SUPPRESSION_RULE, SYNTAX_RULE})
+        if unknown:
+            findings.append(Finding(
+                rule=SUPPRESSION_RULE,
+                path=path,
+                line=row,
+                col=token.start[1] + 1,
+                message=(
+                    f"suppression names unknown rule(s) {', '.join(unknown)}"
+                ),
+            ))
+        rules &= known
+        if not rules:
+            continue
+        standalone = not source.splitlines()[row - 1][: token.start[1]].strip()
+        target = row
+        if standalone:
+            target = next(
+                (line for line in sorted(code_lines) if line > row), row
+            )
+        suppressed.setdefault(target, set()).update(rules)
+    return suppressed, findings
+
+
+def iter_source_files(
+    paths: Sequence[str | pathlib.Path],
+) -> Iterator[pathlib.Path]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    Hidden directories and ``__pycache__`` are skipped; a named file is
+    taken as-is.  Raises :class:`FileNotFoundError` for a missing path
+    (a silently-empty run would read as a clean tree).
+    """
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            if path not in seen:
+                seen.add(path)
+                yield path
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.relative_to(path).parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in parts
+                ):
+                    continue
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield candidate
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def check_source(
+    path: str,
+    source: str,
+    rules: Sequence[Rule],
+    known_ids: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over one in-memory source file.
+
+    ``known_ids`` is the full rule registry for suppression-comment
+    validation; it defaults to the ids of ``rules`` and matters when a
+    ``--rule`` filter runs a subset (a suppression naming a real but
+    unselected rule must not read as "unknown").
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=SYNTAX_RULE,
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) or 1,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    module = Module(path, source, tree)
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(module))
+    if known_ids is None:
+        known_ids = [rule.id for rule in rules]
+    suppressed, findings = parse_suppressions(path, source, known_ids)
+    findings.extend(
+        f for f in raw if f.rule not in suppressed.get(f.line, ())
+    )
+    return findings
+
+
+def check_paths(
+    paths: Sequence[str | pathlib.Path],
+    rules: Sequence[Rule] | None = None,
+) -> CheckResult:
+    """Run the analyzer over files/directories and collect findings."""
+    from repro.checks.rules import all_rules
+
+    if rules is None:
+        rules = all_rules()
+    known_ids = [rule.id for rule in all_rules()]
+    findings: list[Finding] = []
+    files = 0
+    for path in iter_source_files(paths):
+        files += 1
+        source = path.read_text(encoding="utf-8")
+        findings.extend(check_source(str(path), source, rules, known_ids))
+    findings.sort(key=Finding.sort_key)
+    return CheckResult(findings=tuple(findings), files=files)
+
+
+def render_text(result: CheckResult) -> str:
+    """The human-readable report (one line per finding + a summary)."""
+    lines = [finding.render() for finding in result.findings]
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    return json.dumps(result.to_json(), indent=2, sort_keys=False)

@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Literal, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ hashable and comparable, which makes test assertions cheap.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 

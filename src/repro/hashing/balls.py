@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.hashing.family import GridPartitioner, HashFamily
+from repro.hashing.family import GridPartitioner, HashFamily, derive_seed
 
 
 def bennett_h(x: float) -> float:
@@ -133,7 +133,9 @@ def simulate_grid_partition(
     total = float(sum(weights))
     maxima = []
     for trial in range(trials):
-        family = HashFamily(seed * 1_000_003 + trial + 1)
+        # splitmix64 mixing: affine seed*K+trial derivations collide
+        # across (seed, trial) pairs and correlate adjacent trials.
+        family = HashFamily(derive_seed(seed, trial + 1))
         grid = GridPartitioner(shares, family)
         bins: dict[tuple[int, ...], float] = {}
         for t, w in zip(tuples, weights):
@@ -151,19 +153,22 @@ def max_load_exceed_probability(
 
 
 def adversarial_weights(
-    m: int, k: int, beta: float, seed: int = 0
+    m: int, k: int, beta: float, seed: int | random.Random = 0
 ) -> list[float]:
     """A weight vector saturating the Theorem A.1 promise.
 
     Produces balls of the maximum allowed weight ``beta * m / K`` (plus
     one remainder ball), the worst case for hash-based load balancing.
+    ``seed`` may be an int or a pre-seeded :class:`random.Random`, so a
+    caller sweeping many configurations can thread one generator
+    through instead of re-seeding per call.
     """
     if beta <= 0:
         raise ValueError("beta must be positive")
     cap = beta * m / k
     if cap <= 0:
         raise ValueError("cap must be positive")
-    rng = random.Random(seed)
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     weights: list[float] = []
     remaining = float(m)
     while remaining > cap:

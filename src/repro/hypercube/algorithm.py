@@ -347,7 +347,7 @@ def _hypercube_impl(
     backend = settings.backend
     chunk_rows = settings.chunk_rows
     timer = PhaseTimer()
-    pool = get_pool(settings.pool or "serial", settings.max_workers)
+    pool = get_pool(settings.pool, settings.max_workers)
     with timer.phase("generate"):
         database.validate_for(query)
         stats = database.statistics(query)

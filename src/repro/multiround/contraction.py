@@ -21,7 +21,7 @@ machinery, run on real data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database

@@ -252,7 +252,7 @@ def _multiround_impl(
     backend = settings.backend
     chunk_rows = settings.chunk_rows
     timer = PhaseTimer()
-    pool = get_pool(settings.pool or "serial", settings.max_workers)
+    pool = get_pool(settings.pool, settings.max_workers)
     if p < 2:
         raise ValueError("plan execution needs p >= 2")
     if query != plan.query:

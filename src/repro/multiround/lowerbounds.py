@@ -31,7 +31,6 @@ from repro.core.query import ConjunctiveQuery
 from repro.multiround.gamma import k_epsilon, m_epsilon
 from repro.multiround.good_sets import (
     EpsilonRPlan,
-    contract_to_survivors,
     minimal_hard_subqueries,
 )
 

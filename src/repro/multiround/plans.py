@@ -23,7 +23,7 @@ Builders:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.families import chain_query, cycle_query, spk_query, star_query

@@ -36,7 +36,7 @@ from __future__ import annotations
 import pathlib
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 import numpy as np
@@ -149,6 +149,8 @@ def route_task(
     """
     from repro.hypercube.algorithm import route_relation_arrays
 
+    # repro: allow(wall-clock) -- per-task phase timing; reported as
+    # telemetry, never folded into answers or routing.
     started = time.perf_counter()
     rows = np.asarray(task.source.load())
     for position, values in task.exclude:
@@ -165,7 +167,7 @@ def route_task(
             grid, task.dimension_variables, task.atom_variables, rows
         )
     )
-    return task.tag, task.base, groups, time.perf_counter() - started
+    return task.tag, task.base, groups, time.perf_counter() - started  # repro: allow(wall-clock) -- phase timing telemetry
 
 
 def route_over_pool(
@@ -231,6 +233,8 @@ def join_task(task: JoinTask) -> tuple[int, np.ndarray | None, float]:
     # (hypercube.algorithm imports this module's drivers).
     from repro.hypercube.algorithm import local_join_fragments
 
+    # repro: allow(wall-clock) -- per-task phase timing; reported as
+    # telemetry, never folded into answers or routing.
     started = time.perf_counter()
     merged: dict[str, np.ndarray] = {}
     for tag, sources in task.fragments:
@@ -245,12 +249,12 @@ def join_task(task: JoinTask) -> tuple[int, np.ndarray | None, float]:
         if len(deduped):
             merged[tag] = deduped
     if not merged:
-        return task.server, None, time.perf_counter() - started
+        return task.server, None, time.perf_counter() - started  # repro: allow(wall-clock) -- phase timing telemetry
     local = local_join_fragments(task.query, merged)
     return (
         task.server,
         (local if len(local) else None),
-        time.perf_counter() - started,
+        time.perf_counter() - started,  # repro: allow(wall-clock) -- phase timing telemetry
     )
 
 

@@ -57,13 +57,14 @@ from repro.hypercube.analysis import (
     predicted_makespan_bits,
 )
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.config import MachineSpec
 from repro.multiround.plans import Plan
 from repro.planner.statistics import DataStatistics
 from repro.skew.heavy_hitters import HitterStatistics
 from repro.skew.star import _heavy_allocation, star_center
 from repro.skew.triangle import _STRUCTURE as _TRIANGLE_STRUCTURE
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.config import MachineSpec
 
 
 @dataclass(frozen=True)

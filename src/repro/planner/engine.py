@@ -107,7 +107,7 @@ class PlannedExecution:
         ]
         if self.storage is not None:
             lines.append(
-                f"  out-of-core: spilled "
+                "  out-of-core: spilled "
                 f"{self.storage.bytes_spilled / 2**20:.1f} MiB in "
                 f"{self.storage.chunks_spilled} chunks "
                 f"(chunk_rows={self.storage.chunk_rows})"
@@ -216,9 +216,9 @@ def execute(
                 # better than silently dropping a memory constraint.
                 raise ValueError(
                     f"strategy {candidate.name!r} cannot stream through "
-                    f"a storage manager (tuple backend or in-memory "
-                    f"baseline); pick a streaming strategy or use "
-                    f"memory_budget_bytes"
+                    "a storage manager (tuple backend or in-memory "
+                    "baseline); pick a streaming strategy or use "
+                    "memory_budget_bytes"
                 )
             # The budget-opened manager would be ignored: run
             # in-memory and report that honestly via .storage = None.

@@ -147,7 +147,7 @@ class ExplainedPlan:
             lines.append(
                 f"  machines: {self.machines.describe()} "
                 f"(total speed {self.machines.total_speed:g}; estimates "
-                f"are makespan, bits per unit speed)"
+                "are makespan, bits per unit speed)"
             )
         cost_label = "predicted span" if heterogeneous else "predicted L"
         header = (

@@ -123,7 +123,7 @@ class DataStatistics:
         if isinstance(source, Statistics):
             return cls(source)
         raise TypeError(
-            f"expected DataStatistics, Statistics or Database, got "
+            "expected DataStatistics, Statistics or Database, got "
             f"{type(source).__name__}"
         )
 

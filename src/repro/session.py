@@ -256,7 +256,7 @@ def dispatch_run(
     seed: int,
     settings: ExecutionSettings,
     storage: StorageManager | None = None,
-    **overrides,
+    **overrides: object,
 ) -> RunResult:
     """The shared internal run path behind every executor entry point.
 
@@ -281,7 +281,7 @@ def dispatch_run(
     metrics = active_metrics()
     # The wall clock is read only when metrics are on, and only around
     # the whole run -- never on an identity-sensitive path.
-    run_started = time.perf_counter() if metrics is not None else 0.0
+    run_started = time.perf_counter() if metrics is not None else 0.0  # repro: allow(wall-clock) -- metrics-gated, whole-run only
     result = impl(
         query, database, p,
         seed=seed, settings=resolved, storage=storage, **overrides,
@@ -300,7 +300,7 @@ def dispatch_run(
             "peak_live_bytes": after["peak_live_bytes"],
         })
     if metrics is not None:
-        elapsed = time.perf_counter() - run_started
+        elapsed = time.perf_counter() - run_started  # repro: allow(wall-clock) -- metrics-gated, whole-run only
         report = result.load_report
         name = result.strategy
         metrics.counter("repro_runs_total", strategy=name).inc()
@@ -448,8 +448,8 @@ class Session:
         config: ClusterConfig | None = None,
         *,
         storage: StorageManager | None = None,
-        **knobs,
-    ):
+        **knobs: object,
+    ) -> None:
         if config is None:
             config = ClusterConfig(**knobs)
         elif knobs:
@@ -474,7 +474,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -655,11 +655,11 @@ class Session:
         elif pool not in ("serial", "thread", "process"):
             raise ValueError(
                 f"unknown pool kind {pool!r} "
-                f"(expected 'serial', 'thread' or 'process')"
+                "(expected 'serial', 'thread' or 'process')"
             )
         indices = range(len(normalized))
         total = len(normalized)
-        batch_started = time.perf_counter()
+        batch_started = time.perf_counter()  # repro: allow(wall-clock) -- progress-line timing only
         done = 0
 
         def note_done(record: RunRecord | None) -> None:
@@ -670,7 +670,7 @@ class Session:
             done += 1
             if done % metrics_every and done != total:
                 return
-            elapsed = time.perf_counter() - batch_started
+            elapsed = time.perf_counter() - batch_started  # repro: allow(wall-clock) -- progress-line timing only
             last = (
                 f"last {record.strategy} "
                 f"{record.wall_seconds * 1e3:.1f} ms"
@@ -809,11 +809,11 @@ class Session:
         database: Database,
         strategy: str | None,
         *,
-        shares,
-        exponents,
-        hitters,
-        plan,
-        stats,
+        shares: Mapping[str, int] | None,
+        exponents: Mapping[str, float] | None,
+        hitters: object | None,
+        plan: Plan | None,
+        stats: DataStatistics | None,
         seed: int | None,
         label: str | None,
     ) -> tuple[PlannedExecution, RunRecord]:
@@ -840,7 +840,7 @@ class Session:
         # recorder/registry -- including on a run_many worker thread,
         # where the context is private to the thread.
         run_metrics = MetricsRegistry() if self.metrics is not None else None
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow(wall-clock) -- RunRecord.wall_seconds telemetry
         with contextlib.ExitStack() as scope:
             if recorder is not None:
                 scope.enter_context(tracing(recorder))
@@ -850,7 +850,7 @@ class Session:
                 query, database, strategy, run_seed, stats, storage,
                 settings, shares, exponents, hitters, plan,
             )
-        wall = time.perf_counter() - started
+        wall = time.perf_counter() - started  # repro: allow(wall-clock) -- RunRecord.wall_seconds telemetry
         report = result.load_report
         if run_metrics is not None:
             ratio = report.prediction_ratio()
@@ -912,8 +912,18 @@ class Session:
         return result, record
 
     def _planner_run(
-        self, query, database, strategy, run_seed, stats, storage,
-        settings, shares, exponents, hitters, plan,
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        strategy: str | None,
+        run_seed: int,
+        stats: DataStatistics | None,
+        storage: StorageManager | None,
+        settings: ExecutionSettings,
+        shares: Mapping[str, int] | None,
+        exponents: Mapping[str, float] | None,
+        hitters: object | None,
+        plan: Plan | None,
     ) -> PlannedExecution:
         return _planner_execute(
             query,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.query import ConjunctiveQuery
 from repro.data.database import Database

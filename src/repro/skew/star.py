@@ -255,7 +255,7 @@ def _star_impl(
     backend = settings.backend
     chunk_rows = settings.chunk_rows
     timer = PhaseTimer()
-    pool = get_pool(settings.pool or "serial", settings.max_workers)
+    pool = get_pool(settings.pool, settings.max_workers)
     if p < 2:
         raise ValueError("star algorithm needs p >= 2")
     with timer.phase("generate"):

@@ -245,7 +245,7 @@ def _triangle_impl(
     backend = settings.backend
     chunk_rows = settings.chunk_rows
     timer = PhaseTimer()
-    pool = get_pool(settings.pool or "serial", settings.max_workers)
+    pool = get_pool(settings.pool, settings.max_workers)
     if p < 2:
         raise ValueError("triangle algorithm needs p >= 2")
     if not is_triangle_query(query):

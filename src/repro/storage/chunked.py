@@ -211,9 +211,9 @@ class ChunkedRelation(Relation):
                 ):
                     raise RuntimeError(
                         f"spill files of {self.name!r} are gone: its "
-                        f"StorageManager is closed -- materialize "
-                        f"results (answers, to_array()) before closing "
-                        f"the manager"
+                        "StorageManager is closed -- materialize "
+                        "results (answers, to_array()) before closing "
+                        "the manager"
                     )
                 arr = np.load(part, mmap_mode="r", allow_pickle=False)
                 if self._storage is not None:

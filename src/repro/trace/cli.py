@@ -94,7 +94,7 @@ def render_trace(path: str | pathlib.Path, top: int = 5) -> str:
         if makespan is not None:
             lines.append(
                 f"  measured makespan: {format_bits(makespan)} "
-                f"(bits per unit speed)"
+                "(bits per unit speed)"
             )
 
     hot_tags = query.hottest_tags(k=top)

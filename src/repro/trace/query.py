@@ -324,7 +324,7 @@ class TraceQuery:
             for server, bits in round_load.bits.items():
                 report_totals[server] = report_totals.get(server, 0.0) + bits
         mismatches: dict[int, tuple[float, float]] = {}
-        for server in set(trace_totals) | set(report_totals):
+        for server in sorted(set(trace_totals) | set(report_totals)):
             a = trace_totals.get(server, 0.0)
             b = report_totals.get(server, 0.0)
             if a != b:

@@ -1,0 +1,9 @@
+"""Reasonless/unknown suppressions: they suppress nothing and are findings."""
+
+import time
+
+
+def sloppy():
+    started = time.time()  # repro: allow(wall-clock)
+    # repro: allow(made-up-rule) -- the rule id does not exist
+    return started

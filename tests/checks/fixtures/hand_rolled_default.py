@@ -1,0 +1,8 @@
+"""Entry points hand-rolling backend/pool defaults around repro.config."""
+
+
+def run(query, backend=None, pool=None):
+    backend = backend or "numpy"  # line 5: settings-resolution
+    if pool is None:
+        pool = "serial"  # line 7: settings-resolution
+    return query, backend, pool

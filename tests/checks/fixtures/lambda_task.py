@@ -1,0 +1,11 @@
+"""Task bodies that cannot cross the spawn-context pickle boundary."""
+
+
+def fan_out(pool, tasks, factor):
+    results = list(pool.imap(lambda t: t * factor, tasks))  # line 5: pool-task
+
+    def scaled(t):
+        return t * factor
+
+    results += list(pool.imap(scaled, tasks))  # line 10: pool-task
+    return results

@@ -1,0 +1,13 @@
+"""A worker task body mutating simulator accounting directly.
+
+Under a process pool these sends happen in a throwaway worker (lost),
+under threads they interleave nondeterministically; either way the
+parent's serial replay is bypassed.
+"""
+
+
+def route_chunk_task(task):
+    rows = task.source.load()
+    for server, batch in enumerate(rows):
+        task.sim.send_array(server, task.tag, batch)  # line 12: parent-accounting
+    return task.tag

@@ -1,0 +1,11 @@
+"""Every violation here carries a justified suppression: zero findings."""
+
+import random
+import time
+
+
+def bench_once(items):
+    started = time.time()  # repro: allow(wall-clock) -- fixture: bench timing only
+    # repro: allow(unseeded-random) -- fixture: exploratory shuffle, unrecorded
+    random.shuffle(items)
+    return time.time() - started  # repro: allow(wall-clock) -- fixture: bench timing only

@@ -1,0 +1,19 @@
+"""Observability hooks used without the one-None-check discipline."""
+
+from repro.metrics.registry import active_metrics
+
+
+def record(rows):
+    active_metrics().counter("rows_total").inc(len(rows))  # line 7: hook-guard
+    for row in rows:
+        metrics = active_metrics()  # line 9: hook-guard (refetch in loop)
+        if metrics is not None:
+            metrics.counter("rows_seen").inc()
+    return rows
+
+
+def disciplined(rows):
+    metrics = active_metrics()
+    if metrics is not None:
+        metrics.counter("rows_total").inc(len(rows))
+    return rows

@@ -1,0 +1,10 @@
+"""Wall-clock reads in engine-shaped code (not a timing/metrics module)."""
+
+import time
+from time import perf_counter as pc
+
+
+def measure():
+    started = time.time()  # line 8: wall-clock
+    elapsed = pc() - started  # line 9: wall-clock
+    return elapsed

@@ -1,0 +1,122 @@
+"""Engine semantics: suppressions, JSON schema, determinism, traversal."""
+
+import json
+import pathlib
+
+from repro.checks import (
+    SCHEMA,
+    check_paths,
+    check_source,
+    all_rules,
+    render_json,
+)
+from repro.checks.engine import iter_source_files
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_justified_suppressions_silence_findings(self):
+        result = check_paths([FIXTURES / "suppressed.py"])
+        assert result.findings == ()
+
+    def test_reasonless_suppression_does_not_suppress(self):
+        result = check_paths([FIXTURES / "bad_suppression.py"])
+        rules = [(f.rule, f.line) for f in result.findings]
+        # The bare allow() is itself a finding AND leaves the
+        # wall-clock finding on its line alive.
+        assert ("suppression", 7) in rules
+        assert ("wall-clock", 7) in rules
+        # Unknown rule ids are reported even with a reason.
+        assert ("suppression", 8) in rules
+        assert len(rules) == 3
+
+    def test_trailing_comment_suppresses_own_line(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro: allow(wall-clock) -- test reason\n"
+        )
+        assert check_source("x.py", src, all_rules()) == []
+
+    def test_standalone_comment_suppresses_next_code_line(self):
+        src = (
+            "import time\n"
+            "# repro: allow(wall-clock) -- test reason\n"
+            "\n"
+            "t = time.time()\n"
+        )
+        assert check_source("x.py", src, all_rules()) == []
+
+    def test_suppression_does_not_leak_past_its_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro: allow(wall-clock) -- test reason\n"
+            "b = time.time()\n"
+        )
+        findings = check_source("x.py", src, all_rules())
+        assert [(f.rule, f.line) for f in findings] == [("wall-clock", 3)]
+
+    def test_suppression_in_string_literal_is_inert(self):
+        src = (
+            "import time\n"
+            'note = "# repro: allow(wall-clock) -- not a comment"\n'
+            "t = time.time()\n"
+        )
+        findings = check_source("x.py", src, all_rules())
+        assert [(f.rule, f.line) for f in findings] == [("wall-clock", 3)]
+
+    def test_multi_rule_suppression(self):
+        src = (
+            "import random\n"
+            "import time\n"
+            "# repro: allow(wall-clock, unseeded-random) -- test reason\n"
+            "x = time.time() + random.random()\n"
+        )
+        assert check_source("x.py", src, all_rules()) == []
+
+
+class TestJsonSchema:
+    def test_schema_tag_and_layout(self):
+        result = check_paths([FIXTURES / "parent_accounting.py"])
+        payload = json.loads(render_json(result))
+        assert payload["schema"] == SCHEMA == "repro.checks/1"
+        assert payload["files"] == 1
+        assert isinstance(payload["findings"], list)
+        (finding,) = payload["findings"]
+        # Exact key set is the CI contract: consumers parse this.
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "parent-accounting"
+        assert finding["line"] == 12
+
+    def test_clean_result_shape(self):
+        result = check_paths([FIXTURES / "suppressed.py"])
+        payload = json.loads(render_json(result))
+        assert payload == {"schema": SCHEMA, "files": 1, "findings": []}
+
+
+class TestTraversal:
+    def test_findings_are_deterministically_sorted(self):
+        result = check_paths([FIXTURES])
+        keys = [f.sort_key() for f in result.findings]
+        assert keys == sorted(keys)
+        again = check_paths([FIXTURES])
+        assert again.findings == result.findings
+
+    def test_directory_traversal_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("import time\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        files = list(iter_source_files([tmp_path]))
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        try:
+            list(iter_source_files([tmp_path / "nope"]))
+        except FileNotFoundError:
+            pass
+        else:
+            raise AssertionError("missing path should not read as clean")
+
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        findings = check_source("bad.py", "def broken(:\n", all_rules())
+        assert [f.rule for f in findings] == ["syntax"]

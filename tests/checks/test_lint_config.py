@@ -1,0 +1,72 @@
+"""The lint/type tooling contract.
+
+ruff and mypy are CI-installed dev tools (the ``lint`` extra), not
+runtime dependencies, so these tests assert the *configuration* always
+and run the tools only where they are installed.
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+import tomllib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def pyproject():
+    with open(REPO / "pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)
+
+
+class TestConfig:
+    def test_ruff_config_present(self):
+        data = pyproject()
+        assert data["tool"]["ruff"]["target-version"] == "py311"
+        assert "F" in data["tool"]["ruff"]["lint"]["select"]
+
+    def test_mypy_allowlist_covers_public_surface(self):
+        data = pyproject()
+        assert data["tool"]["mypy"]["ignore_errors"] is True
+        overrides = data["tool"]["mypy"]["overrides"]
+        checked = {
+            m for o in overrides if o.get("ignore_errors") is False
+            for m in o["module"]
+        }
+        for module in ("repro.session", "repro.config",
+                       "repro.planner.optimizer", "repro.checks.engine"):
+            assert module in checked
+
+    def test_py_typed_marker_ships(self):
+        assert (REPO / "src" / "repro" / "py.typed").exists()
+        packages = pyproject()["tool"]["setuptools"]["package-data"]
+        assert "py.typed" in packages["repro"]
+
+    def test_lint_extra_declared(self):
+        extras = pyproject()["project"]["optional-dependencies"]
+        joined = " ".join(extras["lint"])
+        assert "ruff" in joined and "mypy" in joined
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "."], cwd=REPO, capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(
+    subprocess.run(
+        [sys.executable, "-c", "import mypy"], capture_output=True
+    ).returncode != 0,
+    reason="mypy not installed",
+)
+def test_mypy_allowlist_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"], cwd=REPO, capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -81,10 +81,12 @@ class TestRunMany:
             observed = registry_totals(session.metrics)
         # Drop pool-task series: kind labels legitimately differ by
         # pool, and process mode runs tasks in throwaway workers.
-        strip = lambda totals: {
-            k: v for k, v in totals.items()
-            if not k[0].startswith("repro_pool_")
-        }
+        def strip(totals):
+            return {
+                k: v for k, v in totals.items()
+                if not k[0].startswith("repro_pool_")
+            }
+
         assert strip(observed) == strip(baseline)
 
     def test_process_pool_ships_worker_deltas(self):

@@ -25,7 +25,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.families import chain_query, star_query, triangle_query
+from repro.core.families import triangle_query
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.data.generators import (
     matching_database,
@@ -194,7 +194,7 @@ class TestSameRoundFragmentIsolation:
             ):
                 assert as_tuple_set(got) == as_tuple_set(want), (
                     f"{node.name} fragment on server {server} mixed in "
-                    f"another operator's routing"
+                    "another operator's routing"
                 )
 
     def test_rejects_slash_and_duplicate_node_names(self):

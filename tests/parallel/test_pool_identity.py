@@ -9,7 +9,6 @@ engines and for ``Session.run_many``.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -19,7 +19,7 @@ from repro.data.database import Database
 from repro.planner import plan as planner_plan
 from repro.planner.statistics import DataStatistics, sample_heavy_hitters
 from repro.skew.heavy_hitters import HitterStatistics
-from repro.storage import ChunkedRelation, StorageManager
+from repro.storage import StorageManager
 
 P = 16
 M = 20_000
@@ -95,7 +95,9 @@ class TestPlannerIntegration:
         # stays within 2x of the exact winner's -- near-ties may flip
         # the pick, but never to something the exact model prices off
         # by more than the sampling noise.
-        applicable = lambda ranked: {c.name for c in ranked.ranked}
+        def applicable(ranked):
+            return {c.name for c in ranked.ranked}
+
         assert applicable(ranked_sampled) == applicable(ranked_exact)
         ratio = (
             ranked_sampled.winner.estimate.load_bits

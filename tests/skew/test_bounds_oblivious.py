@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.families import simple_join_query, star_query, triangle_query
-from repro.core.stats import Statistics
 from repro.data.generators import (
     matching_database,
     planted_heavy_hitter_database,

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.families import chain_query, star_query, triangle_query
+from repro.core.families import star_query, triangle_query
 from repro.core.query import Atom, ConjunctiveQuery
 from repro.data.generators import (
     matching_database,

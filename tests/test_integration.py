@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.bounds.one_round import lower_bound, upper_bound
 from repro.bounds.probability import output_concentration_bound
-from repro.core.families import chain_query, cycle_query, star_query, triangle_query
+from repro.core.families import chain_query, triangle_query
 from repro.core.friedgut import expected_output_size
 from repro.core.stats import Statistics
 from repro.data.generators import matching_database, uniform_database
@@ -151,4 +151,4 @@ class TestUserJourney:
     def test_version_exported(self):
         import repro
 
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import logging
 
-import pytest
 
 import repro
 from repro.config import ExecutionSettings, MachineSpec

@@ -5,9 +5,7 @@ from __future__ import annotations
 import importlib.util
 import json
 import pathlib
-import sys
 
-import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 _SPEC = importlib.util.spec_from_file_location(
